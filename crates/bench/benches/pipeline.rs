@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the individual pipeline stages: similarity operator,
+//! similarity-index construction, bottom-clause construction, repaired-clause
+//! expansion and θ-subsumption. These are the ablation benches referenced in
+//! DESIGN.md (similarity top-k vs full scan is governed by the index's
+//! blocking, subsumption cost by the clause size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+use dlearn_constraints::MdCatalog;
+use dlearn_core::{BottomClauseBuilder, GroundExample, LearnerConfig, PreparedClause};
+use dlearn_datagen::{generate_movie_dataset, MovieConfig};
+use dlearn_logic::{subsumes, GroundClause, SubsumptionConfig};
+use dlearn_similarity::{swg_similarity, IndexConfig, SimilarityIndex};
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("swg_pair", |b| {
+        b.iter(|| {
+            std::hint::black_box(swg_similarity(
+                "Star Wars: Episode IV - 1977",
+                "Star Wars Episode Four",
+            ))
+        })
+    });
+    for n in [100usize, 400] {
+        let left: Vec<String> = (0..n).map(|i| format!("Crimson Harbor Voyage {i}")).collect();
+        let right: Vec<String> = (0..n).map(|i| format!("Crimson Harbor Voyage {i} (1987)")).collect();
+        group.bench_with_input(BenchmarkId::new("index_build", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(SimilarityIndex::build(&left, &right, &IndexConfig::top_k(5)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_learning_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learning_stages");
+    group.sample_size(20).measurement_time(Duration::from_secs(10));
+
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 17);
+    let task = &dataset.task;
+    let config = LearnerConfig::fast();
+    let index_config = IndexConfig::top_k(config.km);
+    let catalog = MdCatalog::build(&task.mds, &task.database, &index_config);
+    let builder = BottomClauseBuilder::new(task, &catalog, &config);
+
+    group.bench_function("bottom_clause_construction", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            std::hint::black_box(builder.build(&task.positives[0], &mut rng))
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let bottom = builder.build(&task.positives[0], &mut rng);
+    group.bench_function("repaired_clause_expansion", |b| {
+        b.iter(|| std::hint::black_box(PreparedClause::prepare(bottom.clone(), &config)))
+    });
+
+    let ground = GroundClause::new(&bottom);
+    group.bench_function("theta_subsumption_self", |b| {
+        b.iter(|| std::hint::black_box(subsumes(&bottom, &ground, &SubsumptionConfig::default())))
+    });
+
+    let example = GroundExample::from_clause(task.positives[0].clone(), &bottom, &config);
+    group.bench_function("ground_example_preparation", |b| {
+        b.iter(|| {
+            std::hint::black_box(GroundExample::from_clause(
+                example.example.clone(),
+                &bottom,
+                &config,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_learning_stages);
+criterion_main!(benches);

@@ -1,0 +1,306 @@
+//! Conditional functional dependencies (CFDs).
+//!
+//! A CFD `(X → A, tp)` over relation `R` extends the FD `X → A` with a tuple
+//! pattern `tp` over `X ∪ {A}`: for every pair of tuples that agree on `X`
+//! and match the pattern on `X`, their `A` values must be equal and match the
+//! pattern on `A` (Section 2.3). We assume, as the paper does, that every CFD
+//! has a single attribute on its right-hand side.
+
+use std::fmt;
+
+use dlearn_relstore::{Relation, Schema, StoreError, Tuple, TupleId, Value};
+
+/// A pattern entry: a constant or the unnamed wildcard `-`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternValue {
+    /// Any value (`-` in the paper's notation).
+    Any,
+    /// A specific constant.
+    Const(Value),
+}
+
+impl PatternValue {
+    /// The `≍` predicate of the paper: a value matches `-` or an equal
+    /// constant.
+    pub fn matches(&self, value: &Value) -> bool {
+        match self {
+            PatternValue::Any => true,
+            PatternValue::Const(c) => c == value,
+        }
+    }
+}
+
+impl fmt::Display for PatternValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternValue::Any => write!(f, "-"),
+            PatternValue::Const(c) => write!(f, "{}", c.render()),
+        }
+    }
+}
+
+/// A conditional functional dependency with a single right-hand-side
+/// attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfd {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Relation the CFD is defined over.
+    pub relation: String,
+    /// Left-hand-side attributes (`X`).
+    pub lhs: Vec<String>,
+    /// Right-hand-side attribute (`A`).
+    pub rhs: String,
+    /// Pattern over the left-hand side, aligned with `lhs`.
+    pub lhs_pattern: Vec<PatternValue>,
+    /// Pattern over the right-hand side.
+    pub rhs_pattern: PatternValue,
+}
+
+impl Cfd {
+    /// A plain FD `X → A` (all-wildcard pattern).
+    pub fn fd(
+        name: impl Into<String>,
+        relation: impl Into<String>,
+        lhs: Vec<&str>,
+        rhs: impl Into<String>,
+    ) -> Self {
+        let lhs: Vec<String> = lhs.into_iter().map(|s| s.to_string()).collect();
+        let lhs_pattern = vec![PatternValue::Any; lhs.len()];
+        Cfd {
+            name: name.into(),
+            relation: relation.into(),
+            lhs,
+            rhs: rhs.into(),
+            lhs_pattern,
+            rhs_pattern: PatternValue::Any,
+        }
+    }
+
+    /// A CFD with an explicit pattern.
+    pub fn with_pattern(
+        name: impl Into<String>,
+        relation: impl Into<String>,
+        lhs: Vec<&str>,
+        rhs: impl Into<String>,
+        lhs_pattern: Vec<PatternValue>,
+        rhs_pattern: PatternValue,
+    ) -> Self {
+        let lhs: Vec<String> = lhs.into_iter().map(|s| s.to_string()).collect();
+        assert_eq!(lhs.len(), lhs_pattern.len(), "pattern must align with the left-hand side");
+        Cfd {
+            name: name.into(),
+            relation: relation.into(),
+            lhs,
+            rhs: rhs.into(),
+            lhs_pattern,
+            rhs_pattern,
+        }
+    }
+
+    /// Validate the CFD against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), StoreError> {
+        let rel = schema.require_relation(&self.relation)?;
+        for a in &self.lhs {
+            rel.require_attribute_index(a)?;
+        }
+        rel.require_attribute_index(&self.rhs)?;
+        Ok(())
+    }
+
+    /// Resolve the LHS attribute positions in the relation schema.
+    pub fn lhs_indices(&self, relation: &Relation) -> Vec<usize> {
+        self.lhs
+            .iter()
+            .map(|a| relation.schema().attribute_index(a).expect("validated attribute"))
+            .collect()
+    }
+
+    /// Resolve the RHS attribute position in the relation schema.
+    pub fn rhs_index(&self, relation: &Relation) -> usize {
+        relation.schema().attribute_index(&self.rhs).expect("validated attribute")
+    }
+
+    /// `true` when the tuple's LHS values match the LHS pattern.
+    pub fn lhs_matches(&self, tuple: &Tuple, lhs_indices: &[usize]) -> bool {
+        lhs_indices
+            .iter()
+            .zip(self.lhs_pattern.iter())
+            .all(|(&i, p)| tuple.value(i).map(|v| p.matches(v)).unwrap_or(false))
+    }
+
+    /// `true` when two tuples jointly violate this CFD: they agree on the
+    /// LHS, match the LHS pattern, but disagree on the RHS or fail the RHS
+    /// pattern.
+    pub fn violates(&self, t1: &Tuple, t2: &Tuple, lhs_indices: &[usize], rhs_index: usize) -> bool {
+        let agree_lhs = lhs_indices.iter().all(|&i| t1.value(i) == t2.value(i));
+        if !agree_lhs || !self.lhs_matches(t1, lhs_indices) || !self.lhs_matches(t2, lhs_indices) {
+            return false;
+        }
+        let r1 = t1.value(rhs_index);
+        let r2 = t2.value(rhs_index);
+        match (r1, r2) {
+            (Some(a), Some(b)) => a != b || !self.rhs_pattern.matches(a) || !self.rhs_pattern.matches(b),
+            _ => false,
+        }
+    }
+
+    /// All violating tuple pairs `(id1, id2)` with `id1 < id2` in a relation
+    /// instance. Pairs are grouped by LHS value via the relation's hash
+    /// indexes, so the scan is linear in the number of tuples sharing an LHS
+    /// value rather than quadratic in the relation.
+    pub fn find_violations(&self, relation: &Relation) -> Vec<(TupleId, TupleId)> {
+        let lhs_indices = self.lhs_indices(relation);
+        let rhs_index = self.rhs_index(relation);
+        let mut groups: std::collections::HashMap<Vec<Value>, Vec<TupleId>> =
+            std::collections::HashMap::new();
+        for (id, tuple) in relation.iter() {
+            if !self.lhs_matches(tuple, &lhs_indices) {
+                continue;
+            }
+            let key: Vec<Value> =
+                lhs_indices.iter().map(|&i| tuple.value(i).cloned().unwrap_or(Value::Null)).collect();
+            groups.entry(key).or_default().push(id);
+        }
+        let mut violations = Vec::new();
+        for ids in groups.values() {
+            for (a, &id1) in ids.iter().enumerate() {
+                for &id2 in ids.iter().skip(a + 1) {
+                    let t1 = relation.tuple(id1).expect("valid id");
+                    let t2 = relation.tuple(id2).expect("valid id");
+                    if self.violates(t1, t2, &lhs_indices, rhs_index) {
+                        violations.push((id1.min(id2), id1.max(id2)));
+                    }
+                }
+            }
+        }
+        violations.sort();
+        violations
+    }
+
+    /// `true` when the relation instance satisfies the CFD.
+    pub fn satisfied_by(&self, relation: &Relation) -> bool {
+        self.find_violations(relation).is_empty()
+    }
+}
+
+impl fmt::Display for Cfd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lhs = self.lhs.join(", ");
+        let lhs_pat =
+            self.lhs_pattern.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ");
+        write!(
+            f,
+            "{}: ({} → {}, ({} || {}))",
+            self.relation, lhs, self.rhs, lhs_pat, self.rhs_pattern
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlearn_relstore::{tuple, Attribute, RelationSchema};
+
+    fn locale_relation() -> Relation {
+        let mut r = Relation::new(RelationSchema::new(
+            "mov2locale",
+            vec![Attribute::str("title"), Attribute::str("language"), Attribute::str("country")],
+        ));
+        r.insert(tuple(vec!["Bait", "English", "USA"])).unwrap();
+        r.insert(tuple(vec!["Bait", "English", "Ireland"])).unwrap();
+        r.insert(tuple(vec!["Bait", "French", "France"])).unwrap();
+        r.insert(tuple(vec!["Rec", "Spanish", "Spain"])).unwrap();
+        r
+    }
+
+    /// The paper's ϕ1: (title, language → country, (-, English || -)).
+    fn phi1() -> Cfd {
+        Cfd::with_pattern(
+            "phi1",
+            "mov2locale",
+            vec!["title", "language"],
+            "country",
+            vec![PatternValue::Any, PatternValue::Const(Value::str("English"))],
+            PatternValue::Any,
+        )
+    }
+
+    #[test]
+    fn paper_example_violation_is_detected() {
+        let rel = locale_relation();
+        let cfd = phi1();
+        let violations = cfd.find_violations(&rel);
+        assert_eq!(violations, vec![(0, 1)]);
+        assert!(!cfd.satisfied_by(&rel));
+    }
+
+    #[test]
+    fn pattern_restricts_the_scope_of_the_dependency() {
+        // A plain FD title -> country (no language pattern) also flags the
+        // French tuple pair.
+        let rel = locale_relation();
+        let fd = Cfd::fd("fd", "mov2locale", vec!["title"], "country");
+        let violations = fd.find_violations(&rel);
+        assert_eq!(violations.len(), 3, "{violations:?}");
+    }
+
+    #[test]
+    fn satisfied_relation_has_no_violations() {
+        let mut r = Relation::new(RelationSchema::new(
+            "mov2locale",
+            vec![Attribute::str("title"), Attribute::str("language"), Attribute::str("country")],
+        ));
+        r.insert(tuple(vec!["Bait", "English", "USA"])).unwrap();
+        r.insert(tuple(vec!["Bait", "English", "USA"])).unwrap();
+        assert!(phi1().satisfied_by(&r));
+    }
+
+    #[test]
+    fn rhs_pattern_constant_must_match() {
+        // (language -> country, (English || USA)): English movies must be
+        // from the USA; two agreeing non-USA tuples violate via the pattern.
+        let cfd = Cfd::with_pattern(
+            "phi2",
+            "mov2locale",
+            vec!["language"],
+            "country",
+            vec![PatternValue::Const(Value::str("English"))],
+            PatternValue::Const(Value::str("USA")),
+        );
+        let mut r = Relation::new(RelationSchema::new(
+            "mov2locale",
+            vec![Attribute::str("title"), Attribute::str("language"), Attribute::str("country")],
+        ));
+        r.insert(tuple(vec!["A", "English", "Ireland"])).unwrap();
+        r.insert(tuple(vec!["B", "English", "Ireland"])).unwrap();
+        assert!(!cfd.satisfied_by(&r));
+    }
+
+    #[test]
+    fn validate_checks_schema() {
+        let mut schema = Schema::new();
+        schema
+            .add_relation(RelationSchema::new(
+                "mov2locale",
+                vec![
+                    Attribute::str("title"),
+                    Attribute::str("language"),
+                    Attribute::str("country"),
+                ],
+            ))
+            .unwrap();
+        assert!(phi1().validate(&schema).is_ok());
+        let bad = Cfd::fd("bad", "mov2locale", vec!["title"], "missing");
+        assert!(bad.validate(&schema).is_err());
+        let bad = Cfd::fd("bad", "unknown", vec!["title"], "country");
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn display_renders_pattern() {
+        let s = phi1().to_string();
+        assert!(s.contains("title, language → country"), "{s}");
+        assert!(s.contains("'English'"), "{s}");
+    }
+}

@@ -1,0 +1,95 @@
+//! # dlearn-constraints — declarative data-quality constraints
+//!
+//! DLearn expresses the properties of clean data with two classes of
+//! declarative constraints and reasons about their possible enforcements
+//! during learning:
+//!
+//! * [`MatchingDependency`] — matching dependencies (Section 2.2), which say
+//!   that sufficiently similar values of two relations refer to the same
+//!   real-world value and should be identified.
+//! * [`Cfd`] — conditional functional dependencies (Section 2.3), functional
+//!   dependencies restricted by a tuple pattern, whose violations capture
+//!   integrity errors inside a relation.
+//!
+//! The crate also provides CFD consistency checking
+//! ([`consistency::find_inconsistencies`]), violation detection, the
+//! *minimal repair* of a database ([`repair::minimal_cfd_repair`], used by
+//! the DLearn-Repaired baseline), the best-match value unification used by
+//! the Castor-Clean baseline ([`repair::enforce_md_best_match`]), and the
+//! per-MD precomputed similarity catalogs ([`MdCatalog`]) consumed by
+//! bottom-clause construction.
+
+#![warn(missing_docs)]
+
+pub mod cfd;
+pub mod consistency;
+pub mod md;
+pub mod md_index;
+pub mod repair;
+
+pub use cfd::{Cfd, PatternValue};
+pub use consistency::{find_inconsistencies, is_consistent, Inconsistency};
+pub use md::{MatchingDependency, SimilarityPair};
+pub use md_index::{MdCatalog, MdIndex};
+pub use repair::{all_cfds_satisfied, enforce_md_best_match, minimal_cfd_repair, RepairStats};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use dlearn_relstore::{tuple, Attribute, Relation, RelationSchema, Value};
+
+    use crate::cfd::Cfd;
+    use crate::repair::{all_cfds_satisfied, minimal_cfd_repair};
+    use dlearn_relstore::Database;
+
+    fn db_from_rows(rows: &[(String, String, String)]) -> Database {
+        let mut db = Database::new();
+        db.create_relation(RelationSchema::new(
+            "r",
+            vec![Attribute::str("a"), Attribute::str("b"), Attribute::str("c")],
+        ))
+        .unwrap();
+        for (a, b, c) in rows {
+            db.insert("r", tuple(vec![Value::str(a), Value::str(b), Value::str(c)])).unwrap();
+        }
+        db
+    }
+
+    proptest! {
+        /// The minimal repair of any database w.r.t. a plain FD always
+        /// satisfies the FD afterwards and never changes the tuple count.
+        #[test]
+        fn minimal_repair_reaches_a_consistent_instance(
+            rows in proptest::collection::vec(
+                ("[ab]{1,2}", "[cd]{1,2}", "[ef]{1,2}")
+                    .prop_map(|(a, b, c)| (a, b, c)),
+                0..20,
+            )
+        ) {
+            let db = db_from_rows(&rows);
+            let cfds = vec![Cfd::fd("fd", "r", vec!["a"], "c"), Cfd::fd("fd2", "r", vec!["b"], "c")];
+            let (repaired, _) = minimal_cfd_repair(&db, &cfds);
+            prop_assert!(all_cfds_satisfied(&repaired, &cfds));
+            prop_assert_eq!(repaired.total_tuples(), db.total_tuples());
+        }
+
+        /// Violation detection is symmetric in the pair and never reports a
+        /// tuple violating with itself.
+        #[test]
+        fn violations_are_well_formed(
+            rows in proptest::collection::vec(
+                ("[ab]{1}", "[cd]{1}", "[ef]{1}").prop_map(|(a, b, c)| (a, b, c)),
+                0..16,
+            )
+        ) {
+            let db = db_from_rows(&rows);
+            let cfd = Cfd::fd("fd", "r", vec!["a"], "b");
+            let rel: &Relation = db.relation("r").unwrap();
+            for (i, j) in cfd.find_violations(rel) {
+                prop_assert!(i < j);
+                prop_assert!(rel.tuple(i).is_some() && rel.tuple(j).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Learner configuration.
+
+use dlearn_logic::subsumption::SubsumptionConfig;
+
+/// All tunable parameters of the learner.
+///
+/// The names follow the paper's evaluation section: `km` is the number of top
+/// similarity matches kept per value, `iterations` is the bottom-clause walk
+/// depth `d`, and `sample_size` caps the number of literals added per
+/// relation to a bottom clause (Section 5).
+#[derive(Debug, Clone)]
+pub struct LearnerConfig {
+    /// Number of top similarity matches per value (`km`).
+    pub km: usize,
+    /// Bottom-clause construction iterations (`d`).
+    pub iterations: usize,
+    /// Maximum literals per relation in a bottom clause (`sample size`).
+    pub sample_size: usize,
+    /// Similarity threshold of the combined operator.
+    pub similarity_threshold: f64,
+    /// Minimum number of positive examples a clause must cover to be kept.
+    pub min_positive_coverage: usize,
+    /// Maximum number of clauses in a learned definition.
+    pub max_clauses: usize,
+    /// Number of positive examples sampled per generalization step (`|E+_s|`).
+    pub sample_positives: usize,
+    /// Maximum generalization iterations per clause.
+    pub max_generalization_rounds: usize,
+    /// Cap on the number of repaired clauses expanded per clause.
+    pub max_repaired_clauses: usize,
+    /// Cap on partial bindings tracked during generalization.
+    pub binding_cap: usize,
+    /// θ-subsumption search budget and strictness.
+    pub subsumption: SubsumptionConfig,
+    /// Use matching dependencies (similarity joins) during learning.
+    /// Castor-NoMD and Castor-Clean set this to `false`.
+    pub use_mds: bool,
+    /// Restrict MD matches to exact string equality (Castor-Exact).
+    pub exact_md_joins: bool,
+    /// Add CFD repair literals to clauses (DLearn-CFD). When `false`, CFD
+    /// violations in the data are ignored during clause construction.
+    pub use_cfd_repairs: bool,
+    /// Number of worker threads for coverage testing (0 = available cores).
+    pub coverage_threads: usize,
+    /// RNG seed for sampling (bottom-clause sampling, example sampling).
+    pub seed: u64,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            km: 5,
+            iterations: 3,
+            sample_size: 10,
+            similarity_threshold: 0.65,
+            min_positive_coverage: 2,
+            max_clauses: 8,
+            sample_positives: 12,
+            max_generalization_rounds: 6,
+            max_repaired_clauses: 12,
+            binding_cap: 64,
+            subsumption: SubsumptionConfig::default(),
+            use_mds: true,
+            exact_md_joins: false,
+            use_cfd_repairs: true,
+            coverage_threads: 0,
+            seed: 7,
+        }
+    }
+}
+
+impl LearnerConfig {
+    /// A configuration with small caps, suitable for unit tests, examples and
+    /// doc tests.
+    pub fn fast() -> Self {
+        LearnerConfig {
+            km: 2,
+            iterations: 3,
+            sample_size: 6,
+            sample_positives: 6,
+            max_generalization_rounds: 3,
+            max_repaired_clauses: 6,
+            max_clauses: 4,
+            ..LearnerConfig::default()
+        }
+    }
+
+    /// Set `km` (builder style).
+    pub fn with_km(mut self, km: usize) -> Self {
+        self.km = km;
+        self
+    }
+
+    /// Set the iteration depth `d` (builder style).
+    pub fn with_iterations(mut self, d: usize) -> Self {
+        self.iterations = d;
+        self
+    }
+
+    /// Set the per-relation sample size (builder style).
+    pub fn with_sample_size(mut self, sample_size: usize) -> Self {
+        self.sample_size = sample_size;
+        self
+    }
+
+    /// Set the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of coverage worker threads to actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.coverage_threads > 0 {
+            self.coverage_threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_defaults() {
+        let c = LearnerConfig::default();
+        assert_eq!(c.sample_size, 10, "paper fixes sample size to 10");
+        assert_eq!(c.km, 5);
+        assert!(c.use_mds && c.use_cfd_repairs);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = LearnerConfig::fast().with_km(10).with_iterations(4).with_sample_size(3).with_seed(99);
+        assert_eq!(c.km, 10);
+        assert_eq!(c.iterations, 4);
+        assert_eq!(c.sample_size, 3);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn effective_threads_is_positive() {
+        assert!(LearnerConfig::default().effective_threads() >= 1);
+        let c = LearnerConfig { coverage_threads: 3, ..LearnerConfig::default() };
+        assert_eq!(c.effective_threads(), 3);
+    }
+}

@@ -1,0 +1,337 @@
+//! Coverage testing over heterogeneous data (Section 4.3).
+//!
+//! To decide whether a candidate clause covers an example, DLearn builds the
+//! *ground bottom clause* of the example and tests θ-subsumption against it.
+//! For clauses with repair literals, positive coverage follows Definition
+//! 3.4 (every repaired clause of the candidate must cover the example in
+//! some repair of its ground clause) and negative coverage follows
+//! Definition 3.6 (some repaired clause covers it). A direct subsumption test
+//! treating repair literals as ordinary literals (Theorem 4.6) is used as a
+//! fast sufficient check before falling back to the repaired-clause
+//! cross-product.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dlearn_logic::{repaired_clauses, subsumes, Clause, ExpandLimits, GroundClause};
+use dlearn_relstore::Tuple;
+
+use crate::bottom::BottomClauseBuilder;
+use crate::config::LearnerConfig;
+use crate::task::LearningTask;
+
+/// A training example together with its ground bottom clause and the ground
+/// clause's repaired versions (built once, reused for every coverage test).
+#[derive(Debug, Clone)]
+pub struct GroundExample {
+    /// The example tuple.
+    pub example: Tuple,
+    /// Indexed ground bottom clause.
+    pub ground: GroundClause,
+    /// Indexed repaired versions of the ground bottom clause.
+    pub repaired: Vec<GroundClause>,
+}
+
+impl GroundExample {
+    /// Build the ground example for a tuple.
+    pub fn build(
+        builder: &BottomClauseBuilder<'_>,
+        example: &Tuple,
+        config: &LearnerConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clause = builder.build(example, &mut rng);
+        GroundExample::from_clause(example.clone(), &clause, config)
+    }
+
+    /// Wrap an already-built ground bottom clause.
+    pub fn from_clause(example: Tuple, clause: &Clause, config: &LearnerConfig) -> Self {
+        let limits =
+            ExpandLimits { max_repairs: config.max_repaired_clauses, max_steps: 2048 };
+        let repaired = repaired_clauses(clause, limits)
+            .iter()
+            .map(GroundClause::new)
+            .collect();
+        GroundExample { example, ground: GroundClause::new(clause), repaired }
+    }
+}
+
+/// A candidate clause prepared for repeated coverage testing: its repaired
+/// clauses are expanded once.
+#[derive(Debug, Clone)]
+pub struct PreparedClause {
+    /// The candidate clause (with repair groups).
+    pub clause: Clause,
+    /// Its repaired clauses.
+    pub repaired: Vec<Clause>,
+}
+
+impl PreparedClause {
+    /// Expand the candidate's repaired clauses.
+    pub fn prepare(clause: Clause, config: &LearnerConfig) -> Self {
+        let limits =
+            ExpandLimits { max_repairs: config.max_repaired_clauses, max_steps: 2048 };
+        let repaired = repaired_clauses(&clause, limits);
+        PreparedClause { clause, repaired }
+    }
+
+    /// Number of repaired clauses.
+    pub fn repair_count(&self) -> usize {
+        self.repaired.len()
+    }
+}
+
+/// Coverage statistics of a clause over a set of examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoverageCounts {
+    /// Covered positive examples.
+    pub positives: usize,
+    /// Covered negative examples.
+    pub negatives: usize,
+}
+
+impl CoverageCounts {
+    /// The clause score used by the covering loop: positives minus negatives.
+    pub fn score(&self) -> i64 {
+        self.positives as i64 - self.negatives as i64
+    }
+}
+
+/// The coverage engine: precomputed ground examples for the whole training
+/// set plus the subsumption-based coverage tests.
+pub struct CoverageEngine {
+    positives: Vec<GroundExample>,
+    negatives: Vec<GroundExample>,
+    config: LearnerConfig,
+}
+
+impl CoverageEngine {
+    /// Build ground bottom clauses for every training example of the task.
+    pub fn build(
+        task: &LearningTask,
+        builder: &BottomClauseBuilder<'_>,
+        config: &LearnerConfig,
+    ) -> Self {
+        let positives = Self::build_examples(&task.positives, builder, config, 0x9e37);
+        let negatives = Self::build_examples(&task.negatives, builder, config, 0x7f4a);
+        CoverageEngine { positives, negatives, config: config.clone() }
+    }
+
+    fn build_examples(
+        examples: &[Tuple],
+        builder: &BottomClauseBuilder<'_>,
+        config: &LearnerConfig,
+        salt: u64,
+    ) -> Vec<GroundExample> {
+        let threads = config.effective_threads().min(examples.len().max(1));
+        if threads <= 1 || examples.len() < 8 {
+            return examples
+                .iter()
+                .enumerate()
+                .map(|(i, e)| GroundExample::build(builder, e, config, config.seed ^ salt ^ i as u64))
+                .collect();
+        }
+        let chunk = examples.len().div_ceil(threads);
+        let mut out: Vec<Vec<GroundExample>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, chunk_examples) in examples.chunks(chunk).enumerate() {
+                handles.push(scope.spawn(move |_| {
+                    chunk_examples
+                        .iter()
+                        .enumerate()
+                        .map(|(i, e)| {
+                            let idx = ci * chunk + i;
+                            GroundExample::build(builder, e, config, config.seed ^ salt ^ idx as u64)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                out.push(h.join().expect("coverage worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        out.into_iter().flatten().collect()
+    }
+
+    /// Ground examples of the positive training set.
+    pub fn positives(&self) -> &[GroundExample] {
+        &self.positives
+    }
+
+    /// Ground examples of the negative training set.
+    pub fn negatives(&self) -> &[GroundExample] {
+        &self.negatives
+    }
+
+    /// The ground example of the `i`-th positive training example.
+    pub fn positive(&self, index: usize) -> &GroundExample {
+        &self.positives[index]
+    }
+
+    /// Positive coverage (Definition 3.4): the clause covers `example` iff it
+    /// θ-subsumes the ground clause directly, or every one of its repaired
+    /// clauses subsumes some repaired version of the ground clause.
+    pub fn covers_positive(&self, prepared: &PreparedClause, example: &GroundExample) -> bool {
+        if subsumes(&prepared.clause, &example.ground, &self.config.subsumption).is_some() {
+            return true;
+        }
+        if prepared.repaired.is_empty() {
+            return false;
+        }
+        prepared.repaired.iter().all(|cr| {
+            example
+                .repaired
+                .iter()
+                .any(|gr| subsumes(cr, gr, &self.config.subsumption).is_some())
+        })
+    }
+
+    /// Negative coverage (Definition 3.6): the clause covers `example` iff
+    /// some repaired clause of it subsumes some repaired version of the
+    /// ground clause (or the clause subsumes the ground clause directly).
+    pub fn covers_negative(&self, prepared: &PreparedClause, example: &GroundExample) -> bool {
+        if subsumes(&prepared.clause, &example.ground, &self.config.subsumption).is_some() {
+            return true;
+        }
+        prepared.repaired.iter().any(|cr| {
+            example
+                .repaired
+                .iter()
+                .any(|gr| subsumes(cr, gr, &self.config.subsumption).is_some())
+        })
+    }
+
+    /// Coverage mask over the positive training examples.
+    pub fn positive_mask(&self, prepared: &PreparedClause) -> Vec<bool> {
+        self.mask(prepared, true)
+    }
+
+    /// Coverage mask over the negative training examples.
+    pub fn negative_mask(&self, prepared: &PreparedClause) -> Vec<bool> {
+        self.mask(prepared, false)
+    }
+
+    fn mask(&self, prepared: &PreparedClause, positive: bool) -> Vec<bool> {
+        let examples = if positive { &self.positives } else { &self.negatives };
+        let threads = self.config.effective_threads().min(examples.len().max(1));
+        if threads <= 1 || examples.len() < 8 {
+            return examples
+                .iter()
+                .map(|e| {
+                    if positive {
+                        self.covers_positive(prepared, e)
+                    } else {
+                        self.covers_negative(prepared, e)
+                    }
+                })
+                .collect();
+        }
+        let chunk = examples.len().div_ceil(threads);
+        let mut out: Vec<Vec<bool>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk_examples in examples.chunks(chunk) {
+                handles.push(scope.spawn(move |_| {
+                    chunk_examples
+                        .iter()
+                        .map(|e| {
+                            if positive {
+                                self.covers_positive(prepared, e)
+                            } else {
+                                self.covers_negative(prepared, e)
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                out.push(h.join().expect("coverage worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+        out.into_iter().flatten().collect()
+    }
+
+    /// Count coverage over both example sets.
+    pub fn counts(&self, prepared: &PreparedClause) -> CoverageCounts {
+        let positives = self.positive_mask(prepared).iter().filter(|&&b| b).count();
+        let negatives = self.negative_mask(prepared).iter().filter(|&&b| b).count();
+        CoverageCounts { positives, negatives }
+    }
+
+    /// The clause score (covered positives minus covered negatives).
+    pub fn score(&self, prepared: &PreparedClause) -> i64 {
+        self.counts(prepared).score()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlearn_logic::{Literal, Term};
+
+    fn config() -> LearnerConfig {
+        LearnerConfig { coverage_threads: 1, ..LearnerConfig::fast() }
+    }
+
+    fn ground_from(clause: &Clause) -> GroundExample {
+        GroundExample::from_clause(
+            dlearn_relstore::tuple(vec![dlearn_relstore::Value::str("e")]),
+            clause,
+            &config(),
+        )
+    }
+
+    fn ge_comedy() -> GroundExample {
+        let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+        d.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(0)]));
+        d.push_unique(Literal::relation("genres", vec![Term::var(1), Term::constant("comedy")]));
+        ground_from(&d)
+    }
+
+    fn ge_drama() -> GroundExample {
+        let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+        d.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(0)]));
+        d.push_unique(Literal::relation("genres", vec![Term::var(1), Term::constant("drama")]));
+        ground_from(&d)
+    }
+
+    fn comedy_clause() -> PreparedClause {
+        let mut c = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+        c.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(0)]));
+        c.push_unique(Literal::relation("genres", vec![Term::var(1), Term::constant("comedy")]));
+        PreparedClause::prepare(c, &config())
+    }
+
+    #[test]
+    fn direct_subsumption_covers() {
+        let engine =
+            CoverageEngine { positives: vec![ge_comedy()], negatives: vec![ge_drama()], config: config() };
+        let prepared = comedy_clause();
+        assert!(engine.covers_positive(&prepared, &engine.positives[0]));
+        assert!(!engine.covers_negative(&prepared, &engine.negatives[0]));
+        let counts = engine.counts(&prepared);
+        assert_eq!(counts, CoverageCounts { positives: 1, negatives: 0 });
+        assert_eq!(counts.score(), 1);
+    }
+
+    #[test]
+    fn masks_align_with_example_order() {
+        let engine = CoverageEngine {
+            positives: vec![ge_comedy(), ge_drama()],
+            negatives: vec![],
+            config: config(),
+        };
+        let mask = engine.positive_mask(&comedy_clause());
+        assert_eq!(mask, vec![true, false]);
+    }
+
+    #[test]
+    fn prepared_clause_without_repairs_has_single_expansion() {
+        let prepared = comedy_clause();
+        assert_eq!(prepared.repair_count(), 1);
+    }
+}

@@ -1,0 +1,501 @@
+//! The learner: strategy-specific preprocessing, the covering loop
+//! (Algorithm 1) and the baseline systems of the paper's evaluation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dlearn_constraints::{enforce_md_best_match, minimal_cfd_repair, MdCatalog};
+use dlearn_logic::Definition;
+use dlearn_relstore::{Attribute, Database, RelationSchema, ValueType};
+use dlearn_similarity::{IndexConfig, SimilarityOperator};
+
+use crate::bottom::BottomClauseBuilder;
+use crate::config::LearnerConfig;
+use crate::coverage::{CoverageEngine, PreparedClause};
+use crate::generalize::generalize;
+use crate::model::{ClauseStats, LearnedModel};
+use crate::task::LearningTask;
+
+/// Which system to run. `DLearn` is the paper's contribution; the others are
+/// the baselines of Section 6.1.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// DLearn with MD and CFD repair support (DLearn-CFD in Table 5; plain
+    /// DLearn in Table 4 where no CFD violations are injected).
+    DLearn,
+    /// Castor over the original databases, ignoring MDs entirely.
+    CastorNoMd,
+    /// Castor where MD attributes may be joined, but only through exact
+    /// matches.
+    CastorExact,
+    /// Castor over a database where each value is first unified with its
+    /// single most similar counterpart (one hard match per value).
+    CastorClean,
+    /// DLearn with MDs only, run over the minimal repair of the CFD
+    /// violations (the baseline of Table 5).
+    DLearnRepaired,
+}
+
+impl Strategy {
+    /// All strategies, in the order the paper's tables list them.
+    pub fn all() -> [Strategy; 5] {
+        [
+            Strategy::CastorNoMd,
+            Strategy::CastorExact,
+            Strategy::CastorClean,
+            Strategy::DLearn,
+            Strategy::DLearnRepaired,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::DLearn => "DLearn",
+            Strategy::CastorNoMd => "Castor-NoMD",
+            Strategy::CastorExact => "Castor-Exact",
+            Strategy::CastorClean => "Castor-Clean",
+            Strategy::DLearnRepaired => "DLearn-Repaired",
+        }
+    }
+}
+
+/// Clone the task's database and add the target relation, populated with the
+/// training examples, so that MDs whose left-hand relation is the target can
+/// be indexed. Attribute types are inferred from the first example.
+pub fn augment_with_target(task: &LearningTask) -> Database {
+    let mut db = task.database.clone();
+    if db.schema().contains(&task.target.name) {
+        return db;
+    }
+    let sample = task.positives.first().or(task.negatives.first());
+    let attrs: Vec<Attribute> = task
+        .target
+        .attributes
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let ty = sample
+                .and_then(|t| t.value(i))
+                .map(|v| match v.value_type() {
+                    ValueType::Int => ValueType::Int,
+                    _ => ValueType::Str,
+                })
+                .unwrap_or(ValueType::Str);
+            Attribute::new(name.clone(), ty)
+        })
+        .collect();
+    if db.create_relation(RelationSchema::new(task.target.name.clone(), attrs)).is_ok() {
+        for e in task.positives.iter().chain(task.negatives.iter()) {
+            let _ = db.insert(&task.target.name, e.clone());
+        }
+    }
+    db
+}
+
+/// Copy a database, omitting one relation (used to strip an augmented target
+/// relation again after Castor-Clean preprocessing).
+fn copy_without(db: &Database, skip: &str) -> Database {
+    let mut out = Database::new();
+    for rel in db.relations() {
+        if rel.name() == skip {
+            continue;
+        }
+        out.create_relation(rel.schema().clone()).expect("fresh database");
+        for (_, t) in rel.iter() {
+            out.insert(rel.name(), t.clone()).expect("copied tuple is valid");
+        }
+    }
+    out
+}
+
+/// Outcome of a learning run: the model plus basic run statistics.
+#[derive(Debug)]
+pub struct LearnOutcome {
+    /// The learned model.
+    pub model: LearnedModel,
+    /// Wall-clock learning time in seconds.
+    pub seconds: f64,
+    /// Number of bottom clauses constructed.
+    pub bottom_clauses_built: usize,
+}
+
+/// A configurable learner running one of the [`Strategy`] variants.
+#[derive(Debug, Clone)]
+pub struct Learner {
+    strategy: Strategy,
+    config: LearnerConfig,
+}
+
+impl Learner {
+    /// Create a learner for a strategy.
+    pub fn new(strategy: Strategy, config: LearnerConfig) -> Self {
+        Learner { strategy, config }
+    }
+
+    /// The learner's strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Learn a definition for the task's target relation.
+    pub fn learn(&self, task: &LearningTask) -> LearnOutcome {
+        let start = std::time::Instant::now();
+
+        // 1. Strategy-specific preprocessing of the database and config.
+        let mut config = self.config.clone();
+        let mut task = task.clone();
+        match self.strategy {
+            Strategy::DLearn => {}
+            Strategy::CastorNoMd => {
+                config.use_mds = false;
+                config.use_cfd_repairs = false;
+            }
+            Strategy::CastorExact => {
+                config.exact_md_joins = true;
+                config.use_cfd_repairs = false;
+            }
+            Strategy::CastorClean => {
+                // Resolve heterogeneity up front: unify each value with its
+                // single most similar counterpart, then learn with exact
+                // joins only.
+                let augmented = augment_with_target(&task);
+                let mut cleaned = augmented;
+                let index_config = IndexConfig {
+                    top_k: 1,
+                    operator: SimilarityOperator::with_threshold(config.similarity_threshold),
+                };
+                for md in &task.mds {
+                    let (next, _) = enforce_md_best_match(&cleaned, md, &index_config);
+                    cleaned = next;
+                }
+                task.database = copy_without(&cleaned, &task.target.name);
+                // After unification the MD attributes hold identical strings,
+                // so Castor learns over the "clean" database with exact joins
+                // along the (now resolved) MD attributes.
+                config.exact_md_joins = true;
+                config.use_cfd_repairs = false;
+            }
+            Strategy::DLearnRepaired => {
+                let (repaired, _) = minimal_cfd_repair(&task.database, &task.cfds);
+                task.database = repaired;
+                config.use_cfd_repairs = false;
+            }
+        }
+
+        // 2. Precompute similarity matches for the MDs (Section 5).
+        let catalog = if config.use_mds && !task.mds.is_empty() {
+            let threshold = if config.exact_md_joins {
+                // Exact joins: only identical normalized strings match.
+                0.9999
+            } else {
+                config.similarity_threshold
+            };
+            let index_config = IndexConfig {
+                top_k: config.km,
+                operator: SimilarityOperator::with_threshold(threshold),
+            };
+            MdCatalog::build(&task.mds, &augment_with_target(&task), &index_config)
+        } else {
+            MdCatalog::default()
+        };
+
+        // 3. Ground bottom clauses for all training examples.
+        let builder = BottomClauseBuilder::new(&task, &catalog, &config);
+        let engine = CoverageEngine::build(&task, &builder, &config);
+        let mut bottom_clauses_built = task.positives.len() + task.negatives.len();
+
+        // 4. Covering loop (Algorithm 1).
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut uncovered: Vec<usize> = (0..task.positives.len()).collect();
+        let mut definition = Definition::new();
+        let mut stats: Vec<ClauseStats> = Vec::new();
+
+        while !uncovered.is_empty() && definition.len() < config.max_clauses {
+            let seed_example = uncovered[0];
+            let bottom = builder.build(&task.positives[seed_example], &mut rng);
+            bottom_clauses_built += 1;
+            if bottom.body.is_empty() {
+                uncovered.remove(0);
+                continue;
+            }
+
+            // LearnClause: generalize the bottom clause against sampled
+            // uncovered positives, hill-climbing on the clause score.
+            let mut current = bottom;
+            let mut current_prepared = PreparedClause::prepare(current.clone(), &config);
+            let mut current_score = engine.score(&current_prepared);
+            for _round in 0..config.max_generalization_rounds {
+                let mut sample: Vec<usize> =
+                    uncovered.iter().copied().filter(|&i| i != seed_example).collect();
+                sample.shuffle(&mut rng);
+                sample.truncate(config.sample_positives);
+                if sample.is_empty() {
+                    break;
+                }
+                let mut best: Option<(i64, PreparedClause)> = None;
+                for &ei in &sample {
+                    let target_ground = &engine.positive(ei).ground;
+                    let Some(candidate) = generalize(&current, target_ground, config.binding_cap)
+                    else {
+                        continue;
+                    };
+                    if candidate.body.is_empty() {
+                        continue;
+                    }
+                    let prepared = PreparedClause::prepare(candidate, &config);
+                    let score = engine.score(&prepared);
+                    if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
+                        best = Some((score, prepared));
+                    }
+                }
+                match best {
+                    Some((score, prepared)) if score > current_score => {
+                        current = prepared.clause.clone();
+                        current_prepared = prepared;
+                        current_score = score;
+                    }
+                    _ => break,
+                }
+            }
+
+            // Minimum criterion: the clause must cover enough positives and
+            // more positives than negatives.
+            let positive_mask = engine.positive_mask(&current_prepared);
+            let positives_covered = positive_mask.iter().filter(|&&b| b).count();
+            let negatives_covered =
+                engine.negative_mask(&current_prepared).iter().filter(|&&b| b).count();
+            let accept = positives_covered >= config.min_positive_coverage.min(uncovered.len())
+                && positives_covered > negatives_covered;
+            if accept {
+                definition.push(current);
+                stats.push(ClauseStats { positives_covered, negatives_covered });
+                uncovered.retain(|&i| !positive_mask[i]);
+                if uncovered.first() == Some(&seed_example) {
+                    // Defensive: never loop forever on an uncoverable seed.
+                    uncovered.remove(0);
+                }
+            } else {
+                uncovered.remove(0);
+            }
+        }
+
+        let model = LearnedModel::new(definition, stats, task, catalog, config);
+        LearnOutcome { model, seconds: start.elapsed().as_secs_f64(), bottom_clauses_built }
+    }
+}
+
+/// The DLearn system with its default strategy (learning directly over the
+/// dirty database with MD and CFD repair literals). This is the main entry
+/// point of the library.
+#[derive(Debug, Clone)]
+pub struct DLearn {
+    learner: Learner,
+}
+
+impl DLearn {
+    /// Create a DLearn learner.
+    pub fn new(config: LearnerConfig) -> Self {
+        DLearn { learner: Learner::new(Strategy::DLearn, config) }
+    }
+
+    /// Learn a definition, returning just the model.
+    pub fn learn(&mut self, task: &LearningTask) -> LearnedModel {
+        self.learner.learn(task).model
+    }
+
+    /// Learn a definition, returning the model together with run statistics.
+    pub fn learn_with_stats(&mut self, task: &LearningTask) -> LearnOutcome {
+        self.learner.learn(task)
+    }
+}
+
+/// Convenience constructors for the baseline systems.
+pub mod baselines {
+    use super::{Learner, LearnerConfig, Strategy};
+
+    /// Castor without MD information.
+    pub fn castor_no_md(config: LearnerConfig) -> Learner {
+        Learner::new(Strategy::CastorNoMd, config)
+    }
+
+    /// Castor with exact joins on MD attributes.
+    pub fn castor_exact(config: LearnerConfig) -> Learner {
+        Learner::new(Strategy::CastorExact, config)
+    }
+
+    /// Castor over a best-match-cleaned database.
+    pub fn castor_clean(config: LearnerConfig) -> Learner {
+        Learner::new(Strategy::CastorClean, config)
+    }
+
+    /// DLearn (MDs only) over the minimal CFD repair of the database.
+    pub fn dlearn_repaired(config: LearnerConfig) -> Learner {
+        Learner::new(Strategy::DLearnRepaired, config)
+    }
+}
+
+/// Helpers shared by unit tests across the crate.
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+    use crate::task::TargetSpec;
+    use dlearn_constraints::MatchingDependency;
+    use dlearn_relstore::{tuple, DatabaseBuilder, RelationBuilder, Tuple, Value};
+
+    /// A small two-source movie task: the target `hit(imdb_id)` holds for
+    /// movies that are comedies (IMDB side) *and* rated R (OMDB side); the
+    /// only way to reach the rating is a similarity join on titles.
+    pub fn two_source_task() -> LearningTask {
+        let mut builder = DatabaseBuilder::new()
+            .relation(
+                RelationBuilder::new("imdb_movies").int_attr("id").str_attr("title").build(),
+            )
+            .relation(
+                RelationBuilder::new("imdb_genres").int_attr("id").str_attr("genre").build(),
+            )
+            .relation(
+                RelationBuilder::new("omdb_movies").int_attr("oid").str_attr("title").build(),
+            )
+            .relation(
+                RelationBuilder::new("omdb_ratings").int_attr("oid").str_attr("rating").build(),
+            );
+        // Ten movies; even ids are comedies, and the first six are rated R on
+        // the OMDB side. Hits: comedies rated R = ids 0, 2, 4.
+        let titles = [
+            "Alpha Dawn", "Beta Harvest", "Crimson Tide Story", "Delta Grove", "Echo Valley",
+            "Foxtrot Nine", "Golden Hour", "Hidden Creek", "Iron Summit", "Jade Harbor",
+        ];
+        for (i, title) in titles.iter().enumerate() {
+            let id = i as i64;
+            builder = builder
+                .row("imdb_movies", vec![Value::int(id), Value::str(*title)])
+                .row(
+                    "imdb_genres",
+                    vec![
+                        Value::int(id),
+                        Value::str(if i % 2 == 0 { "comedy" } else { "thriller" }),
+                    ],
+                )
+                .row(
+                    "omdb_movies",
+                    vec![Value::int(100 + id), Value::str(format!("{title} ({})", 1990 + i))],
+                )
+                .row(
+                    "omdb_ratings",
+                    vec![Value::int(100 + id), Value::str(if i < 6 { "R" } else { "PG" })],
+                );
+        }
+        let db = builder.build();
+        let mut task = LearningTask::new(db, TargetSpec::with_attributes("hit", vec!["imdb_id"]));
+        task.mds.push(MatchingDependency::simple(
+            "titles",
+            "imdb_movies",
+            "title",
+            "omdb_movies",
+            "title",
+        ));
+        task.add_constant_attribute("imdb_genres", "genre");
+        task.add_constant_attribute("omdb_ratings", "rating");
+        for i in [0i64, 2, 4] {
+            task.positives.push(tuple(vec![Value::int(i)]));
+        }
+        for i in [1i64, 3, 5, 6, 7, 8, 9] {
+            task.negatives.push(tuple(vec![Value::int(i)]));
+        }
+        task
+    }
+
+    /// Extra examples (not in the training set) for prediction tests.
+    pub fn holdout() -> (Vec<Tuple>, Vec<Tuple>) {
+        (vec![], vec![])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_fixtures::two_source_task;
+    use super::*;
+
+    fn config() -> LearnerConfig {
+        LearnerConfig {
+            km: 2,
+            iterations: 2,
+            sample_size: 8,
+            min_positive_coverage: 2,
+            sample_positives: 4,
+            max_generalization_rounds: 3,
+            coverage_threads: 1,
+            ..LearnerConfig::default()
+        }
+    }
+
+    #[test]
+    fn dlearn_learns_a_definition_crossing_the_similarity_join() {
+        let task = two_source_task();
+        let mut learner = DLearn::new(config());
+        let model = learner.learn(&task);
+        assert!(!model.clauses().is_empty(), "no definition learned");
+        // The learned definition must separate training positives from
+        // negatives reasonably well.
+        let pos_hits =
+            task.positives.iter().filter(|e| model.predict(e)).count();
+        let neg_hits =
+            task.negatives.iter().filter(|e| model.predict(e)).count();
+        assert!(pos_hits >= 2, "positives covered: {pos_hits}\n{}", model.render());
+        assert!(neg_hits <= 2, "negatives covered: {neg_hits}\n{}", model.render());
+    }
+
+    #[test]
+    fn castor_no_md_cannot_reach_the_other_source() {
+        let task = two_source_task();
+        let outcome = baselines::castor_no_md(config()).learn(&task);
+        // Without MDs the rating is unreachable, so any learned clause can
+        // only use IMDB-side information; it must not mention OMDB relations.
+        for clause in outcome.model.clauses() {
+            assert!(
+                clause.body.iter().all(|l| {
+                    l.relation_name().map(|n| !n.starts_with("omdb")).unwrap_or(true)
+                }),
+                "clause reaches OMDB without an MD: {clause}"
+            );
+        }
+    }
+
+    #[test]
+    fn learn_outcome_reports_runtime_and_bottom_clause_counts() {
+        let task = two_source_task();
+        let outcome = Learner::new(Strategy::DLearn, config()).learn(&task);
+        assert!(outcome.seconds >= 0.0);
+        assert!(outcome.bottom_clauses_built >= task.example_count());
+    }
+
+    #[test]
+    fn strategies_expose_paper_names() {
+        assert_eq!(Strategy::DLearn.name(), "DLearn");
+        assert_eq!(Strategy::CastorNoMd.name(), "Castor-NoMD");
+        assert_eq!(Strategy::all().len(), 5);
+    }
+
+    #[test]
+    fn augment_with_target_adds_examples_once() {
+        let task = two_source_task();
+        let db = augment_with_target(&task);
+        let rel = db.require_relation("hit").unwrap();
+        assert_eq!(rel.len(), task.example_count());
+        // Augmenting a database that already has the relation is a no-op.
+        let mut task2 = task.clone();
+        task2.database = db;
+        let db2 = augment_with_target(&task2);
+        assert_eq!(db2.require_relation("hit").unwrap().len(), task.example_count());
+    }
+
+    #[test]
+    fn castor_clean_produces_a_database_without_the_target_relation() {
+        let task = two_source_task();
+        let outcome = baselines::castor_clean(config()).learn(&task);
+        // The model must still be usable for prediction.
+        let _ = outcome.model.predict(&task.positives[0]);
+    }
+}

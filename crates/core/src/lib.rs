@@ -1,0 +1,60 @@
+//! # dlearn-core — learning over dirty data without cleaning
+//!
+//! The primary contribution of the paper: a bottom-up relational learner
+//! (in the ProGolem/Castor family) that learns Horn-clause definitions of a
+//! target relation **directly over a dirty, heterogeneous database**, using
+//! matching dependencies and conditional functional dependencies to encode
+//! the space of possible repairs inside the learned clauses instead of
+//! cleaning the data first.
+//!
+//! The pipeline is:
+//!
+//! 1. [`bottom::BottomClauseBuilder`] builds the most specific clause
+//!    covering a training example, following exact and similarity joins and
+//!    attaching MD/CFD repair literals (Section 4.1).
+//! 2. [`generalize::generalize`] drops blocking literals so the clause also
+//!    covers further positive examples (Section 4.2).
+//! 3. [`coverage::CoverageEngine`] scores candidate clauses with
+//!    θ-subsumption-based coverage tests under the repair semantics of
+//!    Definitions 3.4 / 3.6 (Section 4.3).
+//! 4. [`learner::Learner`] wraps everything in the covering loop
+//!    (Algorithm 1) and implements the paper's baselines (Castor-NoMD,
+//!    Castor-Exact, Castor-Clean, DLearn-Repaired) as strategies.
+//!
+//! The main entry point is [`DLearn`]:
+//!
+//! ```
+//! use dlearn_core::{DLearn, LearnerConfig, LearningTask, TargetSpec};
+//! use dlearn_relstore::{tuple, DatabaseBuilder, RelationBuilder, Value};
+//!
+//! let db = DatabaseBuilder::new()
+//!     .relation(RelationBuilder::new("movies").int_attr("id").str_attr("title").build())
+//!     .relation(RelationBuilder::new("genres").int_attr("id").str_attr("genre").build())
+//!     .row("movies", vec![Value::int(1), Value::str("Superbad")])
+//!     .row("genres", vec![Value::int(1), Value::str("comedy")])
+//!     .build();
+//! let mut task = LearningTask::new(db, TargetSpec::new("hit", 1));
+//! task.add_constant_attribute("genres", "genre");
+//! task.positives.push(tuple(vec![Value::int(1)]));
+//! let mut learner = DLearn::new(LearnerConfig::fast());
+//! let model = learner.learn(&task);
+//! assert!(model.clauses().len() <= 4);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bottom;
+pub mod config;
+pub mod coverage;
+pub mod generalize;
+pub mod learner;
+pub mod model;
+pub mod task;
+
+pub use bottom::BottomClauseBuilder;
+pub use config::LearnerConfig;
+pub use coverage::{CoverageCounts, CoverageEngine, GroundExample, PreparedClause};
+pub use generalize::generalize;
+pub use learner::{augment_with_target, baselines, DLearn, LearnOutcome, Learner, Strategy};
+pub use model::{ClauseStats, LearnedModel};
+pub use task::{LearningTask, TargetSpec};

@@ -1,0 +1,138 @@
+//! Learned models: the definition plus everything needed to apply it to new
+//! examples.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dlearn_constraints::MdCatalog;
+use dlearn_logic::{Clause, Definition};
+use dlearn_relstore::Tuple;
+
+use crate::bottom::BottomClauseBuilder;
+use crate::config::LearnerConfig;
+use crate::coverage::{GroundExample, PreparedClause};
+use crate::task::LearningTask;
+
+/// Per-clause training coverage statistics, mirroring the annotations the
+/// paper prints next to each learned clause ("positive covered=…, negative
+/// covered=…").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClauseStats {
+    /// Positive training examples covered by the clause.
+    pub positives_covered: usize,
+    /// Negative training examples covered by the clause.
+    pub negatives_covered: usize,
+}
+
+/// A learned Horn definition bound to the (possibly preprocessed) database
+/// and constraint catalogs it was trained over, so it can be applied to new
+/// examples.
+pub struct LearnedModel {
+    definition: Definition,
+    stats: Vec<ClauseStats>,
+    task: LearningTask,
+    catalog: MdCatalog,
+    config: LearnerConfig,
+    prepared: Vec<PreparedClause>,
+}
+
+impl LearnedModel {
+    /// Assemble a model (used by the learner).
+    pub(crate) fn new(
+        definition: Definition,
+        stats: Vec<ClauseStats>,
+        task: LearningTask,
+        catalog: MdCatalog,
+        config: LearnerConfig,
+    ) -> Self {
+        let prepared = definition
+            .clauses()
+            .iter()
+            .map(|c| PreparedClause::prepare(c.clone(), &config))
+            .collect();
+        LearnedModel { definition, stats, task, catalog, config, prepared }
+    }
+
+    /// The learned Horn definition.
+    pub fn definition(&self) -> &Definition {
+        &self.definition
+    }
+
+    /// The learned clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        self.definition.clauses()
+    }
+
+    /// Per-clause coverage statistics over the training data.
+    pub fn stats(&self) -> &[ClauseStats] {
+        &self.stats
+    }
+
+    /// The configuration the model was trained with.
+    pub fn config(&self) -> &LearnerConfig {
+        &self.config
+    }
+
+    /// Predict whether a (new) example tuple belongs to the target relation:
+    /// the definition covers the example iff at least one clause covers it
+    /// (Section 2.1), using the positive-coverage semantics of Definition 3.4
+    /// over the example's ground bottom clause.
+    pub fn predict(&self, example: &Tuple) -> bool {
+        if self.definition.is_empty() {
+            return false;
+        }
+        let builder = BottomClauseBuilder::new(&self.task, &self.catalog, &self.config);
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xdead_beef);
+        let ground_clause = builder.build(example, &mut rng);
+        let ground = GroundExample::from_clause(example.clone(), &ground_clause, &self.config);
+        self.prepared.iter().any(|prepared| self.covers(prepared, &ground))
+    }
+
+    /// Predict a batch of examples.
+    pub fn predict_all(&self, examples: &[Tuple]) -> Vec<bool> {
+        examples.iter().map(|e| self.predict(e)).collect()
+    }
+
+    fn covers(&self, prepared: &PreparedClause, ground: &GroundExample) -> bool {
+        use dlearn_logic::subsumes;
+        if subsumes(&prepared.clause, &ground.ground, &self.config.subsumption).is_some() {
+            return true;
+        }
+        if prepared.repaired.is_empty() {
+            return false;
+        }
+        prepared.repaired.iter().all(|cr| {
+            ground
+                .repaired
+                .iter()
+                .any(|gr| subsumes(cr, gr, &self.config.subsumption).is_some())
+        })
+    }
+
+    /// Render the definition with its per-clause coverage annotations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, clause) in self.definition.clauses().iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&clause.to_string());
+            if let Some(s) = self.stats.get(i) {
+                out.push_str(&format!(
+                    "\n  (positive covered={}, negative covered={})",
+                    s.positives_covered, s.negatives_covered
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for LearnedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LearnedModel")
+            .field("clauses", &self.definition.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

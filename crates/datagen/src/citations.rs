@@ -1,0 +1,245 @@
+//! Synthetic DBLP + Google Scholar citation-augmentation dataset.
+//!
+//! Emulates the paper's DBLP+Google-Scholar workload: the Scholar records are
+//! incomplete (no publication year), and the target relation
+//! `gsPaperYear(gsId, year)` pairs a Scholar id with the publication year
+//! recorded in DBLP for the same paper. Titles and venues are spelled
+//! differently across the sources, so the join requires the two MDs (titles
+//! and venues).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use dlearn_constraints::{Cfd, MatchingDependency};
+use dlearn_core::{LearningTask, TargetSpec};
+use dlearn_relstore::{tuple, Database, DatabaseBuilder, RelationBuilder, Value};
+
+use crate::dataset::Dataset;
+use crate::dirt::{chance, drop_last_token, typo};
+use crate::violations::inject_cfd_violations;
+use crate::vocab;
+
+/// Configuration of the citation dataset generator.
+#[derive(Debug, Clone)]
+pub struct CitationConfig {
+    /// Number of papers present in both sources.
+    pub n_papers: usize,
+    /// Number of positive training examples.
+    pub n_positive: usize,
+    /// Number of negative training examples.
+    pub n_negative: usize,
+    /// Fraction of Scholar titles spelled exactly like the DBLP title.
+    pub exact_title_fraction: f64,
+    /// CFD-violation injection rate `p`.
+    pub cfd_violation_rate: f64,
+}
+
+impl CitationConfig {
+    /// A tiny instance for unit tests.
+    pub fn tiny() -> Self {
+        CitationConfig {
+            n_papers: 50,
+            n_positive: 10,
+            n_negative: 20,
+            exact_title_fraction: 0.1,
+            cfd_violation_rate: 0.0,
+        }
+    }
+
+    /// A small instance for integration tests and benchmarks.
+    pub fn small() -> Self {
+        CitationConfig { n_papers: 150, n_positive: 25, n_negative: 50, ..CitationConfig::tiny() }
+    }
+
+    /// The scale used by the experiment runner (the paper uses 500/1000
+    /// examples over 15K/328K tuples).
+    pub fn paper() -> Self {
+        CitationConfig { n_papers: 400, n_positive: 60, n_negative: 120, ..CitationConfig::tiny() }
+    }
+
+    /// Set the CFD-violation rate `p`.
+    pub fn with_violation_rate(mut self, p: f64) -> Self {
+        self.cfd_violation_rate = p;
+        self
+    }
+}
+
+/// Generate the citation dataset.
+pub fn generate_citation_dataset(config: &CitationConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut builder = DatabaseBuilder::new()
+        .relation(
+            RelationBuilder::new("dblp_papers")
+                .int_attr("did")
+                .str_attr("title")
+                .str_attr("venue")
+                .int_attr("year")
+                .build(),
+        )
+        .relation(RelationBuilder::new("dblp_authors").int_attr("did").str_attr("author").build())
+        .relation(
+            RelationBuilder::new("scholar_papers")
+                .int_attr("gsid")
+                .str_attr("title")
+                .str_attr("venue")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("scholar_authors").int_attr("gsid").str_attr("author").build(),
+        );
+
+    let mut paper_years: Vec<(i64, i64)> = Vec::new(); // (gsid, true year)
+    let mut used_titles = std::collections::HashSet::new();
+
+    for i in 0..config.n_papers {
+        let did = i as i64;
+        let gsid = 900_000 + did;
+        let mut title = vocab::paper_title(&mut rng);
+        while !used_titles.insert(title.clone()) {
+            title = format!("{} ({})", vocab::paper_title(&mut rng), i);
+            if used_titles.insert(title.clone()) {
+                break;
+            }
+        }
+        let venue = vocab::pick(&mut rng, vocab::VENUES).to_string();
+        let year = 1995 + rng.gen_range(0..25) as i64;
+        let author = vocab::person_name(&mut rng);
+
+        let scholar_title = if chance(&mut rng, config.exact_title_fraction) {
+            title.clone()
+        } else {
+            match rng.gen_range(0..3) {
+                0 => format!("{title}."),
+                1 => drop_last_token(&title),
+                _ => typo(&title, &mut rng),
+            }
+        };
+        let scholar_venue = if chance(&mut rng, 0.5) {
+            venue.clone()
+        } else {
+            format!("Proc. of {venue}")
+        };
+
+        builder = builder
+            .row(
+                "dblp_papers",
+                vec![Value::int(did), Value::str(&title), Value::str(&venue), Value::int(year)],
+            )
+            .row("dblp_authors", vec![Value::int(did), Value::str(&author)])
+            .row(
+                "scholar_papers",
+                vec![Value::int(gsid), Value::str(&scholar_title), Value::str(&scholar_venue)],
+            )
+            .row("scholar_authors", vec![Value::int(gsid), Value::str(&author)]);
+
+        paper_years.push((gsid, year));
+    }
+
+    let mut database = builder.build();
+
+    let mut task = LearningTask::new(
+        Database::default(),
+        TargetSpec::with_attributes("gsPaperYear", vec!["gsId", "year"]),
+    );
+    task.mds.push(MatchingDependency::simple(
+        "paper_titles",
+        "dblp_papers",
+        "title",
+        "scholar_papers",
+        "title",
+    ));
+    task.mds.push(MatchingDependency::simple(
+        "venues",
+        "dblp_papers",
+        "venue",
+        "scholar_papers",
+        "venue",
+    ));
+    task.cfds = vec![
+        Cfd::fd("scholar_title_fd", "scholar_papers", vec!["gsid"], "title"),
+        Cfd::fd("dblp_year_fd", "dblp_papers", vec!["did"], "year"),
+    ];
+    if config.cfd_violation_rate > 0.0 {
+        inject_cfd_violations(&mut database, &task.cfds, config.cfd_violation_rate, &mut rng);
+    }
+    task.database = database;
+
+    for rel in ["dblp_papers", "dblp_authors"] {
+        task.add_source(rel, "dblp");
+    }
+    for rel in ["scholar_papers", "scholar_authors"] {
+        task.add_source(rel, "scholar");
+    }
+    task.target_source = Some("scholar".to_string());
+
+    // Positive examples pair a Scholar id with its true DBLP year; negatives
+    // pair it with a wrong year.
+    paper_years.shuffle(&mut rng);
+    let positives: Vec<(i64, i64)> =
+        paper_years.iter().take(config.n_positive).cloned().collect();
+    let negatives: Vec<(i64, i64)> = paper_years
+        .iter()
+        .cycle()
+        .skip(config.n_positive)
+        .take(config.n_negative)
+        .map(|&(gsid, year)| {
+            let offset = rng.gen_range(1..6) as i64;
+            (gsid, year + offset)
+        })
+        .collect();
+    task.positives =
+        positives.iter().map(|&(g, y)| tuple(vec![Value::int(g), Value::int(y)])).collect();
+    task.negatives =
+        negatives.iter().map(|&(g, y)| tuple(vec![Value::int(g), Value::int(y)])).collect();
+
+    Dataset::new("DBLP + Google Scholar", task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_task_is_valid_with_two_mds() {
+        let ds = generate_citation_dataset(&CitationConfig::tiny(), 2);
+        assert!(ds.task.validate().is_ok());
+        assert_eq!(ds.task.mds.len(), 2, "paper uses two MDs (titles, venues)");
+        assert_eq!(ds.task.cfds.len(), 2, "paper reports 2 CFDs for DBLP+Scholar");
+        assert_eq!(ds.task.target.arity(), 2);
+    }
+
+    #[test]
+    fn positive_years_match_dblp_and_negative_years_do_not() {
+        let ds = generate_citation_dataset(&CitationConfig::tiny(), 2);
+        let db = &ds.task.database;
+        let year_of = |gsid: &Value| -> i64 {
+            // The DBLP paper with did = gsid - 900000.
+            let did = Value::int(gsid.as_int().unwrap() - 900_000);
+            db.select_eq("dblp_papers", "did", &did).unwrap()[0].value(3).unwrap().as_int().unwrap()
+        };
+        for e in &ds.task.positives {
+            assert_eq!(e.value(1).unwrap().as_int().unwrap(), year_of(e.value(0).unwrap()));
+        }
+        for e in &ds.task.negatives {
+            assert_ne!(e.value(1).unwrap().as_int().unwrap(), year_of(e.value(0).unwrap()));
+        }
+    }
+
+    #[test]
+    fn scholar_titles_are_usually_dirty() {
+        let ds = generate_citation_dataset(&CitationConfig::tiny(), 8);
+        let db = &ds.task.database;
+        let dblp = db.relation("dblp_papers").unwrap();
+        let scholar = db.relation("scholar_papers").unwrap();
+        let mut exact = 0;
+        for i in 0..dblp.len() {
+            if dblp.tuple(i).unwrap().value(1) == scholar.tuple(i).unwrap().value(1) {
+                exact += 1;
+            }
+        }
+        assert!(exact * 3 < dblp.len(), "too many exact titles: {exact}/{}", dblp.len());
+    }
+}

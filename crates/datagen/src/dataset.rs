@@ -1,0 +1,153 @@
+//! Datasets: a learning task plus cross-validation splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dlearn_core::LearningTask;
+use dlearn_relstore::Tuple;
+
+/// A generated dataset: a named learning task (database, constraints and
+/// examples).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name used in reports (e.g. "IMDB + OMDB (three MDs)").
+    pub name: String,
+    /// The learning task.
+    pub task: LearningTask,
+}
+
+/// One fold of a cross-validation split.
+#[derive(Debug, Clone)]
+pub struct Fold {
+    /// Training task (same database and constraints, train examples only).
+    pub train: LearningTask,
+    /// Held-out positive examples.
+    pub test_positives: Vec<Tuple>,
+    /// Held-out negative examples.
+    pub test_negatives: Vec<Tuple>,
+}
+
+impl Dataset {
+    /// Create a dataset.
+    pub fn new(name: impl Into<String>, task: LearningTask) -> Self {
+        Dataset { name: name.into(), task }
+    }
+
+    /// Produce a `k`-fold cross-validation split of the examples (the paper
+    /// uses 5-fold CV). Examples are shuffled deterministically by `seed`.
+    pub fn cross_validation_folds(&self, k: usize, seed: u64) -> Vec<Fold> {
+        assert!(k >= 2, "cross-validation needs at least two folds");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut positives = self.task.positives.clone();
+        let mut negatives = self.task.negatives.clone();
+        positives.shuffle(&mut rng);
+        negatives.shuffle(&mut rng);
+
+        let pos_folds = partition(&positives, k);
+        let neg_folds = partition(&negatives, k);
+
+        (0..k)
+            .map(|i| {
+                let test_positives = pos_folds[i].clone();
+                let test_negatives = neg_folds[i].clone();
+                let train_pos: Vec<Tuple> = pos_folds
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, f)| f.clone())
+                    .collect();
+                let train_neg: Vec<Tuple> = neg_folds
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, f)| f.clone())
+                    .collect();
+                Fold {
+                    train: self.task.with_examples(train_pos, train_neg),
+                    test_positives,
+                    test_negatives,
+                }
+            })
+            .collect()
+    }
+
+    /// A single train/test split keeping `train_fraction` of the examples for
+    /// training.
+    pub fn train_test_split(&self, train_fraction: f64, seed: u64) -> Fold {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut positives = self.task.positives.clone();
+        let mut negatives = self.task.negatives.clone();
+        positives.shuffle(&mut rng);
+        negatives.shuffle(&mut rng);
+        let cut_pos = ((positives.len() as f64) * train_fraction).round() as usize;
+        let cut_neg = ((negatives.len() as f64) * train_fraction).round() as usize;
+        let (train_pos, test_pos) = positives.split_at(cut_pos.min(positives.len()));
+        let (train_neg, test_neg) = negatives.split_at(cut_neg.min(negatives.len()));
+        Fold {
+            train: self.task.with_examples(train_pos.to_vec(), train_neg.to_vec()),
+            test_positives: test_pos.to_vec(),
+            test_negatives: test_neg.to_vec(),
+        }
+    }
+}
+
+fn partition(items: &[Tuple], k: usize) -> Vec<Vec<Tuple>> {
+    let mut folds: Vec<Vec<Tuple>> = vec![Vec::new(); k];
+    for (i, item) in items.iter().enumerate() {
+        folds[i % k].push(item.clone());
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlearn_core::TargetSpec;
+    use dlearn_relstore::{tuple, Database, Value};
+
+    fn dataset(n_pos: usize, n_neg: usize) -> Dataset {
+        let mut task = LearningTask::new(Database::new(), TargetSpec::new("t", 1));
+        for i in 0..n_pos {
+            task.positives.push(tuple(vec![Value::int(i as i64)]));
+        }
+        for i in 0..n_neg {
+            task.negatives.push(tuple(vec![Value::int(1000 + i as i64)]));
+        }
+        Dataset::new("toy", task)
+    }
+
+    #[test]
+    fn folds_partition_all_examples_exactly_once() {
+        let ds = dataset(23, 41);
+        let folds = ds.cross_validation_folds(5, 3);
+        assert_eq!(folds.len(), 5);
+        let total_test_pos: usize = folds.iter().map(|f| f.test_positives.len()).sum();
+        let total_test_neg: usize = folds.iter().map(|f| f.test_negatives.len()).sum();
+        assert_eq!(total_test_pos, 23);
+        assert_eq!(total_test_neg, 41);
+        for f in &folds {
+            assert_eq!(f.train.positives.len() + f.test_positives.len(), 23);
+            assert_eq!(f.train.negatives.len() + f.test_negatives.len(), 41);
+            // No test example appears in the training set.
+            for e in &f.test_positives {
+                assert!(!f.train.positives.contains(e));
+            }
+        }
+    }
+
+    #[test]
+    fn train_test_split_respects_the_fraction() {
+        let ds = dataset(20, 40);
+        let fold = ds.train_test_split(0.75, 1);
+        assert_eq!(fold.train.positives.len(), 15);
+        assert_eq!(fold.test_positives.len(), 5);
+        assert_eq!(fold.train.negatives.len(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn single_fold_cv_is_rejected() {
+        dataset(4, 4).cross_validation_folds(1, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Value-level dirt: the representational heterogeneity between two data
+//! sources describing the same entities.
+//!
+//! These perturbations emulate the differences the paper observes between
+//! IMDB/OMDB titles, Walmart/Amazon product names and DBLP/Google-Scholar
+//! paper titles: decorations (years, edition markers), dropped or reordered
+//! tokens, abbreviations and typos — differences that defeat exact joins but
+//! are recoverable by the similarity operator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Flip a biased coin.
+pub fn chance(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+/// Decorate a title as the "other" source would spell it, e.g.
+/// `"Crimson Harbor"` → `"Crimson Harbor (1987)"` or `"Crimson Harbor - 1987"`.
+pub fn decorate_title(title: &str, year: i64, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..5) {
+        0 => format!("{title} ({year})"),
+        1 => format!("{title} - {year}"),
+        2 => format!("{title}: Special Edition"),
+        3 => drop_last_token(title),
+        _ => format!("{} [{year}]", abbreviate_first_token(title)),
+    }
+}
+
+/// Rewrite a person name the way a second source might record it, e.g.
+/// `"James Chen"` → `"J. Chen"` or `"Chen, James"`.
+pub fn perturb_name(name: &str, rng: &mut StdRng) -> String {
+    let parts: Vec<&str> = name.split_whitespace().collect();
+    if parts.len() < 2 {
+        return name.to_string();
+    }
+    let (first, last) = (parts[0], parts[parts.len() - 1]);
+    match rng.gen_range(0..3) {
+        0 => format!("{}. {last}", &first[..1]),
+        1 => format!("{last}, {first}"),
+        _ => typo(name, rng),
+    }
+}
+
+/// Introduce a single-character typo (swap or drop), keeping the string
+/// non-empty.
+pub fn typo(s: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 4 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(1..chars.len() - 1);
+    let mut out = chars.clone();
+    if rng.gen_bool(0.5) {
+        out.swap(i, i - 1);
+    } else {
+        out.remove(i);
+    }
+    out.into_iter().collect()
+}
+
+/// Drop the last whitespace-separated token (if more than one).
+pub fn drop_last_token(s: &str) -> String {
+    let parts: Vec<&str> = s.split_whitespace().collect();
+    if parts.len() <= 1 {
+        return s.to_string();
+    }
+    parts[..parts.len() - 1].join(" ")
+}
+
+/// Abbreviate the first token to its initial plus a period.
+pub fn abbreviate_first_token(s: &str) -> String {
+    let mut parts: Vec<String> = s.split_whitespace().map(|t| t.to_string()).collect();
+    if let Some(first) = parts.first_mut() {
+        if first.len() > 2 {
+            *first = format!("{}.", &first[..1]);
+        }
+    }
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlearn_similarity::SimilarityOperator;
+    use rand::SeedableRng;
+
+    #[test]
+    fn decorated_titles_do_not_match_exactly_but_stay_similar() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let op = SimilarityOperator::default();
+        let mut similar = 0;
+        let mut exact = 0;
+        for _ in 0..40 {
+            let title = "Crimson Harbor Voyage";
+            let dirty = decorate_title(title, 1987, &mut rng);
+            if dirty == title {
+                exact += 1;
+            }
+            if op.similar(title, &dirty) {
+                similar += 1;
+            }
+        }
+        assert!(exact <= 4, "too many exact matches: {exact}");
+        assert!(similar >= 30, "similarity should usually survive decoration: {similar}");
+    }
+
+    #[test]
+    fn name_perturbations_stay_recognizable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let op = SimilarityOperator::with_threshold(0.5);
+        for _ in 0..20 {
+            let p = perturb_name("James Chen", &mut rng);
+            assert!(!p.is_empty());
+            assert!(op.score("James Chen", &p) > 0.4, "perturbed too far: {p}");
+        }
+        assert_eq!(perturb_name("Cher", &mut rng), "Cher", "single tokens are left alone");
+    }
+
+    #[test]
+    fn typo_changes_long_strings_only_slightly() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = typo("Docking Station", &mut rng);
+        assert!(t.len() + 1 >= "Docking Station".len());
+        assert_eq!(typo("ab", &mut rng), "ab");
+    }
+
+    #[test]
+    fn token_helpers_handle_single_tokens() {
+        assert_eq!(drop_last_token("Single"), "Single");
+        assert_eq!(drop_last_token("Two Tokens"), "Two");
+        assert_eq!(abbreviate_first_token("James Chen"), "J. Chen");
+        assert_eq!(abbreviate_first_token("Jo Chen"), "Jo Chen");
+    }
+
+    #[test]
+    fn chance_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(6);
+        let mut b = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            assert_eq!(chance(&mut a, 0.3), chance(&mut b, 0.3));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Synthetic Walmart + Amazon product-integration dataset.
+//!
+//! Emulates the paper's Walmart+Amazon workload: the target relation
+//! `upcOfComputersAccessories(upc)` holds UPCs of products in the
+//! "Computers Accessories" category. The UPC lives on the Walmart side, the
+//! category only on the Amazon side, and product names differ across sources.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use dlearn_constraints::{Cfd, MatchingDependency};
+use dlearn_core::{LearningTask, TargetSpec};
+use dlearn_relstore::{tuple, Database, DatabaseBuilder, RelationBuilder, Value};
+
+use crate::dataset::Dataset;
+use crate::dirt::{chance, drop_last_token, typo};
+use crate::violations::inject_cfd_violations;
+use crate::vocab;
+
+/// Configuration of the product dataset generator.
+#[derive(Debug, Clone)]
+pub struct ProductConfig {
+    /// Number of products present in both sources.
+    pub n_products: usize,
+    /// Number of positive training examples.
+    pub n_positive: usize,
+    /// Number of negative training examples.
+    pub n_negative: usize,
+    /// Fraction of Amazon titles spelled exactly like the Walmart title.
+    pub exact_title_fraction: f64,
+    /// CFD-violation injection rate `p`.
+    pub cfd_violation_rate: f64,
+}
+
+impl ProductConfig {
+    /// A tiny instance for unit tests.
+    pub fn tiny() -> Self {
+        ProductConfig {
+            n_products: 50,
+            n_positive: 8,
+            n_negative: 16,
+            exact_title_fraction: 0.1,
+            cfd_violation_rate: 0.0,
+        }
+    }
+
+    /// A small instance for integration tests and benchmarks.
+    pub fn small() -> Self {
+        ProductConfig { n_products: 150, n_positive: 20, n_negative: 40, ..ProductConfig::tiny() }
+    }
+
+    /// The scale used by the experiment runner (the paper uses 77/154
+    /// examples over 19K/216K tuples).
+    pub fn paper() -> Self {
+        ProductConfig { n_products: 350, n_positive: 50, n_negative: 100, ..ProductConfig::tiny() }
+    }
+
+    /// Set the CFD-violation rate `p`.
+    pub fn with_violation_rate(mut self, p: f64) -> Self {
+        self.cfd_violation_rate = p;
+        self
+    }
+}
+
+/// Generate the product dataset.
+pub fn generate_product_dataset(config: &ProductConfig, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let categories =
+        ["Computers Accessories", "Electronics - General", "Home & Kitchen", "Sports & Outdoors"];
+    let groups = ["Electronics - General", "Home", "Sports"];
+
+    let mut builder = DatabaseBuilder::new()
+        .relation(RelationBuilder::new("walmart_ids").int_attr("pid").int_attr("upc").build())
+        .relation(RelationBuilder::new("walmart_title").int_attr("pid").str_attr("title").build())
+        .relation(RelationBuilder::new("walmart_brand").int_attr("pid").str_attr("brand").build())
+        .relation(
+            RelationBuilder::new("walmart_groupname").int_attr("pid").str_attr("group").build(),
+        )
+        .relation(RelationBuilder::new("amazon_title").int_attr("aid").str_attr("title").build())
+        .relation(
+            RelationBuilder::new("amazon_category").int_attr("aid").str_attr("category").build(),
+        )
+        .relation(
+            RelationBuilder::new("amazon_listprice").int_attr("aid").int_attr("price").build(),
+        )
+        .relation(
+            RelationBuilder::new("amazon_itemweight").int_attr("aid").int_attr("weight").build(),
+        );
+
+    let mut positive_upcs: Vec<i64> = Vec::new();
+    let mut negative_upcs: Vec<i64> = Vec::new();
+    let mut used_titles = std::collections::HashSet::new();
+
+    for i in 0..config.n_products {
+        let pid = i as i64;
+        let aid = 500_000 + pid;
+        let upc = 880_000_000 + pid * 13;
+        let mut title = vocab::product_title(&mut rng);
+        while !used_titles.insert(title.clone()) {
+            title = format!("{} {}", vocab::product_title(&mut rng), i);
+            if used_titles.insert(title.clone()) {
+                break;
+            }
+        }
+        let positive = chance(&mut rng, 0.35);
+        let category = if positive {
+            "Computers Accessories"
+        } else {
+            loop {
+                let c = vocab::pick(&mut rng, &categories);
+                if c != "Computers Accessories" {
+                    break c;
+                }
+            }
+        };
+        let brand = title.split_whitespace().next().unwrap_or("Generic").to_string();
+        let group = vocab::pick(&mut rng, &groups);
+        let price = rng.gen_range(5..500) as i64;
+        let weight = rng.gen_range(1..40) as i64;
+
+        let amazon_title = if chance(&mut rng, config.exact_title_fraction) {
+            title.clone()
+        } else {
+            match rng.gen_range(0..3) {
+                0 => format!("{title} ({brand})"),
+                1 => drop_last_token(&title),
+                _ => typo(&title, &mut rng),
+            }
+        };
+
+        builder = builder
+            .row("walmart_ids", vec![Value::int(pid), Value::int(upc)])
+            .row("walmart_title", vec![Value::int(pid), Value::str(&title)])
+            .row("walmart_brand", vec![Value::int(pid), Value::str(&brand)])
+            .row("walmart_groupname", vec![Value::int(pid), Value::str(group)])
+            .row("amazon_title", vec![Value::int(aid), Value::str(&amazon_title)])
+            .row("amazon_category", vec![Value::int(aid), Value::str(category)])
+            .row("amazon_listprice", vec![Value::int(aid), Value::int(price)])
+            .row("amazon_itemweight", vec![Value::int(aid), Value::int(weight)]);
+
+        if positive {
+            positive_upcs.push(upc);
+        } else {
+            negative_upcs.push(upc);
+        }
+    }
+
+    let mut database = builder.build();
+
+    let mut task = LearningTask::new(
+        Database::default(),
+        TargetSpec::with_attributes("upcOfComputersAccessories", vec!["upc"]),
+    );
+    task.mds.push(MatchingDependency::simple(
+        "product_titles",
+        "walmart_title",
+        "title",
+        "amazon_title",
+        "title",
+    ));
+    task.cfds = vec![
+        Cfd::fd("walmart_title_fd", "walmart_title", vec!["pid"], "title"),
+        Cfd::fd("walmart_upc_fd", "walmart_ids", vec!["pid"], "upc"),
+        Cfd::fd("amazon_price_fd", "amazon_listprice", vec!["aid"], "price"),
+        Cfd::fd("amazon_category_fd", "amazon_category", vec!["aid"], "category"),
+        Cfd::fd("amazon_weight_fd", "amazon_itemweight", vec!["aid"], "weight"),
+        Cfd::fd("walmart_group_fd", "walmart_groupname", vec!["pid"], "group"),
+    ];
+    if config.cfd_violation_rate > 0.0 {
+        inject_cfd_violations(&mut database, &task.cfds, config.cfd_violation_rate, &mut rng);
+    }
+    task.database = database;
+
+    for (rel, attr) in [
+        ("amazon_category", "category"),
+        ("walmart_groupname", "group"),
+        ("walmart_brand", "brand"),
+    ] {
+        task.add_constant_attribute(rel, attr);
+    }
+    for rel in ["walmart_ids", "walmart_title", "walmart_brand", "walmart_groupname"] {
+        task.add_source(rel, "walmart");
+    }
+    for rel in ["amazon_title", "amazon_category", "amazon_listprice", "amazon_itemweight"] {
+        task.add_source(rel, "amazon");
+    }
+    task.target_source = Some("walmart".to_string());
+
+    positive_upcs.shuffle(&mut rng);
+    positive_upcs.truncate(config.n_positive);
+    negative_upcs.shuffle(&mut rng);
+    negative_upcs.truncate(config.n_negative);
+    task.positives = positive_upcs.iter().map(|&u| tuple(vec![Value::int(u)])).collect();
+    task.negatives = negative_upcs.iter().map(|&u| tuple(vec![Value::int(u)])).collect();
+
+    Dataset::new("Walmart + Amazon", task)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_task_is_valid() {
+        let ds = generate_product_dataset(&ProductConfig::tiny(), 5);
+        assert!(ds.task.validate().is_ok());
+        assert_eq!(ds.task.mds.len(), 1);
+        assert_eq!(ds.task.cfds.len(), 6, "paper reports 6 CFDs for Walmart+Amazon");
+        assert!(!ds.task.positives.is_empty());
+    }
+
+    #[test]
+    fn positive_upcs_belong_to_computers_accessories_products() {
+        let ds = generate_product_dataset(&ProductConfig::tiny(), 5);
+        let db = &ds.task.database;
+        for e in ds.task.positives.iter().take(4) {
+            let upc = e.value(0).unwrap();
+            let ids = db.select_eq("walmart_ids", "upc", upc).unwrap();
+            assert_eq!(ids.len(), 1);
+            let pid = ids[0].value(0).unwrap().as_int().unwrap();
+            // The matching Amazon product (same index offset) is in the
+            // target category.
+            let aid = Value::int(500_000 + pid);
+            let cats = db.select_eq("amazon_category", "aid", &aid).unwrap();
+            assert!(cats
+                .iter()
+                .any(|t| t.value(1) == Some(&Value::str("Computers Accessories"))));
+        }
+    }
+
+    #[test]
+    fn violation_rate_increases_tuple_count() {
+        let clean = generate_product_dataset(&ProductConfig::tiny(), 1);
+        let dirty =
+            generate_product_dataset(&ProductConfig::tiny().with_violation_rate(0.2), 1);
+        assert!(dirty.task.database.total_tuples() > clean.task.database.total_tuples());
+    }
+}

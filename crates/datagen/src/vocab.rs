@@ -1,0 +1,129 @@
+//! Synthetic vocabularies used to generate realistic entity names.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Adjective-like words used in movie and product titles.
+pub const ADJECTIVES: &[&str] = &[
+    "Crimson", "Silent", "Golden", "Hidden", "Broken", "Electric", "Midnight", "Lonely",
+    "Savage", "Velvet", "Frozen", "Burning", "Distant", "Gentle", "Hollow", "Iron",
+    "Jade", "Lunar", "Mystic", "Northern", "Obsidian", "Pale", "Quiet", "Restless",
+    "Scarlet", "Twisted", "Umber", "Violet", "Wandering", "Young",
+];
+
+/// Noun-like words used in movie and product titles.
+pub const NOUNS: &[&str] = &[
+    "Harbor", "Summit", "Valley", "Garden", "Empire", "Shadow", "River", "Canyon",
+    "Horizon", "Meadow", "Fortress", "Lantern", "Mirror", "Orchard", "Passage", "Quarry",
+    "Reef", "Sanctuary", "Threshold", "Voyage", "Whisper", "Archive", "Beacon", "Cascade",
+    "Dominion", "Echo", "Frontier", "Glacier", "Harvest", "Island",
+];
+
+/// First names for synthetic people (cast, writers, authors).
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Maria", "Wei", "Aisha", "Carlos", "Yuki", "Nadia", "Tomas", "Ingrid", "Omar",
+    "Priya", "Lucas", "Elena", "Hassan", "Greta", "Mateo", "Sofia", "Dmitri", "Amara", "Kenji",
+];
+
+/// Last names for synthetic people.
+pub const LAST_NAMES: &[&str] = &[
+    "Anderson", "Becker", "Chen", "Diallo", "Eriksen", "Fuentes", "Gupta", "Haddad",
+    "Ivanov", "Johansson", "Kimura", "Lopez", "Moreau", "Nakamura", "Okafor", "Petrov",
+    "Quinn", "Rossi", "Sato", "Tanaka",
+];
+
+/// Product brand names.
+pub const BRANDS: &[&str] = &[
+    "Tribeca", "Novatек", "Corelink", "Zenwave", "Brightpath", "Omnicore", "Vertex",
+    "Lumina", "Apexio", "Quanta", "Nimbus", "Stratus",
+];
+
+/// Product nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "USB Hub", "Keyboard", "Laptop Sleeve", "Wireless Mouse", "HDMI Cable", "Monitor Stand",
+    "Webcam", "Docking Station", "Headset", "Memory Card", "Desk Lamp", "Blender",
+    "Coffee Maker", "Water Bottle", "Backpack", "Running Shoes", "Yoga Mat", "Toaster",
+];
+
+/// Research-area terms used in synthetic paper titles.
+pub const RESEARCH_TERMS: &[&str] = &[
+    "Query Optimization", "Entity Resolution", "Data Cleaning", "Schema Matching",
+    "Relational Learning", "Stream Processing", "Graph Analytics", "Index Structures",
+    "Transaction Processing", "Approximate Joins", "Knowledge Bases", "Crowdsourcing",
+    "Provenance Tracking", "Workload Forecasting", "Cardinality Estimation",
+];
+
+/// Publication venues.
+pub const VENUES: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIKM", "KDD", "WSDM", "PODS",
+];
+
+/// Pick a uniformly random element of a slice.
+pub fn pick<'a>(rng: &mut StdRng, items: &'a [&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// A synthetic movie title such as "Crimson Harbor" or "The Hidden Reef".
+pub fn movie_title(rng: &mut StdRng) -> String {
+    let adj = pick(rng, ADJECTIVES);
+    let noun = pick(rng, NOUNS);
+    match rng.gen_range(0..3) {
+        0 => format!("{adj} {noun}"),
+        1 => format!("The {adj} {noun}"),
+        _ => format!("{adj} {noun} {}", pick(rng, NOUNS)),
+    }
+}
+
+/// A synthetic person name "First Last".
+pub fn person_name(rng: &mut StdRng) -> String {
+    format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+}
+
+/// A synthetic product title such as "Zenwave Wireless Mouse Pro 12".
+pub fn product_title(rng: &mut StdRng) -> String {
+    let brand = pick(rng, BRANDS);
+    let noun = pick(rng, PRODUCT_NOUNS);
+    let model = rng.gen_range(10..99);
+    match rng.gen_range(0..3) {
+        0 => format!("{brand} {noun} {model}"),
+        1 => format!("{brand} {noun} Pro {model}"),
+        _ => format!("{brand} {noun} Series {model}"),
+    }
+}
+
+/// A synthetic paper title such as "Adaptive Entity Resolution over Streams".
+pub fn paper_title(rng: &mut StdRng) -> String {
+    let term = pick(rng, RESEARCH_TERMS);
+    let term2 = pick(rng, RESEARCH_TERMS);
+    match rng.gen_range(0..3) {
+        0 => format!("Adaptive {term} at Scale"),
+        1 => format!("{term} meets {term2}"),
+        _ => format!("Efficient {term} for Modern Hardware"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generators_produce_nonempty_strings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert!(!movie_title(&mut rng).is_empty());
+            assert!(person_name(&mut rng).contains(' '));
+            assert!(!product_title(&mut rng).is_empty());
+            assert!(!paper_title(&mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a: Vec<String> =
+            (0..10).scan(StdRng::seed_from_u64(9), |r, _| Some(movie_title(r))).collect();
+        let b: Vec<String> =
+            (0..10).scan(StdRng::seed_from_u64(9), |r, _| Some(movie_title(r))).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,383 @@
+//! Experiment runner: one function per table/figure of the paper's
+//! evaluation (Section 6). Each function returns a result struct whose rows
+//! mirror the rows/series the paper reports; `crate::report` renders them as
+//! text tables.
+
+use serde::Serialize;
+
+use dlearn_core::{LearnerConfig, Strategy};
+use dlearn_datagen::{
+    generate_citation_dataset, generate_movie_dataset, generate_product_dataset, CitationConfig,
+    Dataset, MovieConfig, ProductConfig,
+};
+
+use crate::cv::{cross_validate, EvalResult};
+
+/// How large the synthetic datasets and parameter sweeps are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Scale {
+    /// Minutes-long smoke scale used by benchmarks and CI.
+    Smoke,
+    /// The default scale of the experiment binaries.
+    Small,
+    /// The largest scale (closest in spirit to the paper's setup).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from a command-line string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Number of cross-validation folds (the paper uses 5).
+    pub fn folds(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Small => 3,
+            Scale::Paper => 5,
+        }
+    }
+
+    fn movie_config(&self) -> MovieConfig {
+        match self {
+            Scale::Smoke => MovieConfig::tiny(),
+            Scale::Small => MovieConfig::small(),
+            Scale::Paper => MovieConfig::paper(),
+        }
+    }
+
+    fn product_config(&self) -> ProductConfig {
+        match self {
+            Scale::Smoke => ProductConfig::tiny(),
+            Scale::Small => ProductConfig::small(),
+            Scale::Paper => ProductConfig::paper(),
+        }
+    }
+
+    fn citation_config(&self) -> CitationConfig {
+        match self {
+            Scale::Smoke => CitationConfig::tiny(),
+            Scale::Small => CitationConfig::small(),
+            Scale::Paper => CitationConfig::paper(),
+        }
+    }
+
+    fn km_values(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![2, 5],
+            _ => vec![2, 5, 10],
+        }
+    }
+}
+
+fn base_config(seed: u64) -> LearnerConfig {
+    LearnerConfig { seed, ..LearnerConfig::fast() }
+}
+
+/// Bottom-clause iteration depth `d` per dataset, matching the choices of
+/// Section 6.2.3 of the paper (3 for DBLP+Scholar, 4 for IMDB+OMDB, 5 for
+/// Walmart+Amazon): the target attribute needs that many hops to reach the
+/// discriminating attribute on the other source.
+fn iterations_for(dataset_name: &str) -> usize {
+    if dataset_name.contains("Walmart") {
+        5
+    } else if dataset_name.contains("IMDB") {
+        4
+    } else {
+        3
+    }
+}
+
+/// The four dataset variants of Table 4 / Table 5.
+fn datasets(scale: Scale, violation_rate: f64, with_three_md_movies: bool) -> Vec<Dataset> {
+    let mut out = Vec::new();
+    let mc = scale.movie_config().with_violation_rate(violation_rate);
+    if with_three_md_movies {
+        out.push(generate_movie_dataset(&mc.clone(), 41));
+        out.push(generate_movie_dataset(&mc.with_three_mds(), 42));
+    } else {
+        out.push(generate_movie_dataset(&mc.with_three_mds(), 42));
+    }
+    out.push(generate_product_dataset(
+        &{
+            let mut c = scale.product_config();
+            c.cfd_violation_rate = violation_rate;
+            c
+        },
+        43,
+    ));
+    out.push(generate_citation_dataset(
+        &{
+            let mut c = scale.citation_config();
+            c.cfd_violation_rate = violation_rate;
+            c
+        },
+        44,
+    ));
+    out
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// System name (`DLearn (km=5)` etc.).
+    pub system: String,
+    /// Mean F1-score.
+    pub f1: f64,
+    /// Mean learning time (minutes, as in the paper).
+    pub time_minutes: f64,
+}
+
+/// Table 4: learning over all datasets with MDs only (no CFD violations),
+/// comparing Castor-NoMD / Castor-Exact / Castor-Clean / DLearn with
+/// `km ∈ {2, 5, 10}`.
+pub fn table4(scale: Scale) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for dataset in datasets(scale, 0.0, true) {
+        let depth = iterations_for(&dataset.name);
+        for strategy in [Strategy::CastorNoMd, Strategy::CastorExact, Strategy::CastorClean] {
+            let config = base_config(11).with_iterations(depth);
+            let r = cross_validate(&dataset, strategy, &config, scale.folds(), 7);
+            rows.push(to_table4_row(&dataset, strategy.name().to_string(), &r));
+        }
+        for km in scale.km_values() {
+            let config = base_config(11).with_km(km).with_iterations(depth);
+            let r = cross_validate(&dataset, Strategy::DLearn, &config, scale.folds(), 7);
+            rows.push(to_table4_row(&dataset, format!("DLearn (km={km})"), &r));
+        }
+    }
+    rows
+}
+
+fn to_table4_row(dataset: &Dataset, system: String, r: &EvalResult) -> Table4Row {
+    Table4Row {
+        dataset: dataset.name.clone(),
+        system,
+        f1: r.f1,
+        time_minutes: r.learn_seconds / 60.0,
+    }
+}
+
+/// One row of Table 5.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table5Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// System name (DLearn-CFD or DLearn-Repaired).
+    pub system: String,
+    /// CFD-violation rate `p`.
+    pub violation_rate: f64,
+    /// Mean F1-score.
+    pub f1: f64,
+    /// Mean learning time (minutes).
+    pub time_minutes: f64,
+}
+
+/// Table 5: DLearn-CFD vs DLearn-Repaired at violation rates
+/// `p ∈ {0.05, 0.10, 0.20}`.
+pub fn table5(scale: Scale) -> Vec<Table5Row> {
+    let rates: &[f64] = match scale {
+        Scale::Smoke => &[0.10, 0.20],
+        _ => &[0.05, 0.10, 0.20],
+    };
+    let mut rows = Vec::new();
+    for &p in rates {
+        for dataset in datasets(scale, p, false) {
+            let depth = iterations_for(&dataset.name);
+            for (system, strategy) in
+                [("DLearn-CFD", Strategy::DLearn), ("DLearn-Repaired", Strategy::DLearnRepaired)]
+            {
+                let config = base_config(13).with_iterations(depth);
+                let r = cross_validate(&dataset, strategy, &config, scale.folds(), 9);
+                rows.push(Table5Row {
+                    dataset: dataset.name.clone(),
+                    system: system.to_string(),
+                    violation_rate: p,
+                    f1: r.f1,
+                    time_minutes: r.learn_seconds / 60.0,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// One cell of Table 6 / one point of Figure 1 (left).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingPoint {
+    /// `km` used.
+    pub km: usize,
+    /// Number of positive training examples.
+    pub positives: usize,
+    /// Number of negative training examples.
+    pub negatives: usize,
+    /// Mean F1-score.
+    pub f1: f64,
+    /// Mean learning time (minutes).
+    pub time_minutes: f64,
+}
+
+/// Table 6 / Figure 1 (left): scaling the number of training examples on the
+/// IMDB+OMDB (three MDs) dataset with CFD violations, for `km = 5` and
+/// `km = 2`.
+pub fn table6(scale: Scale) -> Vec<ScalingPoint> {
+    let sizes: Vec<(usize, usize)> = match scale {
+        Scale::Smoke => vec![(8, 16), (16, 32)],
+        Scale::Small => vec![(10, 20), (20, 40), (40, 80)],
+        Scale::Paper => vec![(20, 40), (40, 80), (80, 160), (120, 240)],
+    };
+    let kms = match scale {
+        Scale::Smoke => vec![2],
+        _ => vec![2, 5],
+    };
+    let mut rows = Vec::new();
+    for &km in &kms {
+        for &(np, nn) in &sizes {
+            let config = scale
+                .movie_config()
+                .with_three_mds()
+                .with_violation_rate(0.10)
+                .with_examples(np, nn);
+            let dataset = generate_movie_dataset(&config, 52);
+            let learner_config = base_config(17).with_km(km).with_iterations(4);
+            let r = cross_validate(&dataset, Strategy::DLearn, &learner_config, scale.folds(), 5);
+            rows.push(ScalingPoint {
+                km,
+                positives: np,
+                negatives: nn,
+                f1: r.f1,
+                time_minutes: r.learn_seconds / 60.0,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of Table 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table7Row {
+    /// Bottom-clause iteration depth `d`.
+    pub iterations: usize,
+    /// Mean F1-score.
+    pub f1: f64,
+    /// Mean learning time (minutes).
+    pub time_minutes: f64,
+}
+
+/// Table 7: the effect of the number of bottom-clause iterations `d` on the
+/// IMDB+OMDB (three MDs + CFDs) dataset at `km = 5`.
+pub fn table7(scale: Scale) -> Vec<Table7Row> {
+    let depths: Vec<usize> = match scale {
+        Scale::Smoke => vec![1, 2, 3],
+        _ => vec![2, 3, 4, 5],
+    };
+    let dataset = generate_movie_dataset(
+        &scale.movie_config().with_three_mds().with_violation_rate(0.10),
+        61,
+    );
+    depths
+        .into_iter()
+        .map(|d| {
+            let config = base_config(19).with_km(5).with_iterations(d);
+            let r = cross_validate(&dataset, Strategy::DLearn, &config, scale.folds(), 3);
+            Table7Row { iterations: d, f1: r.f1, time_minutes: r.learn_seconds / 60.0 }
+        })
+        .collect()
+}
+
+/// One point of Figure 1 (middle/right): sample-size sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SampleSizePoint {
+    /// `km` used.
+    pub km: usize,
+    /// Bottom-clause sample size.
+    pub sample_size: usize,
+    /// Mean F1-score.
+    pub f1: f64,
+    /// Mean learning time (minutes).
+    pub time_minutes: f64,
+}
+
+/// Figure 1 (middle and right): F1 and learning time while varying the
+/// bottom-clause sample size, for `km = 2` and `km = 5`.
+pub fn figure1_sample_size(scale: Scale) -> Vec<SampleSizePoint> {
+    let sizes: Vec<usize> = match scale {
+        Scale::Smoke => vec![4, 8],
+        Scale::Small => vec![4, 8, 12],
+        Scale::Paper => vec![4, 8, 12, 16],
+    };
+    let kms = match scale {
+        Scale::Smoke => vec![2],
+        _ => vec![2, 5],
+    };
+    let dataset = generate_movie_dataset(&scale.movie_config().with_three_mds(), 71);
+    let mut rows = Vec::new();
+    for &km in &kms {
+        for &s in &sizes {
+            let config = base_config(23).with_km(km).with_sample_size(s).with_iterations(4);
+            let r = cross_validate(&dataset, Strategy::DLearn, &config, scale.folds(), 2);
+            rows.push(SampleSizePoint {
+                km,
+                sample_size: s,
+                f1: r.f1,
+                time_minutes: r.learn_seconds / 60.0,
+            });
+        }
+    }
+    rows
+}
+
+/// Figure 1 (left): F1 and learning time while growing the number of
+/// examples at `km = 2` (the example-scaling series without CFD violations).
+pub fn figure1_examples(scale: Scale) -> Vec<ScalingPoint> {
+    let sizes: Vec<(usize, usize)> = match scale {
+        Scale::Smoke => vec![(8, 16), (16, 32)],
+        Scale::Small => vec![(10, 20), (20, 40), (40, 80)],
+        Scale::Paper => vec![(20, 40), (40, 80), (80, 160), (160, 320)],
+    };
+    let mut rows = Vec::new();
+    for &(np, nn) in &sizes {
+        let config = scale.movie_config().with_three_mds().with_examples(np, nn);
+        let dataset = generate_movie_dataset(&config, 81);
+        let learner_config = base_config(29).with_km(2).with_iterations(4);
+        let r = cross_validate(&dataset, Strategy::DLearn, &learner_config, scale.folds(), 4);
+        rows.push(ScalingPoint {
+            km: 2,
+            positives: np,
+            negatives: nn,
+            f1: r.f1,
+            time_minutes: r.learn_seconds / 60.0,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing_round_trips() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("SMALL"), Some(Scale::Small));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::Paper.folds(), 5);
+    }
+
+    #[test]
+    fn dataset_catalog_has_expected_entries() {
+        let with_both = datasets(Scale::Smoke, 0.0, true);
+        assert_eq!(with_both.len(), 4);
+        let single_movie = datasets(Scale::Smoke, 0.1, false);
+        assert_eq!(single_movie.len(), 3);
+    }
+}

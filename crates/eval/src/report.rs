@@ -1,0 +1,126 @@
+//! Plain-text rendering of experiment results, one renderer per table/figure.
+
+use crate::experiments::{SampleSizePoint, ScalingPoint, Table4Row, Table5Row, Table7Row};
+
+fn header(title: &str) -> String {
+    format!("{title}\n{}\n", "=".repeat(title.len()))
+}
+
+/// Render Table 4.
+pub fn render_table4(rows: &[Table4Row]) -> String {
+    let mut out = header("Table 4: learning over all datasets with MDs");
+    out.push_str(&format!("{:<28} {:<18} {:>8} {:>10}\n", "Dataset", "System", "F1", "Time (m)"));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:<18} {:>8.2} {:>10.3}\n",
+            r.dataset, r.system, r.f1, r.time_minutes
+        ));
+    }
+    out
+}
+
+/// Render Table 5.
+pub fn render_table5(rows: &[Table5Row]) -> String {
+    let mut out = header("Table 5: DLearn-CFD vs DLearn-Repaired under CFD violations");
+    out.push_str(&format!(
+        "{:<28} {:<16} {:>6} {:>8} {:>10}\n",
+        "Dataset", "System", "p", "F1", "Time (m)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:<16} {:>6.2} {:>8.2} {:>10.3}\n",
+            r.dataset, r.system, r.violation_rate, r.f1, r.time_minutes
+        ));
+    }
+    out
+}
+
+/// Render Table 6 / Figure 1 (left) example-scaling points.
+pub fn render_scaling(title: &str, rows: &[ScalingPoint]) -> String {
+    let mut out = header(title);
+    out.push_str(&format!("{:>4} {:>8} {:>8} {:>8} {:>10}\n", "km", "#P", "#N", "F1", "Time (m)"));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4} {:>8} {:>8} {:>8.2} {:>10.3}\n",
+            r.km, r.positives, r.negatives, r.f1, r.time_minutes
+        ));
+    }
+    out
+}
+
+/// Render Table 7.
+pub fn render_table7(rows: &[Table7Row]) -> String {
+    let mut out = header("Table 7: effect of the number of iterations d (km=5)");
+    out.push_str(&format!("{:>4} {:>8} {:>10}\n", "d", "F1", "Time (m)"));
+    for r in rows {
+        out.push_str(&format!("{:>4} {:>8.2} {:>10.3}\n", r.iterations, r.f1, r.time_minutes));
+    }
+    out
+}
+
+/// Render Figure 1 (middle/right) sample-size sweeps.
+pub fn render_sample_size(rows: &[SampleSizePoint]) -> String {
+    let mut out = header("Figure 1 (middle/right): sample-size sweep");
+    out.push_str(&format!("{:>4} {:>12} {:>8} {:>10}\n", "km", "sample size", "F1", "Time (m)"));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4} {:>12} {:>8.2} {:>10.3}\n",
+            r.km, r.sample_size, r.f1, r.time_minutes
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renderers_include_all_rows() {
+        let rows = vec![
+            Table4Row {
+                dataset: "IMDB + OMDB (one MD)".into(),
+                system: "DLearn (km=5)".into(),
+                f1: 0.92,
+                time_minutes: 0.42,
+            },
+            Table4Row {
+                dataset: "Walmart + Amazon".into(),
+                system: "Castor-NoMD".into(),
+                f1: 0.39,
+                time_minutes: 0.09,
+            },
+        ];
+        let text = render_table4(&rows);
+        assert!(text.contains("DLearn (km=5)"));
+        assert!(text.contains("Castor-NoMD"));
+        assert!(text.contains("0.92"));
+        assert_eq!(text.lines().count(), 3 + rows.len());
+    }
+
+    #[test]
+    fn scaling_and_table7_render() {
+        let s = render_scaling(
+            "Table 6",
+            &[ScalingPoint { km: 2, positives: 100, negatives: 200, f1: 0.8, time_minutes: 0.3 }],
+        );
+        assert!(s.contains("100"));
+        let t = render_table7(&[Table7Row { iterations: 4, f1: 0.78, time_minutes: 16.26 }]);
+        assert!(t.contains("16.26"));
+        let f = render_sample_size(&[SampleSizePoint {
+            km: 5,
+            sample_size: 10,
+            f1: 0.9,
+            time_minutes: 1.0,
+        }]);
+        assert!(f.contains("10"));
+        let t5 = render_table5(&[Table5Row {
+            dataset: "DBLP + Google Scholar".into(),
+            system: "DLearn-CFD".into(),
+            violation_rate: 0.05,
+            f1: 0.79,
+            time_minutes: 5.92,
+        }]);
+        assert!(t5.contains("DLearn-CFD"));
+    }
+}

@@ -1,0 +1,127 @@
+//! # dlearn-logic — first-order logic machinery for relational learning
+//!
+//! This crate provides the clause language of DLearn: terms, literals
+//! (relation, similarity, equality, inequality), Horn clauses and
+//! definitions, *repair groups* (the clause-level form of the paper's repair
+//! literals), the expansion of a clause into its repaired clauses, and the
+//! θ-subsumption engine extended to repair literals (Definition 4.4) that
+//! underpins both generalization and coverage testing.
+//!
+//! * [`Term`], [`Var`] — terms.
+//! * [`Literal`] — body/head literals.
+//! * [`RepairGroup`], [`CondAtom`], [`RepairOrigin`] — repair literals.
+//! * [`Clause`], [`Definition`] — Horn clauses / definitions.
+//! * [`repaired_clauses`] — expansion into repaired clauses (Section 3.2).
+//! * [`subsumes`], [`GroundClause`] — θ-subsumption (Section 4.2/4.3).
+
+#![warn(missing_docs)]
+
+pub mod clause;
+pub mod expand;
+pub mod literal;
+pub mod repair;
+pub mod substitution;
+pub mod subsumption;
+pub mod term;
+
+pub use clause::{Clause, Definition};
+pub use expand::{repaired_clauses, ExpandLimits};
+pub use literal::Literal;
+pub use repair::{CondAtom, RepairGroup, RepairOrigin};
+pub use substitution::Substitution;
+pub use subsumption::{extend_bindings, head_bindings, subsumes, GroundClause, SubsumptionConfig};
+pub use term::{Term, Var};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::clause::Clause;
+    use crate::expand::{repaired_clauses, ExpandLimits};
+    use crate::literal::Literal;
+    use crate::repair::{CondAtom, RepairGroup, RepairOrigin};
+    use crate::substitution::Substitution;
+    use crate::subsumption::{subsumes, GroundClause, SubsumptionConfig};
+    use crate::term::{Term, Var};
+
+    /// Generate a small random clause over a fixed vocabulary of relations.
+    fn arb_clause() -> impl Strategy<Value = Clause> {
+        let lit = (0usize..4, proptest::collection::vec(0u32..6, 1..3)).prop_map(|(r, vars)| {
+            let names = ["r0", "r1", "r2", "r3"];
+            Literal::relation(names[r], vars.into_iter().map(Term::var).collect())
+        });
+        proptest::collection::vec(lit, 0..6).prop_map(|body| {
+            let mut c = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+            for l in body {
+                c.push_unique(l);
+            }
+            c
+        })
+    }
+
+    proptest! {
+        /// Reflexivity: every clause θ-subsumes itself (identity substitution).
+        #[test]
+        fn subsumption_is_reflexive(c in arb_clause()) {
+            let d = GroundClause::new(&c);
+            prop_assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_some());
+        }
+
+        /// Dropping body literals generalizes: the reduced clause still
+        /// subsumes the original.
+        #[test]
+        fn dropping_literals_preserves_subsumption(c in arb_clause(), keep in proptest::collection::vec(any::<bool>(), 6)) {
+            let mut reduced = c.clone();
+            let mut idx = 0;
+            reduced.body.retain(|_| {
+                let k = keep.get(idx).copied().unwrap_or(true);
+                idx += 1;
+                k
+            });
+            let d = GroundClause::new(&c);
+            prop_assert!(subsumes(&reduced, &d, &SubsumptionConfig::default()).is_some());
+        }
+
+        /// Variable renaming does not affect subsumption of the original.
+        #[test]
+        fn renamed_clause_subsumes_original(c in arb_clause(), offset in 10u32..20) {
+            let renaming: Substitution = c
+                .variables()
+                .into_iter()
+                .map(|v| (v, Term::var(v.0 + offset)))
+                .collect();
+            let renamed = c.apply(&renaming);
+            let d = GroundClause::new(&c);
+            prop_assert!(subsumes(&renamed, &d, &SubsumptionConfig::default()).is_some());
+        }
+
+        /// Repaired-clause expansion always yields at least one repaired
+        /// clause, every result is free of repair groups, and the count obeys
+        /// the configured cap.
+        #[test]
+        fn expansion_yields_repaired_clauses(c in arb_clause(), n_repairs in 0usize..3, cap in 1usize..8) {
+            let mut clause = c;
+            let base = clause.max_var_index().unwrap_or(0) + 1;
+            for i in 0..n_repairs {
+                let a = Term::var(i as u32 % 3);
+                let b = Term::var((i as u32 + 1) % 3);
+                clause.push_unique(Literal::Similar(a.clone(), b.clone()));
+                clause.push_repair(RepairGroup::new(
+                    RepairOrigin::Md(i),
+                    vec![CondAtom::Sim(a.clone(), b.clone())],
+                    vec![
+                        (Var(i as u32 % 3), Term::var(base + i as u32)),
+                        (Var((i as u32 + 1) % 3), Term::var(base + i as u32)),
+                    ],
+                    vec![Literal::Similar(a, b)],
+                ));
+            }
+            let repaired = repaired_clauses(&clause, ExpandLimits { max_repairs: cap, max_steps: 512 });
+            prop_assert!(!repaired.is_empty());
+            prop_assert!(repaired.len() <= cap);
+            for r in &repaired {
+                prop_assert!(r.is_repaired());
+            }
+        }
+    }
+}

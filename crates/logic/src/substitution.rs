@@ -1,0 +1,121 @@
+//! Variable substitutions (θ in θ-subsumption).
+
+use std::collections::HashMap;
+
+use crate::term::{Term, Var};
+
+/// A substitution maps variables to terms.
+///
+/// Applying a substitution to a term replaces mapped variables; constants and
+/// unmapped variables are left untouched.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Substitution {
+    map: HashMap<Var, Term>,
+}
+
+impl Substitution {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Substitution::default()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The binding of a variable, if any.
+    pub fn get(&self, var: Var) -> Option<&Term> {
+        self.map.get(&var)
+    }
+
+    /// Bind `var` to `term`, overwriting any previous binding.
+    pub fn bind(&mut self, var: Var, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    /// Try to bind `var` to `term`; fails (returns `false`) when the variable
+    /// is already bound to a different term.
+    pub fn try_bind(&mut self, var: Var, term: Term) -> bool {
+        match self.map.get(&var) {
+            Some(existing) => *existing == term,
+            None => {
+                self.map.insert(var, term);
+                true
+            }
+        }
+    }
+
+    /// Apply the substitution to a term.
+    pub fn apply(&self, term: &Term) -> Term {
+        match term {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| term.clone()),
+            Term::Const(_) => term.clone(),
+        }
+    }
+
+    /// Apply the substitution to a slice of terms.
+    pub fn apply_all(&self, terms: &[Term]) -> Vec<Term> {
+        terms.iter().map(|t| self.apply(t)).collect()
+    }
+
+    /// Iterate over the bindings in an unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Term)> {
+        self.map.iter()
+    }
+
+    /// Variables bound by this substitution.
+    pub fn domain(&self) -> impl Iterator<Item = Var> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Terms in the range of this substitution.
+    pub fn range(&self) -> impl Iterator<Item = &Term> {
+        self.map.values()
+    }
+}
+
+impl FromIterator<(Var, Term)> for Substitution {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        Substitution { map: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_replaces_bound_variables_only() {
+        let mut s = Substitution::new();
+        s.bind(Var(0), Term::constant("a"));
+        assert_eq!(s.apply(&Term::var(0)), Term::constant("a"));
+        assert_eq!(s.apply(&Term::var(1)), Term::var(1));
+        assert_eq!(s.apply(&Term::constant(3i64)), Term::constant(3i64));
+    }
+
+    #[test]
+    fn try_bind_is_consistent() {
+        let mut s = Substitution::new();
+        assert!(s.try_bind(Var(0), Term::constant("a")));
+        assert!(s.try_bind(Var(0), Term::constant("a")));
+        assert!(!s.try_bind(Var(0), Term::constant("b")));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_collects_bindings() {
+        let s: Substitution =
+            vec![(Var(0), Term::var(5)), (Var(1), Term::constant(7i64))].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.apply_all(&[Term::var(0), Term::var(1)]), vec![
+            Term::var(5),
+            Term::constant(7i64)
+        ]);
+    }
+}

@@ -1,0 +1,653 @@
+//! θ-subsumption between clauses, extended to repair literals.
+//!
+//! Clause `C` θ-subsumes clause `D` iff there is a substitution θ such that
+//! `Cθ ⊆ D` (Section 4.2). Definition 4.4 extends this to clauses with repair
+//! literals: repair literals are matched like ordinary literals, and —
+//! optionally (see [`SubsumptionConfig::strict_repair_mapping`]) — every
+//! repair literal of `D` connected to a mapped literal must itself be mapped.
+//!
+//! θ-subsumption is NP-hard, so the matcher is a backtracking search over the
+//! relation literals of `C`, ordered by how many candidate literals of `D`
+//! they can map to (fewest first), with a global step budget. Similarity,
+//! equality and inequality literals are checked as constraints once their
+//! variables are bound; repair groups are matched against `D`'s repair facts
+//! at the end of the search.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::clause::Clause;
+use crate::literal::Literal;
+use crate::repair::{RepairGroup, RepairOrigin};
+use crate::substitution::Substitution;
+use crate::term::Term;
+
+/// Budget and strictness knobs for the subsumption search.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsumptionConfig {
+    /// Maximum number of candidate-extension steps before giving up (a
+    /// failed budget counts as "does not subsume").
+    pub max_steps: usize,
+    /// Enforce the second condition of Definition 4.4: every repair literal
+    /// of `D` whose replaced variables are touched by the mapping must be
+    /// matched by a repair literal of `C`. This is the strict reading; it is
+    /// off by default because ground bottom clauses built with `km > 1`
+    /// routinely carry alternative-match repair literals that a learned
+    /// clause has no reason to mention.
+    pub strict_repair_mapping: bool,
+}
+
+impl Default for SubsumptionConfig {
+    fn default() -> Self {
+        SubsumptionConfig { max_steps: 200_000, strict_repair_mapping: false }
+    }
+}
+
+/// A clause indexed for use as the right-hand side (`D`) of subsumption
+/// tests. Ground bottom clauses are wrapped in this once and tested against
+/// many candidate clauses.
+#[derive(Debug, Clone)]
+pub struct GroundClause {
+    head: Literal,
+    body: Vec<Literal>,
+    by_relation: HashMap<String, Vec<usize>>,
+    similar_pairs: HashSet<(Term, Term)>,
+    equal_pairs: HashSet<(Term, Term)>,
+    notequal_pairs: HashSet<(Term, Term)>,
+    /// Flattened repair literals: `(origin, replaced variable as a term,
+    /// replacement term, group index)`.
+    repair_facts: Vec<(RepairOrigin, Term, Term, usize)>,
+    repairs: Vec<RepairGroup>,
+}
+
+impl GroundClause {
+    /// Index a clause for repeated subsumption testing.
+    pub fn new(clause: &Clause) -> Self {
+        let mut by_relation: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut similar_pairs = HashSet::new();
+        let mut equal_pairs = HashSet::new();
+        let mut notequal_pairs = HashSet::new();
+        for (i, l) in clause.body.iter().enumerate() {
+            match l {
+                Literal::Relation { relation, .. } => {
+                    by_relation.entry(relation.clone()).or_default().push(i);
+                }
+                Literal::Similar(a, b) => {
+                    similar_pairs.insert((a.clone(), b.clone()));
+                    similar_pairs.insert((b.clone(), a.clone()));
+                }
+                Literal::Equal(a, b) => {
+                    equal_pairs.insert((a.clone(), b.clone()));
+                    equal_pairs.insert((b.clone(), a.clone()));
+                }
+                Literal::NotEqual(a, b) => {
+                    notequal_pairs.insert((a.clone(), b.clone()));
+                    notequal_pairs.insert((b.clone(), a.clone()));
+                }
+            }
+        }
+        let mut repair_facts = Vec::new();
+        for (gi, g) in clause.repairs.iter().enumerate() {
+            for (v, t) in &g.replacements {
+                repair_facts.push((g.origin, Term::Var(*v), t.clone(), gi));
+            }
+        }
+        GroundClause {
+            head: clause.head.clone(),
+            body: clause.body.clone(),
+            by_relation,
+            similar_pairs,
+            equal_pairs,
+            notequal_pairs,
+            repair_facts,
+            repairs: clause.repairs.clone(),
+        }
+    }
+
+    /// The head literal.
+    pub fn head(&self) -> &Literal {
+        &self.head
+    }
+
+    /// The body literals.
+    pub fn body(&self) -> &[Literal] {
+        &self.body
+    }
+
+    /// The repair groups attached to the underlying clause.
+    pub fn repairs(&self) -> &[RepairGroup] {
+        &self.repairs
+    }
+
+    /// Number of body literals.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// `true` when the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    fn candidates(&self, relation: &str) -> &[usize] {
+        static EMPTY: [usize; 0] = [];
+        self.by_relation.get(relation).map(|v| v.as_slice()).unwrap_or(&EMPTY)
+    }
+}
+
+/// Try to unify (match) a literal of `C` against a concrete literal of `D`,
+/// extending the substitution.
+fn match_literal(c_lit: &Literal, d_lit: &Literal, theta: &mut Substitution) -> bool {
+    match (c_lit, d_lit) {
+        (
+            Literal::Relation { relation: rc, args: ac },
+            Literal::Relation { relation: rd, args: ad },
+        ) => {
+            if rc != rd || ac.len() != ad.len() {
+                return false;
+            }
+            for (a, b) in ac.iter().zip(ad.iter()) {
+                if !match_term(a, b, theta) {
+                    return false;
+                }
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Match a term of `C` against a term of `D` under the current substitution.
+fn match_term(c_term: &Term, d_term: &Term, theta: &mut Substitution) -> bool {
+    match c_term {
+        Term::Const(v) => match d_term {
+            Term::Const(w) => v == w,
+            Term::Var(_) => false,
+        },
+        Term::Var(v) => theta.try_bind(*v, d_term.clone()),
+    }
+}
+
+/// Result of the matching search, carrying the substitution and the set of
+/// `D` body-literal indices used by the mapping (needed for the strict
+/// repair-mapping check).
+struct SearchState {
+    theta: Substitution,
+    used_body: HashSet<usize>,
+    used_repair_groups: HashSet<usize>,
+    steps: usize,
+}
+
+/// Test whether `c` θ-subsumes the indexed clause `d`.
+///
+/// Returns the witnessing substitution when it does.
+pub fn subsumes(c: &Clause, d: &GroundClause, config: &SubsumptionConfig) -> Option<Substitution> {
+    // 1. Heads must unify.
+    let mut theta = Substitution::new();
+    if !match_heads(&c.head, d.head(), &mut theta) {
+        return None;
+    }
+
+    // 2. Order C's relation literals: fewest candidates first, which both
+    // fails fast and keeps the branching factor low.
+    let mut relation_lits: Vec<&Literal> =
+        c.body.iter().filter(|l| l.is_relation()).collect();
+    relation_lits.sort_by_key(|l| {
+        l.relation_name().map(|n| d.candidates(n).len()).unwrap_or(0)
+    });
+
+    let constraint_lits: Vec<&Literal> =
+        c.body.iter().filter(|l| !l.is_relation()).collect();
+
+    let mut state = SearchState {
+        theta,
+        used_body: HashSet::new(),
+        used_repair_groups: HashSet::new(),
+        steps: 0,
+    };
+
+    if search_relations(&relation_lits, 0, d, &mut state, config)
+        && check_constraints(&constraint_lits, &mut state.theta, d)
+        && match_repairs(&c.repairs, 0, d, &mut state, config)
+        && (!config.strict_repair_mapping || strict_repairs_ok(&state, d))
+    {
+        Some(state.theta)
+    } else {
+        None
+    }
+}
+
+fn match_heads(c_head: &Literal, d_head: &Literal, theta: &mut Substitution) -> bool {
+    match_literal(c_head, d_head, theta)
+}
+
+fn search_relations(
+    lits: &[&Literal],
+    depth: usize,
+    d: &GroundClause,
+    state: &mut SearchState,
+    config: &SubsumptionConfig,
+) -> bool {
+    if depth == lits.len() {
+        return true;
+    }
+    let lit = lits[depth];
+    let Some(name) = lit.relation_name() else {
+        return false;
+    };
+    let candidates: Vec<usize> = d.candidates(name).to_vec();
+    for idx in candidates {
+        state.steps += 1;
+        if state.steps > config.max_steps {
+            return false;
+        }
+        let saved = state.theta.clone();
+        if match_literal(lit, &d.body()[idx], &mut state.theta) {
+            let newly_used = state.used_body.insert(idx);
+            if search_relations(lits, depth + 1, d, state, config) {
+                return true;
+            }
+            if newly_used {
+                state.used_body.remove(&idx);
+            }
+        }
+        state.theta = saved;
+    }
+    false
+}
+
+/// Verify (and where necessary bind) the non-relation literals of `C`.
+fn check_constraints(lits: &[&Literal], theta: &mut Substitution, d: &GroundClause) -> bool {
+    for lit in lits {
+        match lit {
+            Literal::Similar(a, b) => {
+                if !check_pair(theta, d, a, b, PairKind::Similar) {
+                    return false;
+                }
+            }
+            Literal::Equal(a, b) => {
+                if !check_pair(theta, d, a, b, PairKind::Equal) {
+                    return false;
+                }
+            }
+            Literal::NotEqual(a, b) => {
+                let ta = theta.apply(a);
+                let tb = theta.apply(b);
+                // Unequal iff the mapped terms differ and are not explicitly
+                // equated in D.
+                if ta == tb || d.equal_pairs.contains(&(ta, tb)) {
+                    return false;
+                }
+            }
+            Literal::Relation { .. } => unreachable!("relation literals are matched separately"),
+        }
+    }
+    true
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum PairKind {
+    Similar,
+    Equal,
+}
+
+fn check_pair(
+    theta: &mut Substitution,
+    d: &GroundClause,
+    a: &Term,
+    b: &Term,
+    kind: PairKind,
+) -> bool {
+    let pairs = match kind {
+        PairKind::Similar => &d.similar_pairs,
+        PairKind::Equal => &d.equal_pairs,
+    };
+    let ta = theta.apply(a);
+    let tb = theta.apply(b);
+    let a_bound = ta.is_const() || a.as_var().map(|v| theta.get(v).is_some()).unwrap_or(true);
+    let b_bound = tb.is_const() || b.as_var().map(|v| theta.get(v).is_some()).unwrap_or(true);
+    match (a_bound, b_bound) {
+        (true, true) => ta == tb || pairs.contains(&(ta, tb)),
+        (true, false) => {
+            // Bind b to any partner of a.
+            for (x, y) in pairs.iter() {
+                if *x == ta {
+                    if let Some(vb) = b.as_var() {
+                        if theta.try_bind(vb, y.clone()) {
+                            return true;
+                        }
+                    }
+                }
+            }
+            // Fall back to making them equal.
+            if let Some(vb) = b.as_var() {
+                return theta.try_bind(vb, ta);
+            }
+            false
+        }
+        (false, true) => check_pair(theta, d, b, a, kind),
+        (false, false) => {
+            // Both unbound: bind them to the first pair available, or to each
+            // other when the pair set is empty.
+            if let (Some(va), Some(vb)) = (a.as_var(), b.as_var()) {
+                if let Some((x, y)) = pairs.iter().next() {
+                    return theta.try_bind(va, x.clone()) && theta.try_bind(vb, y.clone());
+                }
+                return theta.try_bind(va, Term::var(u32::MAX)) && theta.try_bind(vb, Term::var(u32::MAX));
+            }
+            false
+        }
+    }
+}
+
+/// Match every repair group of `C` against the repair facts of `D`
+/// (Definition 4.4, first condition: repair literals are treated as ordinary
+/// literals under θ).
+fn match_repairs(
+    groups: &[RepairGroup],
+    depth: usize,
+    d: &GroundClause,
+    state: &mut SearchState,
+    config: &SubsumptionConfig,
+) -> bool {
+    if depth == groups.len() {
+        return true;
+    }
+    let group = &groups[depth];
+    // Match each replacement (x, t) of the group against some repair fact of
+    // D with the same origin.
+    match_group_replacements(group, 0, d, state, config)
+        && match_repairs(groups, depth + 1, d, state, config)
+}
+
+fn match_group_replacements(
+    group: &RepairGroup,
+    ri: usize,
+    d: &GroundClause,
+    state: &mut SearchState,
+    config: &SubsumptionConfig,
+) -> bool {
+    if ri == group.replacements.len() {
+        return true;
+    }
+    let (x, t) = &group.replacements[ri];
+    let x_term = Term::Var(*x);
+    for (origin, dx, dt, gi) in &d.repair_facts {
+        state.steps += 1;
+        if state.steps > config.max_steps {
+            return false;
+        }
+        if *origin != group.origin {
+            continue;
+        }
+        let saved = state.theta.clone();
+        if match_term(&x_term, dx, &mut state.theta) && match_term(t, dt, &mut state.theta) {
+            state.used_repair_groups.insert(*gi);
+            if match_group_replacements(group, ri + 1, d, state, config) {
+                return true;
+            }
+        }
+        state.theta = saved;
+    }
+    false
+}
+
+/// The strict reading of Definition 4.4: every repair group of `D` whose
+/// replaced variables appear in the image of the mapping must have been used
+/// to match some repair group of `C`.
+fn strict_repairs_ok(state: &SearchState, d: &GroundClause) -> bool {
+    let image: HashSet<Term> = state.theta.range().cloned().collect();
+    for (gi, g) in d.repairs().iter().enumerate() {
+        let touched = g.targets().iter().any(|v| image.contains(&Term::Var(*v)));
+        if touched && !state.used_repair_groups.contains(&gi) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Bindings of the head of a candidate clause against the head of a ground
+/// clause. Returns `None` when the heads cannot unify.
+pub fn head_bindings(head: &Literal, d: &GroundClause) -> Option<Substitution> {
+    let mut theta = Substitution::new();
+    if match_heads(head, d.head(), &mut theta) {
+        Some(theta)
+    } else {
+        None
+    }
+}
+
+/// Extend a set of partial substitutions with one more literal of the
+/// candidate clause, against the ground clause `d`. Used by the
+/// generalization algorithm to detect blocking literals incrementally.
+///
+/// The result is capped at `cap` substitutions; an empty result means the
+/// literal is *blocking* for every current binding.
+pub fn extend_bindings(
+    lit: &Literal,
+    bindings: &[Substitution],
+    d: &GroundClause,
+    cap: usize,
+) -> Vec<Substitution> {
+    let mut out: Vec<Substitution> = Vec::new();
+    for theta in bindings {
+        match lit {
+            Literal::Relation { relation, .. } => {
+                for &idx in d.candidates(relation) {
+                    let mut candidate = theta.clone();
+                    if match_literal(lit, &d.body()[idx], &mut candidate) {
+                        out.push(candidate);
+                        if out.len() >= cap {
+                            return out;
+                        }
+                    }
+                }
+            }
+            Literal::Similar(a, b) => {
+                let mut candidate = theta.clone();
+                if check_pair(&mut candidate, d, a, b, PairKind::Similar) {
+                    out.push(candidate);
+                }
+            }
+            Literal::Equal(a, b) => {
+                let mut candidate = theta.clone();
+                if check_pair(&mut candidate, d, a, b, PairKind::Equal) {
+                    out.push(candidate);
+                }
+            }
+            Literal::NotEqual(a, b) => {
+                let ta = theta.apply(a);
+                let tb = theta.apply(b);
+                if ta != tb && !d.equal_pairs.contains(&(ta, tb)) {
+                    out.push(theta.clone());
+                }
+            }
+        }
+        if out.len() >= cap {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repair::CondAtom;
+    use crate::term::Var;
+
+    /// D: highGrossing(v0) ← movies(v1, v2, v3), mov2genres(v1, 'comedy'),
+    ///                        v0 ≈ v2, with an MD repair unifying v0 and v2.
+    fn ground_clause() -> GroundClause {
+        let mut d = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
+        d.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(1), Term::var(2), Term::var(3)],
+        ));
+        d.push_unique(Literal::relation(
+            "mov2genres",
+            vec![Term::var(1), Term::constant("comedy")],
+        ));
+        d.push_unique(Literal::Similar(Term::var(0), Term::var(2)));
+        d.push_repair(RepairGroup::new(
+            RepairOrigin::Md(0),
+            vec![CondAtom::Sim(Term::var(0), Term::var(2))],
+            vec![(Var(0), Term::var(9)), (Var(2), Term::var(9))],
+            vec![Literal::Similar(Term::var(0), Term::var(2))],
+        ));
+        GroundClause::new(&d)
+    }
+
+    #[test]
+    fn identical_structure_subsumes() {
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(10)]));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(11), Term::var(12), Term::var(13)],
+        ));
+        c.push_unique(Literal::Similar(Term::var(10), Term::var(12)));
+        let d = ground_clause();
+        let theta = subsumes(&c, &d, &SubsumptionConfig::default());
+        assert!(theta.is_some());
+        let theta = theta.unwrap();
+        assert_eq!(theta.apply(&Term::var(10)), Term::var(0));
+        assert_eq!(theta.apply(&Term::var(12)), Term::var(2));
+    }
+
+    #[test]
+    fn constant_mismatch_blocks_subsumption() {
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
+        c.push_unique(Literal::relation(
+            "mov2genres",
+            vec![Term::var(1), Term::constant("drama")],
+        ));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn matching_constant_subsumes() {
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
+        c.push_unique(Literal::relation(
+            "mov2genres",
+            vec![Term::var(1), Term::constant("comedy")],
+        ));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_some());
+    }
+
+    #[test]
+    fn different_head_relation_never_subsumes() {
+        let c = Clause::new(Literal::relation("other", vec![Term::var(0)]));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn missing_relation_blocks_subsumption() {
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
+        c.push_unique(Literal::relation("mov2countries", vec![Term::var(1), Term::var(2)]));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn similarity_literal_requires_a_similar_pair_in_d() {
+        // v10 ≈ v11 where v10 maps to v0 (head) and v11 maps to v3 (year):
+        // D has no such similarity pair, so subsumption must fail.
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(10)]));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(11), Term::var(12), Term::var(13)],
+        ));
+        c.push_unique(Literal::Similar(Term::var(10), Term::var(13)));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn repair_group_in_c_matches_repair_fact_in_d() {
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(10)]));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(11), Term::var(12), Term::var(13)],
+        ));
+        c.push_unique(Literal::Similar(Term::var(10), Term::var(12)));
+        c.push_repair(RepairGroup::new(
+            RepairOrigin::Md(0),
+            vec![CondAtom::Sim(Term::var(10), Term::var(12))],
+            vec![(Var(10), Term::var(20)), (Var(12), Term::var(20))],
+            vec![Literal::Similar(Term::var(10), Term::var(12))],
+        ));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_some());
+
+        // A repair from a different constraint cannot be matched.
+        let mut c2 = c.clone();
+        c2.repairs[0].origin = RepairOrigin::Md(3);
+        assert!(subsumes(&c2, &d, &SubsumptionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn strict_repair_mapping_rejects_unacknowledged_repairs() {
+        // C maps the movies literal (touching v2, which D's repair replaces)
+        // but carries no repair literal of its own.
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(10)]));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(11), Term::var(12), Term::var(13)],
+        ));
+        let d = ground_clause();
+        let lenient = SubsumptionConfig::default();
+        let strict = SubsumptionConfig { strict_repair_mapping: true, ..lenient };
+        assert!(subsumes(&c, &d, &lenient).is_some());
+        assert!(subsumes(&c, &d, &strict).is_none());
+    }
+
+    #[test]
+    fn extend_bindings_detects_blocking_literals() {
+        let d = ground_clause();
+        let head = Literal::relation("highGrossing", vec![Term::var(10)]);
+        let start = vec![head_bindings(&head, &d).unwrap()];
+        let movies = Literal::relation(
+            "movies",
+            vec![Term::var(11), Term::var(12), Term::var(13)],
+        );
+        let after_movies = extend_bindings(&movies, &start, &d, 16);
+        assert_eq!(after_movies.len(), 1);
+        // A literal whose relation does not exist in D blocks every binding.
+        let blocking = Literal::relation("mov2releasedate", vec![Term::var(11), Term::var(14)]);
+        assert!(extend_bindings(&blocking, &after_movies, &d, 16).is_empty());
+        // A genre literal with the wrong constant also blocks.
+        let wrong_genre =
+            Literal::relation("mov2genres", vec![Term::var(11), Term::constant("drama")]);
+        assert!(extend_bindings(&wrong_genre, &after_movies, &d, 16).is_empty());
+        let right_genre =
+            Literal::relation("mov2genres", vec![Term::var(11), Term::constant("comedy")]);
+        assert_eq!(extend_bindings(&right_genre, &after_movies, &d, 16).len(), 1);
+    }
+
+    #[test]
+    fn two_c_variables_may_map_to_the_same_d_term() {
+        // θ-subsumption does not require injectivity.
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
+        c.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(2), Term::var(3)]));
+        c.push_unique(Literal::relation("movies", vec![Term::var(4), Term::var(5), Term::var(6)]));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_some());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_no_subsumption() {
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
+        for i in 0..6 {
+            c.push_unique(Literal::relation(
+                "movies",
+                vec![Term::var(10 + i), Term::var(20 + i), Term::var(30 + i)],
+            ));
+        }
+        c.push_unique(Literal::relation("missing", vec![Term::var(50)]));
+        let d = ground_clause();
+        let tiny = SubsumptionConfig { max_steps: 1, ..SubsumptionConfig::default() };
+        assert!(subsumes(&c, &d, &tiny).is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Fluent construction of schemas and small databases.
+//!
+//! The builder is mostly used by tests, examples and the synthetic data
+//! generators: it removes the `Result` plumbing for programmatically
+//! constructed databases whose schemas are known to be valid.
+
+use crate::database::Database;
+use crate::schema::{Attribute, RelationSchema};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+
+/// Builder for a [`RelationSchema`].
+#[derive(Debug, Clone)]
+pub struct RelationBuilder {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+impl RelationBuilder {
+    /// Start building a relation schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationBuilder { name: name.into(), attributes: Vec::new() }
+    }
+
+    /// Add a string attribute.
+    pub fn str_attr(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(Attribute::new(name, ValueType::Str));
+        self
+    }
+
+    /// Add an integer attribute.
+    pub fn int_attr(mut self, name: impl Into<String>) -> Self {
+        self.attributes.push(Attribute::new(name, ValueType::Int));
+        self
+    }
+
+    /// Finish, producing the schema.
+    pub fn build(self) -> RelationSchema {
+        RelationSchema::new(self.name, self.attributes)
+    }
+}
+
+/// Builder for a [`Database`].
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    database: Database,
+}
+
+impl DatabaseBuilder {
+    /// Start with an empty database.
+    pub fn new() -> Self {
+        DatabaseBuilder { database: Database::new() }
+    }
+
+    /// Declare a relation. Panics on duplicate names (programming error).
+    pub fn relation(mut self, schema: RelationSchema) -> Self {
+        self.database.create_relation(schema).expect("duplicate relation in builder");
+        self
+    }
+
+    /// Insert one tuple built from `Into<Value>` items. Panics on schema
+    /// mismatch (programming error in generated data).
+    pub fn row<I, V>(mut self, relation: &str, values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        let tuple = Tuple::new(values.into_iter().map(Into::into).collect());
+        self.database.insert(relation, tuple).expect("row does not match relation schema");
+        self
+    }
+
+    /// Finish, producing the database.
+    pub fn build(self) -> Database {
+        self.database
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_database() {
+        let db = DatabaseBuilder::new()
+            .relation(RelationBuilder::new("movies").int_attr("id").str_attr("title").build())
+            .row("movies", vec![Value::int(1), Value::str("Superbad")])
+            .row("movies", vec![Value::int(2), Value::str("Zoolander")])
+            .build();
+        assert_eq!(db.require_relation("movies").unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row does not match relation schema")]
+    fn builder_panics_on_bad_row() {
+        let _ = DatabaseBuilder::new()
+            .relation(RelationBuilder::new("r").int_attr("id").build())
+            .row("r", vec![Value::str("not an int")]);
+    }
+
+    #[test]
+    fn relation_builder_orders_attributes() {
+        let schema = RelationBuilder::new("r").int_attr("a").str_attr("b").int_attr("c").build();
+        assert_eq!(schema.arity(), 3);
+        assert_eq!(schema.attribute_index("b"), Some(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the relational store.
+
+use std::fmt;
+
+/// Errors raised by schema and database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A relation with the same name already exists.
+    DuplicateRelation(String),
+    /// The named relation does not exist in the schema.
+    UnknownRelation(String),
+    /// The named attribute does not exist in the relation.
+    UnknownAttribute {
+        /// Relation that was inspected.
+        relation: String,
+        /// Requested attribute name.
+        attribute: String,
+    },
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// Relation that was inserted into.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A tuple value's type does not match the attribute type.
+    TypeMismatch {
+        /// Relation that was inserted into.
+        relation: String,
+        /// Offending attribute.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::DuplicateRelation(name) => {
+                write!(f, "relation '{name}' already exists")
+            }
+            StoreError::UnknownRelation(name) => write!(f, "unknown relation '{name}'"),
+            StoreError::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute '{attribute}' in relation '{relation}'")
+            }
+            StoreError::ArityMismatch { relation, expected, actual } => write!(
+                f,
+                "arity mismatch inserting into '{relation}': expected {expected}, got {actual}"
+            ),
+            StoreError::TypeMismatch { relation, attribute } => {
+                write!(f, "type mismatch for attribute '{attribute}' of relation '{relation}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = StoreError::ArityMismatch { relation: "r".into(), expected: 2, actual: 3 };
+        assert!(e.to_string().contains("expected 2"));
+        let e = StoreError::UnknownRelation("movies".into());
+        assert!(e.to_string().contains("movies"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # dlearn-relstore — in-memory relational database substrate
+//!
+//! DLearn (the paper's system) is implemented on top of a main-memory RDBMS
+//! (VoltDB) and only needs a small slice of its functionality: typed
+//! relations, equality selections backed by hash indexes, and cheap in-place
+//! value updates for database repairs. This crate provides exactly that
+//! substrate, from scratch, with deterministic iteration orders so that
+//! learning runs are reproducible.
+//!
+//! The main types are:
+//!
+//! * [`Value`] / [`ValueType`] — attribute values (ints, strings, `NULL`).
+//! * [`Attribute`], [`RelationSchema`], [`Schema`] — schema catalog.
+//! * [`Tuple`] — an ordered list of values.
+//! * [`Relation`] — a relation instance with per-attribute hash indexes.
+//! * [`Database`] — the full instance, keyed by relation name.
+//! * [`DatabaseBuilder`] / [`RelationBuilder`] — fluent construction helpers.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod database;
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use builder::{DatabaseBuilder, RelationBuilder};
+pub use database::Database;
+pub use error::StoreError;
+pub use relation::{Relation, TupleId};
+pub use schema::{Attribute, RelationSchema, Schema};
+pub use tuple::{tuple, Tuple};
+pub use value::{Value, ValueType};

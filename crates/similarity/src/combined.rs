@@ -1,0 +1,89 @@
+//! The combined similarity operator used by DLearn.
+//!
+//! Section 5 of the paper: *"To implement similarity over strings, DLearn
+//! uses the operator defined as the average of the Smith-Waterman-Gotoh and
+//! the Length similarity functions."*
+
+use crate::length::length_similarity;
+use crate::sw_gotoh::{swg_similarity_with, SwgParams};
+
+/// A configurable string-similarity operator with a decision threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityOperator {
+    /// Parameters of the Smith-Waterman-Gotoh component.
+    pub swg: SwgParams,
+    /// Two strings are considered *similar* (`a ≈ b`) when their combined
+    /// score is at least this threshold.
+    pub threshold: f64,
+}
+
+impl Default for SimilarityOperator {
+    fn default() -> Self {
+        // The threshold is calibrated so that an entity name matches its
+        // decorated variants in the other source (e.g. "Star Wars" vs
+        // "Star Wars: Episode IV - 1977", where the length component pulls
+        // the average down) while unrelated names stay below it.
+        SimilarityOperator { swg: SwgParams::default(), threshold: 0.65 }
+    }
+}
+
+impl SimilarityOperator {
+    /// Operator with a custom decision threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        SimilarityOperator { threshold, ..SimilarityOperator::default() }
+    }
+
+    /// Combined similarity score of two strings in `[0, 1]`.
+    pub fn score(&self, a: &str, b: &str) -> f64 {
+        let swg = swg_similarity_with(a, b, &self.swg);
+        let len = length_similarity(a, b);
+        (swg + len) / 2.0
+    }
+
+    /// The `≈` predicate: whether two strings are similar under the
+    /// operator's threshold.
+    pub fn similar(&self, a: &str, b: &str) -> bool {
+        self.score(a, b) >= self.threshold
+    }
+}
+
+/// Convenience free function using the default operator.
+pub fn combined_similarity(a: &str, b: &str) -> f64 {
+    SimilarityOperator::default().score(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_score_one() {
+        assert_eq!(combined_similarity("Superbad", "Superbad"), 1.0);
+    }
+
+    #[test]
+    fn substring_with_extra_tokens_scores_between_swg_and_one() {
+        let s = combined_similarity("Superbad", "Superbad (2007)");
+        assert!(s > 0.7 && s < 1.0, "score {s}");
+    }
+
+    #[test]
+    fn threshold_controls_the_similar_predicate() {
+        let lenient = SimilarityOperator::with_threshold(0.5);
+        let strict = SimilarityOperator::with_threshold(0.95);
+        assert!(lenient.similar("Superbad", "Superbad 2007"));
+        assert!(!strict.similar("Superbad", "Superbad 2007 director cut edition"));
+    }
+
+    #[test]
+    fn unrelated_strings_are_not_similar() {
+        let op = SimilarityOperator::default();
+        assert!(!op.similar("Zoolander", "The Orphanage"));
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let op = SimilarityOperator::default();
+        assert!((op.score("abcd", "abce") - op.score("abce", "abcd")).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,255 @@
+//! Precomputed top-`km` similarity match index.
+//!
+//! Section 5: *"To improve efficiency, we precompute the pairs of similar
+//! values."* and Section 6: the number of top similar matches kept per value
+//! is the `km` parameter that Table 4 sweeps over (2, 5, 10).
+//!
+//! Building the index naively is `O(|L| · |R|)` alignment calls; we use
+//! token/trigram blocking: values are only aligned when they share at least
+//! one blocking key, which is how record-linkage systems keep this step
+//! tractable on large inputs.
+
+use std::collections::HashMap;
+
+use crate::combined::SimilarityOperator;
+use crate::tokenize::blocking_keys;
+
+/// A single similarity match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// The matched value from the *other* column.
+    pub value: String,
+    /// Combined similarity score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// Configuration of a [`SimilarityIndex`].
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Keep at most this many matches per value (the paper's `km`).
+    pub top_k: usize,
+    /// The similarity operator (score + threshold).
+    pub operator: SimilarityOperator,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig { top_k: 5, operator: SimilarityOperator::default() }
+    }
+}
+
+impl IndexConfig {
+    /// Config with a given `km` and default operator.
+    pub fn top_k(top_k: usize) -> Self {
+        IndexConfig { top_k, ..IndexConfig::default() }
+    }
+}
+
+/// A bidirectional top-`km` similarity match index between two columns of
+/// string values (the two sides of a matching dependency).
+#[derive(Debug, Clone, Default)]
+pub struct SimilarityIndex {
+    left_to_right: HashMap<String, Vec<Match>>,
+    right_to_left: HashMap<String, Vec<Match>>,
+}
+
+impl SimilarityIndex {
+    /// Build the index between the distinct values of the left and right
+    /// columns.
+    pub fn build(left: &[String], right: &[String], config: &IndexConfig) -> Self {
+        let left = dedup(left);
+        let right = dedup(right);
+
+        // Inverted blocking index over the right column.
+        let mut block: HashMap<String, Vec<usize>> = HashMap::new();
+        for (j, r) in right.iter().enumerate() {
+            for key in blocking_keys(r) {
+                block.entry(key).or_default().push(j);
+            }
+        }
+
+        let mut left_to_right: HashMap<String, Vec<Match>> = HashMap::new();
+        let mut right_to_left: HashMap<String, Vec<Match>> = HashMap::new();
+
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut seen = vec![false; right.len()];
+        for l in &left {
+            candidates.clear();
+            for key in blocking_keys(l) {
+                if let Some(ids) = block.get(&key) {
+                    for &j in ids {
+                        if !seen[j] {
+                            seen[j] = true;
+                            candidates.push(j);
+                        }
+                    }
+                }
+            }
+            let mut matches: Vec<Match> = Vec::new();
+            for &j in &candidates {
+                seen[j] = false;
+                let r = &right[j];
+                let score = config.operator.score(l, r);
+                if score >= config.operator.threshold {
+                    matches.push(Match { value: r.clone(), score });
+                }
+            }
+            matches.sort_by(|a, b| {
+                b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.value.cmp(&b.value))
+            });
+            matches.truncate(config.top_k);
+            for m in &matches {
+                let back = right_to_left.entry(m.value.clone()).or_default();
+                back.push(Match { value: l.clone(), score: m.score });
+            }
+            if !matches.is_empty() {
+                left_to_right.insert(l.clone(), matches);
+            }
+        }
+
+        // The reverse direction also keeps only the top-k matches per value.
+        for matches in right_to_left.values_mut() {
+            matches.sort_by(|a, b| {
+                b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.value.cmp(&b.value))
+            });
+            matches.truncate(config.top_k);
+        }
+
+        SimilarityIndex { left_to_right, right_to_left }
+    }
+
+    /// Matches of a left-column value (empty slice when none).
+    pub fn matches_left(&self, value: &str) -> &[Match] {
+        self.left_to_right.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Matches of a right-column value (empty slice when none).
+    pub fn matches_right(&self, value: &str) -> &[Match] {
+        self.right_to_left.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The single best match of a left-column value, if any. Used by the
+    /// Castor-Clean baseline, which unifies each value with its most similar
+    /// counterpart before learning.
+    pub fn best_match_left(&self, value: &str) -> Option<&Match> {
+        self.matches_left(value).first()
+    }
+
+    /// Whether a specific pair of values was matched (in either direction).
+    pub fn are_matched(&self, left: &str, right: &str) -> bool {
+        self.matches_left(left).iter().any(|m| m.value == right)
+            || self.matches_right(left).iter().any(|m| m.value == right)
+    }
+
+    /// Number of left-column values that have at least one match.
+    pub fn matched_left_count(&self) -> usize {
+        self.left_to_right.len()
+    }
+
+    /// Total number of stored (left, right) match pairs.
+    pub fn pair_count(&self) -> usize {
+        self.left_to_right.values().map(|v| v.len()).sum()
+    }
+}
+
+fn dedup(values: &[String]) -> Vec<String> {
+    let mut v: Vec<String> = values.to_vec();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn movies_left() -> Vec<String> {
+        vec![
+            "Star Wars".to_string(),
+            "Superbad".to_string(),
+            "Zoolander".to_string(),
+            "Totally Unrelated".to_string(),
+        ]
+    }
+
+    fn movies_right() -> Vec<String> {
+        vec![
+            "Star Wars: Episode IV - 1977".to_string(),
+            "Star Wars: Episode III - 2005".to_string(),
+            "Superbad (2007)".to_string(),
+            "Zoolander (2001)".to_string(),
+            "The Orphanage".to_string(),
+        ]
+    }
+
+    #[test]
+    fn index_finds_expected_matches() {
+        let idx = SimilarityIndex::build(
+            &movies_left(),
+            &movies_right(),
+            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.6) },
+        );
+        let superbad = idx.matches_left("Superbad");
+        assert!(superbad.iter().any(|m| m.value == "Superbad (2007)"));
+        let star_wars = idx.matches_left("Star Wars");
+        assert_eq!(star_wars.len(), 2, "Star Wars should match both episodes: {star_wars:?}");
+        assert!(idx.matches_left("Totally Unrelated").is_empty());
+    }
+
+    #[test]
+    fn top_k_limits_matches() {
+        let idx = SimilarityIndex::build(
+            &movies_left(),
+            &movies_right(),
+            &IndexConfig { top_k: 1, operator: SimilarityOperator::with_threshold(0.6) },
+        );
+        assert!(idx.matches_left("Star Wars").len() <= 1);
+    }
+
+    #[test]
+    fn reverse_direction_is_populated() {
+        let idx = SimilarityIndex::build(
+            &movies_left(),
+            &movies_right(),
+            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.6) },
+        );
+        let back = idx.matches_right("Superbad (2007)");
+        assert!(back.iter().any(|m| m.value == "Superbad"));
+        assert!(idx.are_matched("Superbad", "Superbad (2007)"));
+    }
+
+    #[test]
+    fn matches_are_sorted_by_descending_score() {
+        let idx = SimilarityIndex::build(
+            &movies_left(),
+            &movies_right(),
+            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.5) },
+        );
+        for v in movies_left() {
+            let ms = idx.matches_left(&v);
+            for w in ms.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+        }
+    }
+
+    #[test]
+    fn best_match_left_returns_highest_scoring() {
+        let idx = SimilarityIndex::build(
+            &movies_left(),
+            &movies_right(),
+            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.5) },
+        );
+        let best = idx.best_match_left("Zoolander").unwrap();
+        assert_eq!(best.value, "Zoolander (2001)");
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_index() {
+        let idx = SimilarityIndex::build(&[], &movies_right(), &IndexConfig::default());
+        assert_eq!(idx.matched_left_count(), 0);
+        assert_eq!(idx.pair_count(), 0);
+    }
+}

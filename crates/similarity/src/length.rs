@@ -1,0 +1,49 @@
+//! Length similarity: ratio of the shorter to the longer string length.
+
+use crate::tokenize::normalize;
+
+/// Length similarity of two raw strings in `[0, 1]`.
+///
+/// The paper defines it as the length of the smaller string divided by the
+/// length of the larger string; we compute it on normalized strings so that
+/// punctuation-only differences do not count.
+pub fn length_similarity(a: &str, b: &str) -> f64 {
+    let la = normalize(a).chars().count();
+    let lb = normalize(b).chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    if la == 0 || lb == 0 {
+        return 0.0;
+    }
+    let (min, max) = if la < lb { (la, lb) } else { (lb, la) };
+    min as f64 / max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_lengths_score_one() {
+        assert_eq!(length_similarity("abcd", "wxyz"), 1.0);
+        assert_eq!(length_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_scores_zero() {
+        assert_eq!(length_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn ratio_of_lengths() {
+        assert!((length_similarity("ab", "abcd") - 0.5).abs() < 1e-12);
+        assert!((length_similarity("abcd", "ab") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_applies_before_measuring() {
+        // "a--b" normalizes to "a b" (3 chars), same as "a b".
+        assert_eq!(length_similarity("a--b", "a b"), 1.0);
+    }
+}

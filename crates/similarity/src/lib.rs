@@ -1,0 +1,63 @@
+//! # dlearn-similarity — string similarity operators and match indexes
+//!
+//! DLearn resolves value heterogeneity with a string-similarity operator: the
+//! average of the Smith-Waterman-Gotoh local-alignment similarity and the
+//! Length similarity (Section 5 of the paper), and it precomputes, for every
+//! value participating in a matching dependency, the top-`km` most similar
+//! values on the other side of the dependency.
+//!
+//! * [`swg_similarity`] — normalized Smith-Waterman-Gotoh score.
+//! * [`length_similarity`] — ratio of string lengths.
+//! * [`SimilarityOperator`] — the combined operator with a decision threshold.
+//! * [`SimilarityIndex`] — blocking-based precomputed top-`km` match index.
+
+#![warn(missing_docs)]
+
+pub mod combined;
+pub mod index;
+pub mod length;
+pub mod sw_gotoh;
+pub mod tokenize;
+
+pub use combined::{combined_similarity, SimilarityOperator};
+pub use index::{IndexConfig, Match, SimilarityIndex};
+pub use length::length_similarity;
+pub use sw_gotoh::{swg_similarity, swg_similarity_with, SwgParams};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    use crate::combined::SimilarityOperator;
+    use crate::length::length_similarity;
+    use crate::sw_gotoh::swg_similarity;
+
+    proptest! {
+        #[test]
+        fn swg_is_bounded_and_symmetric(a in "[ -~]{0,24}", b in "[ -~]{0,24}") {
+            let ab = swg_similarity(&a, &b);
+            let ba = swg_similarity(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            prop_assert!((ab - ba).abs() < 1e-9);
+        }
+
+        #[test]
+        fn swg_identity_is_one(a in "[a-z0-9 ]{1,24}") {
+            prop_assume!(!a.trim().is_empty());
+            prop_assert!((swg_similarity(&a, &a) - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn length_similarity_bounded(a in "[ -~]{0,32}", b in "[ -~]{0,32}") {
+            let s = length_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn combined_score_bounded(a in "[ -~]{0,24}", b in "[ -~]{0,24}") {
+            let op = SimilarityOperator::default();
+            let s = op.score(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Smith-Waterman-Gotoh local sequence alignment similarity.
+//!
+//! The paper's similarity operator uses the Smith-Waterman-Gotoh function
+//! (local alignment with affine gap penalties, Gotoh 1982) over strings,
+//! normalized to `[0, 1]`. We implement the standard three-matrix dynamic
+//! program (`H`, `E`, `F`) over characters of the normalized strings and
+//! normalize the best local score by `match_score * min(|a|, |b|)`, which is
+//! the maximum achievable score for the shorter string.
+
+use crate::tokenize::normalize;
+
+/// Scoring parameters of the Smith-Waterman-Gotoh alignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwgParams {
+    /// Reward for two equal characters.
+    pub match_score: f64,
+    /// Penalty (negative contribution) for two different characters.
+    pub mismatch_score: f64,
+    /// Cost of opening a gap (subtracted when a gap starts).
+    pub gap_open: f64,
+    /// Cost of extending an existing gap by one character.
+    pub gap_extend: f64,
+}
+
+impl Default for SwgParams {
+    fn default() -> Self {
+        // The SimMetrics defaults used by Castor/DLearn-style systems:
+        // reward 1 for a match, -2 for a mismatch, affine gaps of 0.5 / 0.3.
+        SwgParams { match_score: 1.0, mismatch_score: -2.0, gap_open: 0.5, gap_extend: 0.3 }
+    }
+}
+
+/// Raw (un-normalized) best local alignment score between two char slices.
+fn best_local_score(a: &[char], b: &[char], p: &SwgParams) -> f64 {
+    let n = a.len();
+    let m = b.len();
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    // Rolling rows: H (best score ending at i,j), E (gap in a), F (gap in b).
+    let mut h_prev = vec![0.0f64; m + 1];
+    let mut h_curr = vec![0.0f64; m + 1];
+    let mut f_prev = vec![f64::NEG_INFINITY; m + 1];
+    let mut f_curr = vec![f64::NEG_INFINITY; m + 1];
+    let mut best = 0.0f64;
+
+    for i in 1..=n {
+        let mut e = f64::NEG_INFINITY;
+        h_curr[0] = 0.0;
+        for j in 1..=m {
+            e = (e - p.gap_extend).max(h_curr[j - 1] - p.gap_open);
+            f_curr[j] = (f_prev[j] - p.gap_extend).max(h_prev[j] - p.gap_open);
+            let subst = if a[i - 1] == b[j - 1] { p.match_score } else { p.mismatch_score };
+            let diag = h_prev[j - 1] + subst;
+            let score = diag.max(e).max(f_curr[j]).max(0.0);
+            h_curr[j] = score;
+            if score > best {
+                best = score;
+            }
+        }
+        std::mem::swap(&mut h_prev, &mut h_curr);
+        std::mem::swap(&mut f_prev, &mut f_curr);
+    }
+    best
+}
+
+/// Normalized Smith-Waterman-Gotoh similarity of two raw strings in `[0, 1]`.
+///
+/// Strings are normalized (lowercased, punctuation collapsed) before
+/// alignment, so `"Superbad (2007)"` and `"superbad 2007"` score 1.0.
+pub fn swg_similarity(a: &str, b: &str) -> f64 {
+    swg_similarity_with(a, b, &SwgParams::default())
+}
+
+/// Normalized similarity with explicit scoring parameters.
+pub fn swg_similarity_with(a: &str, b: &str, params: &SwgParams) -> f64 {
+    let na = normalize(a);
+    let nb = normalize(b);
+    if na.is_empty() && nb.is_empty() {
+        return 1.0;
+    }
+    if na.is_empty() || nb.is_empty() {
+        return 0.0;
+    }
+    let ca: Vec<char> = na.chars().collect();
+    let cb: Vec<char> = nb.chars().collect();
+    let best = best_local_score(&ca, &cb, params);
+    let denom = params.match_score * ca.len().min(cb.len()) as f64;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    (best / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert_eq!(swg_similarity("Superbad", "Superbad"), 1.0);
+        assert_eq!(swg_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_scores_zero() {
+        assert_eq!(swg_similarity("", "abc"), 0.0);
+        assert_eq!(swg_similarity("abc", ""), 0.0);
+    }
+
+    #[test]
+    fn substring_scores_one_after_normalization() {
+        // The shorter string aligns perfectly inside the longer one.
+        assert!(swg_similarity("Superbad", "Superbad (2007)") > 0.99);
+        assert!(swg_similarity("Star Wars", "Star Wars: Episode IV - 1977") > 0.99);
+    }
+
+    #[test]
+    fn unrelated_strings_score_low() {
+        assert!(swg_similarity("Superbad", "Orphanage") < 0.6);
+        assert!(swg_similarity("aaaa", "zzzz") < 0.01);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let pairs = [("Zoolander", "Zoolander 2001"), ("J. Smth", "Jon Smith"), ("abc", "abd")];
+        for (a, b) in pairs {
+            let ab = swg_similarity(a, b);
+            let ba = swg_similarity(b, a);
+            assert!((ab - ba).abs() < 1e-12, "{a} vs {b}: {ab} != {ba}");
+        }
+    }
+
+    #[test]
+    fn case_and_punctuation_do_not_matter() {
+        assert_eq!(swg_similarity("STAR-WARS", "star wars"), 1.0);
+    }
+
+    #[test]
+    fn small_typos_keep_similarity_high() {
+        assert!(swg_similarity("Zoolander", "Zoolandr") > 0.8);
+        assert!(swg_similarity("computers accessories", "computer accessories") > 0.9);
+    }
+
+    #[test]
+    fn custom_params_are_respected() {
+        let strict = SwgParams { mismatch_score: -10.0, ..SwgParams::default() };
+        assert!(swg_similarity_with("abcd", "abxd", &strict) <= swg_similarity("abcd", "abxd"));
+    }
+}

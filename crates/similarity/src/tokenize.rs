@@ -1,0 +1,89 @@
+//! String normalization and tokenization used for similarity blocking.
+
+/// Normalize a string for similarity comparison: lowercase and collapse any
+/// non-alphanumeric run into a single space.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Split a normalized string into word tokens.
+pub fn tokens(s: &str) -> Vec<String> {
+    normalize(s).split(' ').filter(|t| !t.is_empty()).map(|t| t.to_string()).collect()
+}
+
+/// Character trigrams of the normalized string (used as a fallback blocking
+/// key for single-token values such as person names).
+pub fn trigrams(s: &str) -> Vec<String> {
+    let n = normalize(s);
+    let chars: Vec<char> = n.chars().collect();
+    if chars.len() < 3 {
+        if n.is_empty() {
+            return Vec::new();
+        }
+        return vec![n];
+    }
+    chars.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+/// Blocking keys for a value: its word tokens plus, for short values, their
+/// character trigrams. Two values that share no blocking key are never
+/// compared by the similarity index.
+pub fn blocking_keys(s: &str) -> Vec<String> {
+    let mut keys = tokens(s);
+    if keys.len() <= 2 {
+        keys.extend(trigrams(s));
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_collapses_punctuation() {
+        assert_eq!(normalize("Star Wars: Episode IV - 1977"), "star wars episode iv 1977");
+        assert_eq!(normalize("  A--B  "), "a b");
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn tokens_split_on_whitespace() {
+        assert_eq!(tokens("Star Wars: IV"), vec!["star", "wars", "iv"]);
+        assert!(tokens("???").is_empty());
+    }
+
+    #[test]
+    fn trigrams_of_short_strings() {
+        assert_eq!(trigrams("ab"), vec!["ab".to_string()]);
+        assert_eq!(trigrams("abcd"), vec!["abc".to_string(), "bcd".to_string()]);
+        assert!(trigrams("").is_empty());
+    }
+
+    #[test]
+    fn blocking_keys_are_deduplicated_and_sorted() {
+        let keys = blocking_keys("J. Smth");
+        assert!(keys.contains(&"smth".to_string()));
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

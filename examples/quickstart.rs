@@ -1,0 +1,39 @@
+//! Quickstart: learn a definition for a target relation directly over a
+//! dirty, two-source movie database — no cleaning step.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dlearn::core::{DLearn, LearnerConfig};
+use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
+
+fn main() {
+    // A synthetic IMDB+OMDB-style database: titles are spelled differently
+    // across the two sources, so only the title matching dependency can
+    // connect a movie to its rating.
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 7);
+    println!("dataset: {}", dataset.name);
+    println!("database: {}", dataset.task.database.summary());
+    println!(
+        "examples: {} positive / {} negative\n",
+        dataset.task.positives.len(),
+        dataset.task.negatives.len()
+    );
+
+    // Learn directly over the dirty database.
+    let mut learner = DLearn::new(LearnerConfig::fast());
+    let model = learner.learn(&dataset.task);
+
+    println!("learned definition ({} clauses):", model.clauses().len());
+    println!("{}\n", model.render());
+
+    // Apply the model to the training examples to show how it is used.
+    let covered_positives =
+        dataset.task.positives.iter().filter(|e| model.predict(e)).count();
+    let covered_negatives =
+        dataset.task.negatives.iter().filter(|e| model.predict(e)).count();
+    println!(
+        "training coverage: {covered_positives}/{} positives, {covered_negatives}/{} negatives",
+        dataset.task.positives.len(),
+        dataset.task.negatives.len()
+    );
+}
