@@ -13,6 +13,7 @@ use dlearn_constraints::MdCatalog;
 use dlearn_core::{BottomClauseBuilder, GroundExample, LearnerConfig, PreparedClause};
 use dlearn_datagen::{generate_movie_dataset, MovieConfig};
 use dlearn_logic::{subsumes, GroundClause, SubsumptionConfig};
+use dlearn_relstore::Sym;
 use dlearn_similarity::{swg_similarity, IndexConfig, SimilarityIndex};
 
 fn bench_similarity(c: &mut Criterion) {
@@ -27,11 +28,19 @@ fn bench_similarity(c: &mut Criterion) {
         })
     });
     for n in [100usize, 400] {
-        let left: Vec<String> = (0..n).map(|i| format!("Crimson Harbor Voyage {i}")).collect();
-        let right: Vec<String> = (0..n).map(|i| format!("Crimson Harbor Voyage {i} (1987)")).collect();
+        let left: Vec<Sym> = (0..n)
+            .map(|i| Sym::intern(format!("Crimson Harbor Voyage {i}")))
+            .collect();
+        let right: Vec<Sym> = (0..n)
+            .map(|i| Sym::intern(format!("Crimson Harbor Voyage {i} (1987)")))
+            .collect();
         group.bench_with_input(BenchmarkId::new("index_build", n), &n, |b, _| {
             b.iter(|| {
-                std::hint::black_box(SimilarityIndex::build(&left, &right, &IndexConfig::top_k(5)))
+                std::hint::black_box(SimilarityIndex::build(
+                    &left,
+                    &right,
+                    &IndexConfig::top_k(5),
+                ))
             })
         });
     }
@@ -40,7 +49,9 @@ fn bench_similarity(c: &mut Criterion) {
 
 fn bench_learning_stages(c: &mut Criterion) {
     let mut group = c.benchmark_group("learning_stages");
-    group.sample_size(20).measurement_time(Duration::from_secs(10));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(10));
 
     let dataset = generate_movie_dataset(&MovieConfig::tiny(), 17);
     let task = &dataset.task;

@@ -1,0 +1,97 @@
+//! θ-subsumption micro-benchmarks on the movie workload, with a
+//! machine-readable baseline.
+//!
+//! Besides printing criterion-style numbers, this bench writes
+//! `BENCH_subsumption.json` at the workspace root: median nanoseconds for
+//! `GroundClause::new` (index construction) and `subsumes` (the matcher) on
+//! bottom clauses of the synthetic IMDB+OMDB task. Later performance work
+//! diffs against this file to prove a trajectory.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dlearn_constraints::MdCatalog;
+use dlearn_core::{BottomClauseBuilder, CoverageEngine, LearnerConfig, PreparedClause};
+use dlearn_datagen::{generate_movie_dataset, MovieConfig};
+use dlearn_logic::{subsumes, Clause, GroundClause, SubsumptionConfig};
+use dlearn_similarity::{IndexConfig, SimilarityOperator};
+
+fn bench_subsumption(c: &mut Criterion) {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny().with_violation_rate(0.1), 42);
+    let task = &dataset.task;
+    let config = LearnerConfig::fast().with_iterations(4);
+    let index_config = IndexConfig {
+        top_k: config.km,
+        operator: SimilarityOperator::with_threshold(config.similarity_threshold),
+    };
+    let catalog = MdCatalog::build(
+        &task.mds,
+        &dlearn_core::augment_with_target(task),
+        &index_config,
+    );
+    let builder = BottomClauseBuilder::new(task, &catalog, &config);
+
+    // A realistic candidate (a bottom clause) against the ground bottom
+    // clauses of the full positive set — the exact shape of the covering
+    // loop's hot path.
+    let mut rng = StdRng::seed_from_u64(7);
+    let bottom: Clause = builder.build(&task.positives[0], &mut rng);
+    let grounds: Vec<GroundClause> = task
+        .positives
+        .iter()
+        .map(|e| {
+            let mut rng = StdRng::seed_from_u64(11);
+            GroundClause::new(&builder.build(e, &mut rng))
+        })
+        .collect();
+    let sub_config = SubsumptionConfig::default();
+
+    let mut group = c.benchmark_group("subsumption");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("ground_clause_new", |b| {
+        b.iter(|| criterion::black_box(GroundClause::new(&bottom)))
+    });
+    group.bench_function("subsumes", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for g in &grounds {
+                hits += subsumes(&bottom, g, &sub_config).is_some() as usize;
+            }
+            criterion::black_box(hits)
+        })
+    });
+    group.bench_function("coverage_engine_counts", |b| {
+        let engine = CoverageEngine::build(task, &builder, &config);
+        let prepared = PreparedClause::prepare(bottom.clone(), &config);
+        b.iter(|| criterion::black_box(engine.counts(&prepared)))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_subsumption(&mut criterion);
+
+    // Machine-readable baseline at the workspace root.
+    let results = criterion.take_results();
+    let mut json = String::from("{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1)\",\n");
+    json.push_str("  \"unit\": \"ns (median per iteration)\",\n  \"benches\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": {{ \"median_ns\": {:.1}, \"samples\": {} }}{}\n",
+            r.name,
+            r.median_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_subsumption.json");
+    std::fs::write(path, &json).expect("write BENCH_subsumption.json");
+    println!("wrote {path}");
+}

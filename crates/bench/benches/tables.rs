@@ -20,7 +20,9 @@ fn configure(c: &mut Criterion) -> &mut Criterion {
 
 fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("paper_tables");
-    group.sample_size(10).measurement_time(Duration::from_secs(8));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
 
     group.bench_function("table4_smoke", |b| {
         b.iter(|| std::hint::black_box(experiments::table4(Scale::Smoke)))
@@ -47,7 +49,9 @@ fn bench_tables(c: &mut Criterion) {
 /// on the tiny movie dataset (the head-to-head that Table 4 aggregates).
 fn bench_systems(c: &mut Criterion) {
     let mut group = c.benchmark_group("systems_single_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
     let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
     for strategy in [
         Strategy::CastorNoMd,
@@ -68,12 +72,13 @@ fn bench_systems(c: &mut Criterion) {
 /// value), the knob Table 4 sweeps.
 fn bench_km_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("km_ablation");
-    group.sample_size(10).measurement_time(Duration::from_secs(15));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(15));
     let dataset = generate_movie_dataset(&MovieConfig::tiny(), 7);
     for km in [1usize, 2, 5, 10] {
         group.bench_function(format!("km_{km}"), |b| {
-            let learner =
-                Learner::new(Strategy::DLearn, LearnerConfig::fast().with_km(km));
+            let learner = Learner::new(Strategy::DLearn, LearnerConfig::fast().with_km(km));
             b.iter(|| std::hint::black_box(learner.learn(&dataset.task)))
         });
     }

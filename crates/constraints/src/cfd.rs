@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use dlearn_relstore::{Relation, Schema, StoreError, Tuple, TupleId, Value};
+use dlearn_relstore::{RelId, Relation, Schema, StoreError, Sym, Tuple, TupleId, Value};
 
 /// A pattern entry: a constant or the unnamed wildcard `-`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,17 +40,17 @@ impl fmt::Display for PatternValue {
 }
 
 /// A conditional functional dependency with a single right-hand-side
-/// attribute.
+/// attribute. Relation and attribute references are interned handles.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cfd {
     /// Human-readable name used in reports.
     pub name: String,
     /// Relation the CFD is defined over.
-    pub relation: String,
+    pub relation: RelId,
     /// Left-hand-side attributes (`X`).
-    pub lhs: Vec<String>,
+    pub lhs: Vec<Sym>,
     /// Right-hand-side attribute (`A`).
-    pub rhs: String,
+    pub rhs: Sym,
     /// Pattern over the left-hand side, aligned with `lhs`.
     pub lhs_pattern: Vec<PatternValue>,
     /// Pattern over the right-hand side.
@@ -61,17 +61,17 @@ impl Cfd {
     /// A plain FD `X → A` (all-wildcard pattern).
     pub fn fd(
         name: impl Into<String>,
-        relation: impl Into<String>,
+        relation: impl Into<RelId>,
         lhs: Vec<&str>,
-        rhs: impl Into<String>,
+        rhs: impl AsRef<str>,
     ) -> Self {
-        let lhs: Vec<String> = lhs.into_iter().map(|s| s.to_string()).collect();
+        let lhs: Vec<Sym> = lhs.into_iter().map(Sym::intern).collect();
         let lhs_pattern = vec![PatternValue::Any; lhs.len()];
         Cfd {
             name: name.into(),
             relation: relation.into(),
             lhs,
-            rhs: rhs.into(),
+            rhs: Sym::intern(rhs),
             lhs_pattern,
             rhs_pattern: PatternValue::Any,
         }
@@ -80,19 +80,23 @@ impl Cfd {
     /// A CFD with an explicit pattern.
     pub fn with_pattern(
         name: impl Into<String>,
-        relation: impl Into<String>,
+        relation: impl Into<RelId>,
         lhs: Vec<&str>,
-        rhs: impl Into<String>,
+        rhs: impl AsRef<str>,
         lhs_pattern: Vec<PatternValue>,
         rhs_pattern: PatternValue,
     ) -> Self {
-        let lhs: Vec<String> = lhs.into_iter().map(|s| s.to_string()).collect();
-        assert_eq!(lhs.len(), lhs_pattern.len(), "pattern must align with the left-hand side");
+        let lhs: Vec<Sym> = lhs.into_iter().map(Sym::intern).collect();
+        assert_eq!(
+            lhs.len(),
+            lhs_pattern.len(),
+            "pattern must align with the left-hand side"
+        );
         Cfd {
             name: name.into(),
             relation: relation.into(),
             lhs,
-            rhs: rhs.into(),
+            rhs: Sym::intern(rhs),
             lhs_pattern,
             rhs_pattern,
         }
@@ -100,11 +104,11 @@ impl Cfd {
 
     /// Validate the CFD against a schema.
     pub fn validate(&self, schema: &Schema) -> Result<(), StoreError> {
-        let rel = schema.require_relation(&self.relation)?;
+        let rel = schema.require_relation(self.relation)?;
         for a in &self.lhs {
-            rel.require_attribute_index(a)?;
+            rel.require_attribute_index(a.as_str())?;
         }
-        rel.require_attribute_index(&self.rhs)?;
+        rel.require_attribute_index(self.rhs.as_str())?;
         Ok(())
     }
 
@@ -112,13 +116,21 @@ impl Cfd {
     pub fn lhs_indices(&self, relation: &Relation) -> Vec<usize> {
         self.lhs
             .iter()
-            .map(|a| relation.schema().attribute_index(a).expect("validated attribute"))
+            .map(|a| {
+                relation
+                    .schema()
+                    .attribute_pos(*a)
+                    .expect("validated attribute")
+            })
             .collect()
     }
 
     /// Resolve the RHS attribute position in the relation schema.
     pub fn rhs_index(&self, relation: &Relation) -> usize {
-        relation.schema().attribute_index(&self.rhs).expect("validated attribute")
+        relation
+            .schema()
+            .attribute_pos(self.rhs)
+            .expect("validated attribute")
     }
 
     /// `true` when the tuple's LHS values match the LHS pattern.
@@ -132,7 +144,13 @@ impl Cfd {
     /// `true` when two tuples jointly violate this CFD: they agree on the
     /// LHS, match the LHS pattern, but disagree on the RHS or fail the RHS
     /// pattern.
-    pub fn violates(&self, t1: &Tuple, t2: &Tuple, lhs_indices: &[usize], rhs_index: usize) -> bool {
+    pub fn violates(
+        &self,
+        t1: &Tuple,
+        t2: &Tuple,
+        lhs_indices: &[usize],
+        rhs_index: usize,
+    ) -> bool {
         let agree_lhs = lhs_indices.iter().all(|&i| t1.value(i) == t2.value(i));
         if !agree_lhs || !self.lhs_matches(t1, lhs_indices) || !self.lhs_matches(t2, lhs_indices) {
             return false;
@@ -140,7 +158,9 @@ impl Cfd {
         let r1 = t1.value(rhs_index);
         let r2 = t2.value(rhs_index);
         match (r1, r2) {
-            (Some(a), Some(b)) => a != b || !self.rhs_pattern.matches(a) || !self.rhs_pattern.matches(b),
+            (Some(a), Some(b)) => {
+                a != b || !self.rhs_pattern.matches(a) || !self.rhs_pattern.matches(b)
+            }
             _ => false,
         }
     }
@@ -158,8 +178,10 @@ impl Cfd {
             if !self.lhs_matches(tuple, &lhs_indices) {
                 continue;
             }
-            let key: Vec<Value> =
-                lhs_indices.iter().map(|&i| tuple.value(i).cloned().unwrap_or(Value::Null)).collect();
+            let key: Vec<Value> = lhs_indices
+                .iter()
+                .map(|&i| tuple.value(i).cloned().unwrap_or(Value::Null))
+                .collect();
             groups.entry(key).or_default().push(id);
         }
         let mut violations = Vec::new();
@@ -186,9 +208,18 @@ impl Cfd {
 
 impl fmt::Display for Cfd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let lhs = self.lhs.join(", ");
-        let lhs_pat =
-            self.lhs_pattern.iter().map(|p| p.to_string()).collect::<Vec<_>>().join(", ");
+        let lhs = self
+            .lhs
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let lhs_pat = self
+            .lhs_pattern
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
         write!(
             f,
             "{}: ({} → {}, ({} || {}))",
@@ -205,7 +236,11 @@ mod tests {
     fn locale_relation() -> Relation {
         let mut r = Relation::new(RelationSchema::new(
             "mov2locale",
-            vec![Attribute::str("title"), Attribute::str("language"), Attribute::str("country")],
+            vec![
+                Attribute::str("title"),
+                Attribute::str("language"),
+                Attribute::str("country"),
+            ],
         ));
         r.insert(tuple(vec!["Bait", "English", "USA"])).unwrap();
         r.insert(tuple(vec!["Bait", "English", "Ireland"])).unwrap();
@@ -221,7 +256,10 @@ mod tests {
             "mov2locale",
             vec!["title", "language"],
             "country",
-            vec![PatternValue::Any, PatternValue::Const(Value::str("English"))],
+            vec![
+                PatternValue::Any,
+                PatternValue::Const(Value::str("English")),
+            ],
             PatternValue::Any,
         )
     }
@@ -249,7 +287,11 @@ mod tests {
     fn satisfied_relation_has_no_violations() {
         let mut r = Relation::new(RelationSchema::new(
             "mov2locale",
-            vec![Attribute::str("title"), Attribute::str("language"), Attribute::str("country")],
+            vec![
+                Attribute::str("title"),
+                Attribute::str("language"),
+                Attribute::str("country"),
+            ],
         ));
         r.insert(tuple(vec!["Bait", "English", "USA"])).unwrap();
         r.insert(tuple(vec!["Bait", "English", "USA"])).unwrap();
@@ -270,7 +312,11 @@ mod tests {
         );
         let mut r = Relation::new(RelationSchema::new(
             "mov2locale",
-            vec![Attribute::str("title"), Attribute::str("language"), Attribute::str("country")],
+            vec![
+                Attribute::str("title"),
+                Attribute::str("language"),
+                Attribute::str("country"),
+            ],
         ));
         r.insert(tuple(vec!["A", "English", "Ireland"])).unwrap();
         r.insert(tuple(vec!["B", "English", "Ireland"])).unwrap();

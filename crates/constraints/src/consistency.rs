@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use dlearn_relstore::Value;
+use dlearn_relstore::{Sym, Value};
 
 use crate::cfd::{Cfd, PatternValue};
 
@@ -62,14 +62,14 @@ pub fn is_consistent(cfds: &[Cfd]) -> bool {
 /// what `b` requires?
 fn conflicts(a: &Cfd, b: &Cfd) -> Option<String> {
     // Constants pinned by a's LHS pattern plus its RHS constant (if any).
-    let mut pinned: HashMap<&str, &Value> = HashMap::new();
+    let mut pinned: HashMap<Sym, &Value> = HashMap::new();
     for (attr, pat) in a.lhs.iter().zip(a.lhs_pattern.iter()) {
         if let PatternValue::Const(v) = pat {
-            pinned.insert(attr.as_str(), v);
+            pinned.insert(*attr, v);
         }
     }
     if let PatternValue::Const(v) = &a.rhs_pattern {
-        pinned.insert(a.rhs.as_str(), v);
+        pinned.insert(a.rhs, v);
     }
     if pinned.is_empty() {
         return None;
@@ -80,7 +80,7 @@ fn conflicts(a: &Cfd, b: &Cfd) -> Option<String> {
     let mut b_applies = true;
     for (attr, pat) in b.lhs.iter().zip(b.lhs_pattern.iter()) {
         if let PatternValue::Const(v) = pat {
-            match pinned.get(attr.as_str()) {
+            match pinned.get(attr) {
                 Some(existing) if *existing == v => {}
                 _ => {
                     b_applies = false;
@@ -95,9 +95,9 @@ fn conflicts(a: &Cfd, b: &Cfd) -> Option<String> {
     // b then forces its RHS pattern constant; conflict if a pins a different
     // constant on the same attribute.
     if let PatternValue::Const(forced) = &b.rhs_pattern {
-        if let Some(existing) = pinned.get(b.rhs.as_str()) {
+        if let Some(existing) = pinned.get(&b.rhs) {
             if *existing != forced {
-                return Some(b.rhs.clone());
+                return Some(b.rhs.as_str().to_string());
             }
         }
     }
@@ -126,12 +126,15 @@ mod tests {
             vec!["b"],
             "a",
             vec![PatternValue::Const(Value::str("b1"))],
-            PatternValue::Const(Value::str("a2"))
+            PatternValue::Const(Value::str("a2")),
         );
         let issues = find_inconsistencies(&[c1, c2]);
         assert_eq!(issues.len(), 1);
         assert_eq!(issues[0].attribute, "a");
-        assert!(is_consistent(&[]), "the empty set of CFDs is trivially consistent");
+        assert!(
+            is_consistent(&[]),
+            "the empty set of CFDs is trivially consistent"
+        );
     }
 
     #[test]

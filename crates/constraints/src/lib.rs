@@ -35,60 +35,81 @@ pub use repair::{all_cfds_satisfied, enforce_md_best_match, minimal_cfd_repair, 
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    //! Property-style tests over seeded random relations (formerly
+    //! `proptest` strategies; driven by the vendored deterministic RNG).
 
-    use dlearn_relstore::{tuple, Attribute, Relation, RelationSchema, Value};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    use dlearn_relstore::{tuple, Attribute, Database, Relation, RelationSchema, Value};
 
     use crate::cfd::Cfd;
     use crate::repair::{all_cfds_satisfied, minimal_cfd_repair};
-    use dlearn_relstore::Database;
 
-    fn db_from_rows(rows: &[(String, String, String)]) -> Database {
+    const CASES: usize = 100;
+
+    /// A short random string over a two-letter alphabet (dense collisions,
+    /// so FD violations are common).
+    fn short(rng: &mut StdRng, alphabet: [char; 2]) -> String {
+        let len = rng.gen_range(1..3usize);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..2usize)])
+            .collect()
+    }
+
+    fn random_db(rng: &mut StdRng, max_rows: usize) -> Database {
         let mut db = Database::new();
         db.create_relation(RelationSchema::new(
             "r",
-            vec![Attribute::str("a"), Attribute::str("b"), Attribute::str("c")],
+            vec![
+                Attribute::str("a"),
+                Attribute::str("b"),
+                Attribute::str("c"),
+            ],
         ))
         .unwrap();
-        for (a, b, c) in rows {
-            db.insert("r", tuple(vec![Value::str(a), Value::str(b), Value::str(c)])).unwrap();
+        for _ in 0..rng.gen_range(0..max_rows) {
+            let a = short(rng, ['a', 'b']);
+            let b = short(rng, ['c', 'd']);
+            let c = short(rng, ['e', 'f']);
+            db.insert(
+                "r",
+                tuple(vec![Value::str(a), Value::str(b), Value::str(c)]),
+            )
+            .unwrap();
         }
         db
     }
 
-    proptest! {
-        /// The minimal repair of any database w.r.t. a plain FD always
-        /// satisfies the FD afterwards and never changes the tuple count.
-        #[test]
-        fn minimal_repair_reaches_a_consistent_instance(
-            rows in proptest::collection::vec(
-                ("[ab]{1,2}", "[cd]{1,2}", "[ef]{1,2}")
-                    .prop_map(|(a, b, c)| (a, b, c)),
-                0..20,
-            )
-        ) {
-            let db = db_from_rows(&rows);
-            let cfds = vec![Cfd::fd("fd", "r", vec!["a"], "c"), Cfd::fd("fd2", "r", vec!["b"], "c")];
+    /// The minimal repair of any database w.r.t. a plain FD always satisfies
+    /// the FD afterwards and never changes the tuple count.
+    #[test]
+    fn minimal_repair_reaches_a_consistent_instance() {
+        let mut rng = StdRng::seed_from_u64(0x2e9a1);
+        for _ in 0..CASES {
+            let db = random_db(&mut rng, 20);
+            let cfds = vec![
+                Cfd::fd("fd", "r", vec!["a"], "c"),
+                Cfd::fd("fd2", "r", vec!["b"], "c"),
+            ];
             let (repaired, _) = minimal_cfd_repair(&db, &cfds);
-            prop_assert!(all_cfds_satisfied(&repaired, &cfds));
-            prop_assert_eq!(repaired.total_tuples(), db.total_tuples());
+            assert!(all_cfds_satisfied(&repaired, &cfds));
+            assert_eq!(repaired.total_tuples(), db.total_tuples());
         }
+    }
 
-        /// Violation detection is symmetric in the pair and never reports a
-        /// tuple violating with itself.
-        #[test]
-        fn violations_are_well_formed(
-            rows in proptest::collection::vec(
-                ("[ab]{1}", "[cd]{1}", "[ef]{1}").prop_map(|(a, b, c)| (a, b, c)),
-                0..16,
-            )
-        ) {
-            let db = db_from_rows(&rows);
+    /// Violation detection is symmetric in the pair and never reports a
+    /// tuple violating with itself.
+    #[test]
+    fn violations_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(0x51c4);
+        for _ in 0..CASES {
+            let db = random_db(&mut rng, 16);
             let cfd = Cfd::fd("fd", "r", vec!["a"], "b");
             let rel: &Relation = db.relation("r").unwrap();
             for (i, j) in cfd.find_violations(rel) {
-                prop_assert!(i < j);
-                prop_assert!(rel.tuple(i).is_some() && rel.tuple(j).is_some());
+                assert!(i < j);
+                assert!(rel.tuple(i).is_some() && rel.tuple(j).is_some());
             }
         }
     }

@@ -7,32 +7,36 @@
 
 use std::fmt;
 
-use dlearn_relstore::{Schema, StoreError};
+use dlearn_relstore::{RelId, Schema, StoreError, Sym};
 
 /// One similarity comparison of an MD premise: `R1[left] ≈ R2[right]`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimilarityPair {
-    /// Attribute of the left relation.
-    pub left: String,
-    /// Attribute of the right relation.
-    pub right: String,
+    /// Attribute of the left relation (interned).
+    pub left: Sym,
+    /// Attribute of the right relation (interned).
+    pub right: Sym,
 }
 
 /// A matching dependency.
+///
+/// Relation and attribute references are interned handles, so the
+/// bottom-clause walk comparing frontier relations against MD sides does so
+/// with integer equality.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchingDependency {
     /// Human-readable name used in reports.
     pub name: String,
     /// Left relation (`R1`).
-    pub left_relation: String,
+    pub left_relation: RelId,
     /// Right relation (`R2`).
-    pub right_relation: String,
+    pub right_relation: RelId,
     /// The similarity premise `R1[A_i] ≈ R2[B_i]`.
     pub premises: Vec<SimilarityPair>,
     /// The identified attribute of the left relation (`C`).
-    pub identify_left: String,
+    pub identify_left: Sym,
     /// The identified attribute of the right relation (`D`).
-    pub identify_right: String,
+    pub identify_right: Sym,
 }
 
 impl MatchingDependency {
@@ -40,18 +44,21 @@ impl MatchingDependency {
     /// `R1[A] ≈ R2[B] → R1[A] ⇌ R2[B]` (e.g. matching titles).
     pub fn simple(
         name: impl Into<String>,
-        left_relation: impl Into<String>,
-        left_attr: impl Into<String>,
-        right_relation: impl Into<String>,
-        right_attr: impl Into<String>,
+        left_relation: impl Into<RelId>,
+        left_attr: impl AsRef<str>,
+        right_relation: impl Into<RelId>,
+        right_attr: impl AsRef<str>,
     ) -> Self {
-        let left_attr = left_attr.into();
-        let right_attr = right_attr.into();
+        let left_attr = Sym::intern(left_attr);
+        let right_attr = Sym::intern(right_attr);
         MatchingDependency {
             name: name.into(),
             left_relation: left_relation.into(),
             right_relation: right_relation.into(),
-            premises: vec![SimilarityPair { left: left_attr.clone(), right: right_attr.clone() }],
+            premises: vec![SimilarityPair {
+                left: left_attr,
+                right: right_attr,
+            }],
             identify_left: left_attr,
             identify_right: right_attr,
         }
@@ -60,20 +67,21 @@ impl MatchingDependency {
     /// Validate the MD against a database schema: relations and attributes
     /// must exist.
     pub fn validate(&self, schema: &Schema) -> Result<(), StoreError> {
-        let left = schema.require_relation(&self.left_relation)?;
-        let right = schema.require_relation(&self.right_relation)?;
+        let left = schema.require_relation(self.left_relation)?;
+        let right = schema.require_relation(self.right_relation)?;
         for p in &self.premises {
-            left.require_attribute_index(&p.left)?;
-            right.require_attribute_index(&p.right)?;
+            left.require_attribute_index(p.left.as_str())?;
+            right.require_attribute_index(p.right.as_str())?;
         }
-        left.require_attribute_index(&self.identify_left)?;
-        right.require_attribute_index(&self.identify_right)?;
+        left.require_attribute_index(self.identify_left.as_str())?;
+        right.require_attribute_index(self.identify_right.as_str())?;
         Ok(())
     }
 
     /// `true` when the MD's premise involves the given relation.
-    pub fn involves(&self, relation: &str) -> bool {
-        self.left_relation == relation || self.right_relation == relation
+    pub fn involves(&self, relation: impl Into<RelId>) -> bool {
+        let id = relation.into();
+        self.left_relation == id || self.right_relation == id
     }
 }
 
@@ -83,7 +91,10 @@ impl fmt::Display for MatchingDependency {
             .premises
             .iter()
             .map(|p| {
-                format!("{}[{}] ≈ {}[{}]", self.left_relation, p.left, self.right_relation, p.right)
+                format!(
+                    "{}[{}] ≈ {}[{}]",
+                    self.left_relation, p.left, self.right_relation, p.right
+                )
             })
             .collect::<Vec<_>>()
             .join(", ");
@@ -104,7 +115,11 @@ mod tests {
         let mut s = Schema::new();
         s.add_relation(RelationSchema::new(
             "movies",
-            vec![Attribute::int("id"), Attribute::str("title"), Attribute::int("year")],
+            vec![
+                Attribute::int("id"),
+                Attribute::str("title"),
+                Attribute::int("year"),
+            ],
         ))
         .unwrap();
         s.add_relation(RelationSchema::new(
@@ -117,13 +132,8 @@ mod tests {
 
     #[test]
     fn simple_md_validates_against_schema() {
-        let md = MatchingDependency::simple(
-            "titles",
-            "movies",
-            "title",
-            "highBudgetMovies",
-            "title",
-        );
+        let md =
+            MatchingDependency::simple("titles", "movies", "title", "highBudgetMovies", "title");
         assert!(md.validate(&schema()).is_ok());
         assert!(md.involves("movies"));
         assert!(md.involves("highBudgetMovies"));

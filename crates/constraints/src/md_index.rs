@@ -7,8 +7,8 @@
 //! similarity-search probes (`ψ_{B ≈ M}(R2)`) issued by bottom-clause
 //! construction.
 
-use dlearn_relstore::{Database, Value};
-use dlearn_similarity::{IndexConfig, Match, SimilarityIndex};
+use dlearn_relstore::{Database, RelId, Sym, Value};
+use dlearn_similarity::{IndexConfig, Match, QuerySym, SimilarityIndex};
 
 use crate::md::MatchingDependency;
 
@@ -24,28 +24,38 @@ pub struct MdIndex {
 
 impl MdIndex {
     /// Build the index for one MD over a database.
-    pub fn build(md_position: usize, md: &MatchingDependency, db: &Database, config: &IndexConfig) -> Self {
+    pub fn build(
+        md_position: usize,
+        md: &MatchingDependency,
+        db: &Database,
+        config: &IndexConfig,
+    ) -> Self {
         // The premise of our MDs compares the identified attributes (the
         // common single-attribute case); we index the identified columns.
-        let left_values = string_column(db, &md.left_relation, &md.identify_left);
-        let right_values = string_column(db, &md.right_relation, &md.identify_right);
+        let left_values = sym_column(db, md.left_relation, md.identify_left);
+        let right_values = sym_column(db, md.right_relation, md.identify_right);
         let index = SimilarityIndex::build(&left_values, &right_values, config);
-        MdIndex { md_position, md: md.clone(), index }
+        MdIndex {
+            md_position,
+            md: md.clone(),
+            index,
+        }
     }
 
     /// Matches of a value of the left relation's identified attribute.
-    pub fn matches_from_left(&self, value: &str) -> &[Match] {
+    pub fn matches_from_left(&self, value: impl QuerySym) -> &[Match] {
         self.index.matches_left(value)
     }
 
     /// Matches of a value of the right relation's identified attribute.
-    pub fn matches_from_right(&self, value: &str) -> &[Match] {
+    pub fn matches_from_right(&self, value: impl QuerySym) -> &[Match] {
         self.index.matches_right(value)
     }
 
     /// Matches of a value appearing in the given relation (which must be one
     /// of the MD's two relations), looking across to the other side.
-    pub fn matches_for(&self, relation: &str, value: &str) -> &[Match] {
+    pub fn matches_for(&self, relation: impl Into<RelId>, value: impl QuerySym) -> &[Match] {
+        let relation = relation.into();
         if relation == self.md.left_relation {
             self.matches_from_left(value)
         } else if relation == self.md.right_relation {
@@ -56,7 +66,7 @@ impl MdIndex {
     }
 
     /// Whether two values are similar according to this MD's index.
-    pub fn are_matched(&self, left: &str, right: &str) -> bool {
+    pub fn are_matched(&self, left: impl QuerySym, right: impl QuerySym) -> bool {
         self.index.are_matched(left, right)
     }
 
@@ -89,8 +99,9 @@ impl MdCatalog {
     }
 
     /// Indexes whose MD involves the given relation.
-    pub fn involving<'a>(&'a self, relation: &'a str) -> impl Iterator<Item = &'a MdIndex> {
-        self.indexes.iter().filter(move |idx| idx.md.involves(relation))
+    pub fn involving(&self, relation: impl Into<RelId>) -> impl Iterator<Item = &MdIndex> {
+        let id = relation.into();
+        self.indexes.iter().filter(move |idx| idx.md.involves(id))
     }
 
     /// Number of MDs in the catalog.
@@ -104,13 +115,16 @@ impl MdCatalog {
     }
 }
 
-fn string_column(db: &Database, relation: &str, attribute: &str) -> Vec<String> {
-    let Some(rel) = db.relation(relation) else { return Vec::new() };
-    let Some(idx) = rel.schema().attribute_index(attribute) else { return Vec::new() };
+fn sym_column(db: &Database, relation: RelId, attribute: Sym) -> Vec<Sym> {
+    let Some(rel) = db.relation(relation) else {
+        return Vec::new();
+    };
+    let Some(idx) = rel.schema().attribute_pos(attribute) else {
+        return Vec::new();
+    };
     rel.distinct_values(idx)
         .into_iter()
-        .filter_map(Value::as_str)
-        .map(|s| s.to_string())
+        .filter_map(Value::as_sym)
         .collect()
 }
 
@@ -121,10 +135,25 @@ mod tests {
 
     fn movie_db() -> Database {
         DatabaseBuilder::new()
-            .relation(RelationBuilder::new("movies").int_attr("id").str_attr("title").build())
-            .relation(RelationBuilder::new("highBudgetMovies").str_attr("title").build())
-            .row("movies", vec![Value::int(1), Value::str("Star Wars: Episode IV - 1977")])
-            .row("movies", vec![Value::int(2), Value::str("Star Wars: Episode III - 2005")])
+            .relation(
+                RelationBuilder::new("movies")
+                    .int_attr("id")
+                    .str_attr("title")
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("highBudgetMovies")
+                    .str_attr("title")
+                    .build(),
+            )
+            .row(
+                "movies",
+                vec![Value::int(1), Value::str("Star Wars: Episode IV - 1977")],
+            )
+            .row(
+                "movies",
+                vec![Value::int(2), Value::str("Star Wars: Episode III - 2005")],
+            )
             .row("movies", vec![Value::int(3), Value::str("Superbad (2007)")])
             .row("highBudgetMovies", vec![Value::str("Star Wars")])
             .row("highBudgetMovies", vec![Value::str("Superbad")])

@@ -17,7 +17,7 @@
 
 use std::collections::HashMap;
 
-use dlearn_relstore::{Database, Value};
+use dlearn_relstore::{Database, RelId, Sym, Value};
 use dlearn_similarity::{IndexConfig, SimilarityIndex};
 
 use crate::cfd::{Cfd, PatternValue};
@@ -40,7 +40,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -79,13 +81,18 @@ pub fn minimal_cfd_repair(database: &Database, cfds: &[Cfd]) -> (Database, Repai
 
         // Group the CFDs by (relation, rhs attribute): their repairs interact
         // directly, so they are equalized together through one union-find.
-        let mut buckets: HashMap<(String, String), Vec<&Cfd>> = HashMap::new();
+        let mut buckets: HashMap<(RelId, Sym), Vec<&Cfd>> = HashMap::new();
         for cfd in cfds {
-            buckets.entry((cfd.relation.clone(), cfd.rhs.clone())).or_default().push(cfd);
+            buckets
+                .entry((cfd.relation, cfd.rhs))
+                .or_default()
+                .push(cfd);
         }
 
-        for ((relation_name, _rhs_attr), group_cfds) in &buckets {
-            let Some(relation) = db.relation(relation_name) else { continue };
+        for (&(relation_name, _rhs_attr), group_cfds) in &buckets {
+            let Some(relation) = db.relation(relation_name) else {
+                continue;
+            };
             let rhs_index = group_cfds[0].rhs_index(relation);
             let n = relation.len();
             if n == 0 {
@@ -114,7 +121,7 @@ pub fn minimal_cfd_repair(database: &Database, cfds: &[Cfd]) -> (Database, Repai
                     }
                     if let PatternValue::Const(c) = &cfd.rhs_pattern {
                         for &id in ids {
-                            forced.insert(id, c.clone());
+                            forced.insert(id, *c);
                         }
                     }
                 }
@@ -131,15 +138,18 @@ pub fn minimal_cfd_repair(database: &Database, cfds: &[Cfd]) -> (Database, Repai
                     continue;
                 }
                 let target = if let Some(c) = ids.iter().find_map(|id| forced.get(id)) {
-                    c.clone()
+                    *c
                 } else {
                     let mut counts: HashMap<Value, usize> = HashMap::new();
                     for &id in ids {
                         if let Some(v) = relation.tuple(id).and_then(|t| t.value(rhs_index)) {
-                            *counts.entry(v.clone()).or_default() += 1;
+                            *counts.entry(*v).or_default() += 1;
                         }
                     }
-                    match counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0))) {
+                    match counts
+                        .into_iter()
+                        .max_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)))
+                    {
                         Some((v, _)) => v,
                         None => continue,
                     }
@@ -147,7 +157,7 @@ pub fn minimal_cfd_repair(database: &Database, cfds: &[Cfd]) -> (Database, Repai
                 for &id in ids {
                     let current = relation.tuple(id).and_then(|t| t.value(rhs_index));
                     if current != Some(&target) {
-                        updates.push((id, target.clone()));
+                        updates.push((id, target));
                     }
                 }
             }
@@ -157,7 +167,9 @@ pub fn minimal_cfd_repair(database: &Database, cfds: &[Cfd]) -> (Database, Repai
             }
             let rel_mut = db.relation_mut(relation_name).expect("relation exists");
             for (id, value) in updates {
-                rel_mut.update_value(id, rhs_index, value).expect("validated update");
+                rel_mut
+                    .update_value(id, rhs_index, value)
+                    .expect("validated update");
                 changed_this_round += 1;
             }
         }
@@ -173,7 +185,10 @@ pub fn minimal_cfd_repair(database: &Database, cfds: &[Cfd]) -> (Database, Repai
 /// Verify that every CFD is satisfied by the database.
 pub fn all_cfds_satisfied(database: &Database, cfds: &[Cfd]) -> bool {
     cfds.iter().all(|cfd| {
-        database.relation(&cfd.relation).map(|r| cfd.satisfied_by(r)).unwrap_or(true)
+        database
+            .relation(cfd.relation)
+            .map(|r| cfd.satisfied_by(r))
+            .unwrap_or(true)
     })
 }
 
@@ -187,28 +202,28 @@ pub fn enforce_md_best_match(
     index_config: &IndexConfig,
 ) -> (Database, usize) {
     let mut db = database.clone();
-    let Some(left_rel) = database.relation(&md.left_relation) else {
+    let Some(left_rel) = database.relation(md.left_relation) else {
         return (db, 0);
     };
-    let Some(right_rel) = database.relation(&md.right_relation) else {
+    let Some(right_rel) = database.relation(md.right_relation) else {
         return (db, 0);
     };
-    let Some(left_idx) = left_rel.schema().attribute_index(&md.identify_left) else {
+    let Some(left_idx) = left_rel.schema().attribute_pos(md.identify_left) else {
         return (db, 0);
     };
-    let Some(right_idx) = right_rel.schema().attribute_index(&md.identify_right) else {
+    let Some(right_idx) = right_rel.schema().attribute_pos(md.identify_right) else {
         return (db, 0);
     };
 
-    let left_values: Vec<String> = left_rel
+    let left_values: Vec<Sym> = left_rel
         .distinct_values(left_idx)
         .into_iter()
-        .filter_map(|v| v.as_str().map(|s| s.to_string()))
+        .filter_map(Value::as_sym)
         .collect();
-    let right_values: Vec<String> = right_rel
+    let right_values: Vec<Sym> = right_rel
         .distinct_values(right_idx)
         .into_iter()
-        .filter_map(|v| v.as_str().map(|s| s.to_string()))
+        .filter_map(Value::as_sym)
         .collect();
 
     // Best (single) match per right value against the left column.
@@ -216,23 +231,25 @@ pub fn enforce_md_best_match(
 
     let mut replacements = 0usize;
     let updates: Vec<(usize, Value)> = {
-        let right_rel = db.relation(&md.right_relation).expect("relation exists");
+        let right_rel = db.relation(md.right_relation).expect("relation exists");
         right_rel
             .iter()
             .filter_map(|(id, tuple)| {
-                let current = tuple.value(right_idx)?.as_str()?;
+                let current = tuple.value(right_idx)?.as_sym()?;
                 let best = index.best_match_left(current)?;
                 if best.value != current {
-                    Some((id, Value::str(&best.value)))
+                    Some((id, Value::Str(best.value)))
                 } else {
                     None
                 }
             })
             .collect()
     };
-    let right_mut = db.relation_mut(&md.right_relation).expect("relation exists");
+    let right_mut = db.relation_mut(md.right_relation).expect("relation exists");
     for (id, value) in updates {
-        right_mut.update_value(id, right_idx, value).expect("validated update");
+        right_mut
+            .update_value(id, right_idx, value)
+            .expect("validated update");
         replacements += 1;
     }
     (db, replacements)
@@ -265,7 +282,10 @@ mod tests {
             "mov2locale",
             vec!["title", "language"],
             "country",
-            vec![PatternValue::Any, PatternValue::Const(Value::str("English"))],
+            vec![
+                PatternValue::Any,
+                PatternValue::Const(Value::str("English")),
+            ],
             PatternValue::Any,
         )
     }
@@ -280,7 +300,9 @@ mod tests {
         // The majority value (USA) wins, so exactly one tuple changes.
         assert_eq!(stats.values_changed, 1);
         let rel = repaired.relation("mov2locale").unwrap();
-        let usa = rel.select_eq_by_name("country", &Value::str("USA")).unwrap();
+        let usa = rel
+            .select_eq_by_name("country", &Value::str("USA"))
+            .unwrap();
         assert_eq!(usa.len(), 3);
     }
 
@@ -305,10 +327,15 @@ mod tests {
             vec![PatternValue::Const(Value::str("English"))],
             PatternValue::Const(Value::str("USA")),
         );
-        let (repaired, _) = minimal_cfd_repair(&db, &[cfd.clone()]);
+        let (repaired, _) = minimal_cfd_repair(&db, std::slice::from_ref(&cfd));
         assert!(all_cfds_satisfied(&repaired, &[cfd]));
         let rel = repaired.relation("mov2locale").unwrap();
-        assert_eq!(rel.select_eq_by_name("country", &Value::str("USA")).unwrap().len(), 3);
+        assert_eq!(
+            rel.select_eq_by_name("country", &Value::str("USA"))
+                .unwrap()
+                .len(),
+            3
+        );
     }
 
     #[test]
@@ -317,7 +344,9 @@ mod tests {
         let (repaired, _) = minimal_cfd_repair(&db, &[phi1()]);
         let rel = repaired.relation("mov2locale").unwrap();
         assert_eq!(
-            rel.select_eq_by_name("country", &Value::str("Spain")).unwrap().len(),
+            rel.select_eq_by_name("country", &Value::str("Spain"))
+                .unwrap()
+                .len(),
             1,
             "the Spanish tuple does not participate in any violation"
         );
@@ -326,21 +355,38 @@ mod tests {
     #[test]
     fn md_best_match_rewrites_right_values() {
         let db = DatabaseBuilder::new()
-            .relation(RelationBuilder::new("movies").int_attr("id").str_attr("title").build())
-            .relation(RelationBuilder::new("highBudgetMovies").str_attr("title").build())
+            .relation(
+                RelationBuilder::new("movies")
+                    .int_attr("id")
+                    .str_attr("title")
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("highBudgetMovies")
+                    .str_attr("title")
+                    .build(),
+            )
             .row("movies", vec![Value::int(1), Value::str("Superbad (2007)")])
-            .row("movies", vec![Value::int(2), Value::str("Zoolander (2001)")])
+            .row(
+                "movies",
+                vec![Value::int(2), Value::str("Zoolander (2001)")],
+            )
             .row("highBudgetMovies", vec![Value::str("Superbad")])
             .row("highBudgetMovies", vec![Value::str("Zoolander")])
             .build();
         let md =
             MatchingDependency::simple("titles", "movies", "title", "highBudgetMovies", "title");
-        let config = IndexConfig { top_k: 1, ..IndexConfig::default() };
+        let config = IndexConfig {
+            top_k: 1,
+            ..IndexConfig::default()
+        };
         let (clean, replaced) = enforce_md_best_match(&db, &md, &config);
         assert_eq!(replaced, 2);
         let rel = clean.relation("highBudgetMovies").unwrap();
         assert_eq!(
-            rel.select_eq_by_name("title", &Value::str("Superbad (2007)")).unwrap().len(),
+            rel.select_eq_by_name("title", &Value::str("Superbad (2007)"))
+                .unwrap()
+                .len(),
             1
         );
         // The original database is untouched.

@@ -17,7 +17,7 @@ use rand::seq::SliceRandom;
 use dlearn_constraints::MdCatalog;
 use dlearn_logic::repair::{CondAtom, RepairGroup, RepairOrigin};
 use dlearn_logic::{Clause, Literal, Term, Var};
-use dlearn_relstore::{Tuple, Value};
+use dlearn_relstore::{RelId, Sym, Tuple, Value};
 
 use crate::config::LearnerConfig;
 use crate::task::LearningTask;
@@ -31,13 +31,36 @@ pub struct BottomClauseBuilder<'a> {
     task: &'a LearningTask,
     catalog: &'a MdCatalog,
     config: &'a LearnerConfig,
+    /// Interned copy of `task.sources`, resolved once so the per-tuple walk
+    /// never hashes a source string.
+    sources: HashMap<RelId, Sym>,
+    /// Interned `task.target_source`.
+    target_source: Option<Sym>,
 }
 
 impl<'a> BottomClauseBuilder<'a> {
     /// Create a builder for a task. The MD catalog must have been built over
     /// the same database (it is empty for learners that ignore MDs).
     pub fn new(task: &'a LearningTask, catalog: &'a MdCatalog, config: &'a LearnerConfig) -> Self {
-        BottomClauseBuilder { task, catalog, config }
+        let sources = task
+            .sources
+            .iter()
+            .map(|(rel, src)| (RelId::intern(rel), Sym::intern(src)))
+            .collect();
+        let target_source = task.target_source.as_ref().map(Sym::intern);
+        BottomClauseBuilder {
+            task,
+            catalog,
+            config,
+            sources,
+            target_source,
+        }
+    }
+
+    /// The declared source of a relation, as an interned symbol (`None` when
+    /// no sources are declared or the relation is unlisted).
+    fn source_sym(&self, relation: RelId) -> Option<Sym> {
+        self.sources.get(&relation).copied()
     }
 
     /// Build the bottom clause for one example.
@@ -45,16 +68,15 @@ impl<'a> BottomClauseBuilder<'a> {
         let mut state = BuildState::new();
 
         // Head literal: one variable per example value.
-        let head_args: Vec<Term> =
-            example.values().iter().map(|v| state.var_for(v.clone())).collect();
-        let head = Literal::relation(self.task.target.name.clone(), head_args);
+        let head_args: Vec<Term> = example.values().iter().map(|v| state.var_for(*v)).collect();
+        let head = Literal::relation(&self.task.target.name, head_args);
         let mut clause = Clause::new(head);
 
         let mut frontier: Vec<Value> = example.values().to_vec();
         for v in &frontier {
-            state.known.insert(v.clone());
-            if let Some(src) = &self.task.target_source {
-                state.value_sources.entry(v.clone()).or_default().insert(src.clone());
+            state.known.insert(*v);
+            if let Some(src) = self.target_source {
+                state.value_sources.entry(*v).or_default().insert(src);
             }
         }
 
@@ -73,18 +95,15 @@ impl<'a> BottomClauseBuilder<'a> {
             // task declares relation sources, exact joins only stay within a
             // source; crossing sources requires a matching dependency.
             for relation in self.task.database.relations() {
+                let rel_id = relation.rel_id();
                 let capacity = self
                     .config
                     .sample_size
-                    .saturating_sub(state.per_relation.get(relation.name()).copied().unwrap_or(0));
+                    .saturating_sub(state.per_relation.get(&rel_id).copied().unwrap_or(0));
                 if capacity == 0 {
                     continue;
                 }
-                let rel_source = if self.task.sources.is_empty() {
-                    None
-                } else {
-                    self.task.source_of(relation.name())
-                };
+                let rel_source = self.source_sym(rel_id);
                 let mut candidate_ids: Vec<usize> = Vec::new();
                 for attr in 0..relation.schema().arity() {
                     for v in &frontier {
@@ -98,7 +117,7 @@ impl<'a> BottomClauseBuilder<'a> {
                 }
                 candidate_ids.sort_unstable();
                 candidate_ids.dedup();
-                candidate_ids.retain(|id| !state.collected.contains(&(relation.name().to_string(), *id)));
+                candidate_ids.retain(|id| !state.collected.contains(&(rel_id, *id)));
                 if candidate_ids.len() > capacity {
                     candidate_ids.shuffle(rng);
                     candidate_ids.truncate(capacity);
@@ -106,7 +125,7 @@ impl<'a> BottomClauseBuilder<'a> {
                 }
                 for id in candidate_ids {
                     state.collect(
-                        relation.name(),
+                        rel_id,
                         id,
                         relation.tuple(id).expect("valid id"),
                         rel_source,
@@ -124,11 +143,15 @@ impl<'a> BottomClauseBuilder<'a> {
         }
 
         // Turn collected tuples into body literals.
-        let mut literal_sources: Vec<(usize, String, usize)> = Vec::new();
-        let mut ordered: Vec<(String, usize)> = state.collected.iter().cloned().collect();
-        ordered.sort();
-        for (rel_name, id) in ordered {
-            let relation = self.task.database.relation(&rel_name).expect("collected relation");
+        let mut literal_sources: Vec<(usize, RelId, usize)> = Vec::new();
+        let mut ordered: Vec<(RelId, usize)> = state.collected.iter().copied().collect();
+        ordered.sort(); // RelId orders by name: same order as the String era
+        for (rel_id, id) in ordered {
+            let relation = self
+                .task
+                .database
+                .relation(rel_id)
+                .expect("collected relation");
             let tuple = relation.tuple(id).expect("collected tuple");
             let args: Vec<Term> = tuple
                 .values()
@@ -138,16 +161,16 @@ impl<'a> BottomClauseBuilder<'a> {
                     if v.is_null() {
                         // Every NULL is its own variable: NULLs never join.
                         state.fresh_var()
-                    } else if self.task.is_constant_attribute(&rel_name, p) {
-                        Term::Const(v.clone())
+                    } else if self.task.is_constant_attribute(rel_id, p) {
+                        Term::Const(*v)
                     } else {
-                        state.var_for(v.clone())
+                        state.var_for(*v)
                     }
                 })
                 .collect();
-            let literal = Literal::relation(rel_name.clone(), args);
+            let literal = Literal::relation(rel_id, args);
             if clause.push_unique(literal) {
-                literal_sources.push((clause.body.len() - 1, rel_name.clone(), id));
+                literal_sources.push((clause.body.len() - 1, rel_id, id));
             }
         }
 
@@ -161,14 +184,16 @@ impl<'a> BottomClauseBuilder<'a> {
                 if tl == tr {
                     continue;
                 }
-                let (Some(vl), Some(vr)) = (tl.as_var(), tr.as_var()) else { continue };
-                let sim = Literal::Similar(tl.clone(), tr.clone());
+                let (Some(vl), Some(vr)) = (tl.as_var(), tr.as_var()) else {
+                    continue;
+                };
+                let sim = Literal::Similar(tl, tr);
                 clause.push_unique(sim.clone());
                 let fresh = state.fresh_var();
                 clause.push_repair(RepairGroup::new(
                     RepairOrigin::Md(*md_pos),
-                    vec![CondAtom::Sim(tl.clone(), tr.clone())],
-                    vec![(vl, fresh.clone()), (vr, fresh)],
+                    vec![CondAtom::Sim(tl, tr)],
+                    vec![(vl, fresh), (vr, fresh)],
                     vec![sim],
                 ));
             }
@@ -195,62 +220,61 @@ impl<'a> BottomClauseBuilder<'a> {
         for md_index in self.catalog.indexes() {
             for (probe_relation, target_relation, target_attr) in [
                 (
-                    md_index.md.left_relation.as_str(),
-                    md_index.md.right_relation.as_str(),
-                    md_index.md.identify_right.as_str(),
+                    md_index.md.left_relation,
+                    md_index.md.right_relation,
+                    md_index.md.identify_right,
                 ),
                 (
-                    md_index.md.right_relation.as_str(),
-                    md_index.md.left_relation.as_str(),
-                    md_index.md.identify_left.as_str(),
+                    md_index.md.right_relation,
+                    md_index.md.left_relation,
+                    md_index.md.identify_left,
                 ),
             ] {
                 let Some(target_rel) = self.task.database.relation(target_relation) else {
                     continue;
                 };
-                let Some(attr_idx) = target_rel.schema().attribute_index(target_attr) else {
+                let Some(attr_idx) = target_rel.schema().attribute_pos(target_attr) else {
                     continue;
                 };
+                // Loop-invariant: the source only depends on the target
+                // relation, not on the frontier value or the match.
+                let target_source = self.source_sym(target_relation);
                 for v in frontier {
-                    let Some(s) = v.as_str() else { continue };
+                    let Some(s) = v.as_sym() else { continue };
                     let matches = md_index.matches_for(probe_relation, s);
                     // The example's values do not belong to any relation, so
                     // also probe them against both sides.
-                    let matches = if matches.is_empty() && probe_relation == md_index.md.left_relation {
-                        md_index.matches_from_right(s)
-                    } else {
-                        matches
-                    };
+                    let matches =
+                        if matches.is_empty() && probe_relation == md_index.md.left_relation {
+                            md_index.matches_from_right(s)
+                        } else {
+                            matches
+                        };
                     for m in matches.iter().take(self.config.km) {
                         let capacity = self.config.sample_size.saturating_sub(
-                            state.per_relation.get(target_relation).copied().unwrap_or(0),
+                            state
+                                .per_relation
+                                .get(&target_relation)
+                                .copied()
+                                .unwrap_or(0),
                         );
                         if capacity == 0 {
                             break;
                         }
-                        let matched_value = Value::str(&m.value);
+                        let matched_value = Value::Str(m.value);
                         let mut ids: Vec<usize> =
                             target_rel.select_eq(attr_idx, &matched_value).to_vec();
-                        ids.retain(|id| {
-                            !state.collected.contains(&(target_relation.to_string(), *id))
-                        });
+                        ids.retain(|id| !state.collected.contains(&(target_relation, *id)));
                         if ids.len() > capacity {
                             ids.shuffle(rng);
                             ids.truncate(capacity);
                         }
                         let mut hit = ids.is_empty()
                             && state.collected.iter().any(|(r, id)| {
-                                r == target_relation
-                                    && target_rel
-                                        .tuple(*id)
-                                        .and_then(|t| t.value(attr_idx))
+                                *r == target_relation
+                                    && target_rel.tuple(*id).and_then(|t| t.value(attr_idx))
                                         == Some(&matched_value)
                             });
-                        let target_source = if self.task.sources.is_empty() {
-                            None
-                        } else {
-                            self.task.source_of(target_relation)
-                        };
                         for id in ids {
                             state.collect(
                                 target_relation,
@@ -262,7 +286,7 @@ impl<'a> BottomClauseBuilder<'a> {
                             hit = true;
                         }
                         if hit {
-                            state.record_similarity(v.clone(), matched_value, md_index.md_position);
+                            state.record_similarity(*v, matched_value, md_index.md_position);
                         }
                     }
                 }
@@ -274,13 +298,17 @@ impl<'a> BottomClauseBuilder<'a> {
     /// values) and add the corresponding repair groups. Following the
     /// minimal-repair reduction at the end of Section 4.1, only right-hand
     /// side repairs over the existing variables are introduced.
-    fn add_cfd_repairs(&self, clause: &mut Clause, literal_sources: &[(usize, String, usize)]) {
+    fn add_cfd_repairs(&self, clause: &mut Clause, literal_sources: &[(usize, RelId, usize)]) {
         for (ci, cfd) in self.task.cfds.iter().enumerate() {
-            let Some(relation) = self.task.database.relation(&cfd.relation) else { continue };
+            let Some(relation) = self.task.database.relation(cfd.relation) else {
+                continue;
+            };
             let lhs_indices = cfd.lhs_indices(relation);
             let rhs_index = cfd.rhs_index(relation);
-            let members: Vec<&(usize, String, usize)> =
-                literal_sources.iter().filter(|(_, r, _)| r == &cfd.relation).collect();
+            let members: Vec<&(usize, RelId, usize)> = literal_sources
+                .iter()
+                .filter(|(_, r, _)| *r == cfd.relation)
+                .collect();
             for (a, (body_a, _, id_a)) in members.iter().enumerate() {
                 for (body_b, _, id_b) in members.iter().skip(a + 1) {
                     let t1 = relation.tuple(*id_a).expect("valid id");
@@ -288,8 +316,8 @@ impl<'a> BottomClauseBuilder<'a> {
                     if !cfd.violates(t1, t2, &lhs_indices, rhs_index) {
                         continue;
                     }
-                    let z1 = clause.body[*body_a].args()[rhs_index].clone();
-                    let z2 = clause.body[*body_b].args()[rhs_index].clone();
+                    let z1 = *clause.body[*body_a].args()[rhs_index];
+                    let z2 = *clause.body[*body_b].args()[rhs_index];
                     let (Some(_v1), Some(v2)) = (z1.as_var(), z2.as_var()) else {
                         // Constant right-hand sides are not repaired at the
                         // clause level (see DESIGN.md); generators keep CFD
@@ -301,8 +329,8 @@ impl<'a> BottomClauseBuilder<'a> {
                     }
                     clause.push_repair(RepairGroup::new(
                         RepairOrigin::Cfd(ci),
-                        vec![CondAtom::Neq(z1.clone(), z2.clone())],
-                        vec![(v2, z1.clone())],
+                        vec![CondAtom::Neq(z1, z2)],
+                        vec![(v2, z1)],
                         vec![],
                     ));
                 }
@@ -318,9 +346,9 @@ struct BuildState {
     known: HashSet<Value>,
     /// Sources each value has been observed in (used to forbid exact joins
     /// across sources when the task declares relation sources).
-    value_sources: HashMap<Value, HashSet<String>>,
-    collected: HashSet<(String, usize)>,
-    per_relation: HashMap<String, usize>,
+    value_sources: HashMap<Value, HashSet<Sym>>,
+    collected: HashSet<(RelId, usize)>,
+    per_relation: HashMap<RelId, usize>,
     similarity_matches: Vec<(Value, Value, usize)>,
     similarity_seen: HashSet<(Value, Value, usize)>,
 }
@@ -361,25 +389,25 @@ impl BuildState {
 
     fn collect(
         &mut self,
-        relation: &str,
+        relation: RelId,
         id: usize,
         tuple: &Tuple,
-        source: Option<&str>,
+        source: Option<Sym>,
         next_frontier: &mut Vec<Value>,
     ) {
-        if !self.collected.insert((relation.to_string(), id)) {
+        if !self.collected.insert((relation, id)) {
             return;
         }
-        *self.per_relation.entry(relation.to_string()).or_default() += 1;
+        *self.per_relation.entry(relation).or_default() += 1;
         for v in tuple.values() {
             if v.is_null() {
                 continue;
             }
             if let Some(src) = source {
-                self.value_sources.entry(v.clone()).or_default().insert(src.to_string());
+                self.value_sources.entry(*v).or_default().insert(src);
             }
-            if self.known.insert(v.clone()) {
-                next_frontier.push(v.clone());
+            if self.known.insert(*v) {
+                next_frontier.push(*v);
             }
         }
     }
@@ -387,20 +415,19 @@ impl BuildState {
     /// `true` when exact joins on `value` are allowed into a relation of the
     /// given source: either no sources are declared, the value has been seen
     /// in that source, or the value has no recorded source at all.
-    fn allows_source(&self, value: &Value, source: Option<&str>) -> bool {
+    fn allows_source(&self, value: &Value, source: Option<Sym>) -> bool {
         match source {
             None => true,
             Some(src) => self
                 .value_sources
                 .get(value)
-                .map(|set| set.contains(src))
+                .map(|set| set.contains(&src))
                 .unwrap_or(true),
         }
     }
 
     fn record_similarity(&mut self, left: Value, right: Value, md_pos: usize) {
-        let key = (left.clone(), right.clone(), md_pos);
-        if self.similarity_seen.insert(key) {
+        if self.similarity_seen.insert((left, right, md_pos)) {
             self.similarity_matches.push((left, right, md_pos));
         }
     }
@@ -426,9 +453,17 @@ mod tests {
                     .int_attr("year")
                     .build(),
             )
-            .relation(RelationBuilder::new("mov2genres").int_attr("id").str_attr("genre").build())
             .relation(
-                RelationBuilder::new("mov2countries").int_attr("id").str_attr("country").build(),
+                RelationBuilder::new("mov2genres")
+                    .int_attr("id")
+                    .str_attr("genre")
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("mov2countries")
+                    .int_attr("id")
+                    .str_attr("country")
+                    .build(),
             )
             .relation(
                 RelationBuilder::new("mov2releasedate")
@@ -437,9 +472,30 @@ mod tests {
                     .int_attr("year")
                     .build(),
             )
-            .row("movies", vec![Value::int(1), Value::str("Superbad (2007)"), Value::int(2007)])
-            .row("movies", vec![Value::int(2), Value::str("Zoolander (2001)"), Value::int(2001)])
-            .row("movies", vec![Value::int(3), Value::str("Orphanage (2007)"), Value::int(2007)])
+            .row(
+                "movies",
+                vec![
+                    Value::int(1),
+                    Value::str("Superbad (2007)"),
+                    Value::int(2007),
+                ],
+            )
+            .row(
+                "movies",
+                vec![
+                    Value::int(2),
+                    Value::str("Zoolander (2001)"),
+                    Value::int(2001),
+                ],
+            )
+            .row(
+                "movies",
+                vec![
+                    Value::int(3),
+                    Value::str("Orphanage (2007)"),
+                    Value::int(2007),
+                ],
+            )
             .row("mov2genres", vec![Value::int(1), Value::str("comedy")])
             .row("mov2genres", vec![Value::int(2), Value::str("comedy")])
             .row("mov2genres", vec![Value::int(3), Value::str("drama")])
@@ -455,8 +511,10 @@ mod tests {
                 vec![Value::int(2), Value::str("September"), Value::int(2001)],
             )
             .build();
-        let mut task =
-            LearningTask::new(db, TargetSpec::with_attributes("highGrossing", vec!["title"]));
+        let mut task = LearningTask::new(
+            db,
+            TargetSpec::with_attributes("highGrossing", vec!["title"]),
+        );
         task.mds.push(MatchingDependency::simple(
             "titles",
             "highGrossing",
@@ -480,7 +538,11 @@ mod tests {
     fn catalog_for(task: &LearningTask, km: usize) -> MdCatalog {
         let mut config = IndexConfig::top_k(km);
         config.operator = dlearn_similarity::SimilarityOperator::with_threshold(0.6);
-        MdCatalog::build(&task.mds, &crate::learner::augment_with_target(task), &config)
+        MdCatalog::build(
+            &task.mds,
+            &crate::learner::augment_with_target(task),
+            &config,
+        )
     }
 
     #[test]
@@ -492,20 +554,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let clause = builder.build(&task.positives[0], &mut rng);
 
-        let relations: Vec<&str> =
-            clause.body.iter().filter_map(|l| l.relation_name()).collect();
+        let relations: Vec<&str> = clause
+            .body
+            .iter()
+            .filter_map(|l| l.relation_name())
+            .collect();
         assert!(relations.contains(&"movies"), "clause: {clause}");
         assert!(relations.contains(&"mov2genres"), "clause: {clause}");
-        assert!(
-            clause.body.iter().any(|l| matches!(l, Literal::Similar(_, _))),
-            "similarity literal expected: {clause}"
-        );
-        assert!(!clause.repairs.is_empty(), "MD repair group expected: {clause}");
         assert!(
             clause
                 .body
                 .iter()
-                .any(|l| l.args().iter().any(|t| **t == Term::Const(Value::str("comedy")))),
+                .any(|l| matches!(l, Literal::Similar(_, _))),
+            "similarity literal expected: {clause}"
+        );
+        assert!(
+            !clause.repairs.is_empty(),
+            "MD repair group expected: {clause}"
+        );
+        assert!(
+            clause.body.iter().any(|l| l
+                .args()
+                .iter()
+                .any(|t| **t == Term::Const(Value::str("comedy")))),
             "genre should stay a constant: {clause}"
         );
     }
@@ -514,7 +585,10 @@ mod tests {
     fn without_mds_the_other_source_is_unreachable() {
         let task = movie_task();
         let catalog = MdCatalog::default();
-        let config = LearnerConfig { use_mds: false, ..LearnerConfig::fast() };
+        let config = LearnerConfig {
+            use_mds: false,
+            ..LearnerConfig::fast()
+        };
         let builder = BottomClauseBuilder::new(&task, &catalog, &config);
         let mut rng = StdRng::seed_from_u64(1);
         let clause = builder.build(&task.positives[0], &mut rng);
@@ -527,12 +601,18 @@ mod tests {
     fn sample_size_caps_literals_per_relation() {
         let task = movie_task();
         let catalog = catalog_for(&task, 5);
-        let config = LearnerConfig { sample_size: 1, ..LearnerConfig::fast() };
+        let config = LearnerConfig {
+            sample_size: 1,
+            ..LearnerConfig::fast()
+        };
         let builder = BottomClauseBuilder::new(&task, &catalog, &config);
         let mut rng = StdRng::seed_from_u64(3);
         let clause = builder.build(&task.positives[0], &mut rng);
-        let movies_count =
-            clause.body.iter().filter(|l| l.relation_name() == Some("movies")).count();
+        let movies_count = clause
+            .body
+            .iter()
+            .filter(|l| l.relation_name() == Some("movies"))
+            .count();
         assert!(movies_count <= 1, "clause: {clause}");
     }
 
@@ -547,7 +627,8 @@ mod tests {
                 tuple(vec![Value::int(1), Value::str("August"), Value::int(2009)]),
             )
             .unwrap();
-        task.cfds.push(Cfd::fd("rd_year", "mov2releasedate", vec!["id"], "year"));
+        task.cfds
+            .push(Cfd::fd("rd_year", "mov2releasedate", vec!["id"], "year"));
         let catalog = catalog_for(&task, 2);
         let config = LearnerConfig::fast();
         let builder = BottomClauseBuilder::new(&task, &catalog, &config);

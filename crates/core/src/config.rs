@@ -114,7 +114,10 @@ impl LearnerConfig {
         if self.coverage_threads > 0 {
             self.coverage_threads
         } else {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
         }
     }
 }
@@ -133,7 +136,11 @@ mod tests {
 
     #[test]
     fn builders_override_fields() {
-        let c = LearnerConfig::fast().with_km(10).with_iterations(4).with_sample_size(3).with_seed(99);
+        let c = LearnerConfig::fast()
+            .with_km(10)
+            .with_iterations(4)
+            .with_sample_size(3)
+            .with_seed(99);
         assert_eq!(c.km, 10);
         assert_eq!(c.iterations, 4);
         assert_eq!(c.sample_size, 3);
@@ -143,7 +150,10 @@ mod tests {
     #[test]
     fn effective_threads_is_positive() {
         assert!(LearnerConfig::default().effective_threads() >= 1);
-        let c = LearnerConfig { coverage_threads: 3, ..LearnerConfig::default() };
+        let c = LearnerConfig {
+            coverage_threads: 3,
+            ..LearnerConfig::default()
+        };
         assert_eq!(c.effective_threads(), 3);
     }
 }

@@ -47,13 +47,19 @@ impl GroundExample {
 
     /// Wrap an already-built ground bottom clause.
     pub fn from_clause(example: Tuple, clause: &Clause, config: &LearnerConfig) -> Self {
-        let limits =
-            ExpandLimits { max_repairs: config.max_repaired_clauses, max_steps: 2048 };
+        let limits = ExpandLimits {
+            max_repairs: config.max_repaired_clauses,
+            max_steps: 2048,
+        };
         let repaired = repaired_clauses(clause, limits)
             .iter()
             .map(GroundClause::new)
             .collect();
-        GroundExample { example, ground: GroundClause::new(clause), repaired }
+        GroundExample {
+            example,
+            ground: GroundClause::new(clause),
+            repaired,
+        }
     }
 }
 
@@ -70,8 +76,10 @@ pub struct PreparedClause {
 impl PreparedClause {
     /// Expand the candidate's repaired clauses.
     pub fn prepare(clause: Clause, config: &LearnerConfig) -> Self {
-        let limits =
-            ExpandLimits { max_repairs: config.max_repaired_clauses, max_steps: 2048 };
+        let limits = ExpandLimits {
+            max_repairs: config.max_repaired_clauses,
+            max_steps: 2048,
+        };
         let repaired = repaired_clauses(&clause, limits);
         PreparedClause { clause, repaired }
     }
@@ -115,7 +123,11 @@ impl CoverageEngine {
     ) -> Self {
         let positives = Self::build_examples(&task.positives, builder, config, 0x9e37);
         let negatives = Self::build_examples(&task.negatives, builder, config, 0x7f4a);
-        CoverageEngine { positives, negatives, config: config.clone() }
+        CoverageEngine {
+            positives,
+            negatives,
+            config: config.clone(),
+        }
     }
 
     fn build_examples(
@@ -129,21 +141,28 @@ impl CoverageEngine {
             return examples
                 .iter()
                 .enumerate()
-                .map(|(i, e)| GroundExample::build(builder, e, config, config.seed ^ salt ^ i as u64))
+                .map(|(i, e)| {
+                    GroundExample::build(builder, e, config, config.seed ^ salt ^ i as u64)
+                })
                 .collect();
         }
         let chunk = examples.len().div_ceil(threads);
         let mut out: Vec<Vec<GroundExample>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (ci, chunk_examples) in examples.chunks(chunk).enumerate() {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     chunk_examples
                         .iter()
                         .enumerate()
                         .map(|(i, e)| {
                             let idx = ci * chunk + i;
-                            GroundExample::build(builder, e, config, config.seed ^ salt ^ idx as u64)
+                            GroundExample::build(
+                                builder,
+                                e,
+                                config,
+                                config.seed ^ salt ^ idx as u64,
+                            )
                         })
                         .collect::<Vec<_>>()
                 }));
@@ -151,8 +170,7 @@ impl CoverageEngine {
             for h in handles {
                 out.push(h.join().expect("coverage worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         out.into_iter().flatten().collect()
     }
 
@@ -215,7 +233,11 @@ impl CoverageEngine {
     }
 
     fn mask(&self, prepared: &PreparedClause, positive: bool) -> Vec<bool> {
-        let examples = if positive { &self.positives } else { &self.negatives };
+        let examples = if positive {
+            &self.positives
+        } else {
+            &self.negatives
+        };
         let threads = self.config.effective_threads().min(examples.len().max(1));
         if threads <= 1 || examples.len() < 8 {
             return examples
@@ -231,10 +253,10 @@ impl CoverageEngine {
         }
         let chunk = examples.len().div_ceil(threads);
         let mut out: Vec<Vec<bool>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for chunk_examples in examples.chunks(chunk) {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     chunk_examples
                         .iter()
                         .map(|e| {
@@ -250,8 +272,7 @@ impl CoverageEngine {
             for h in handles {
                 out.push(h.join().expect("coverage worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         out.into_iter().flatten().collect()
     }
 
@@ -259,7 +280,10 @@ impl CoverageEngine {
     pub fn counts(&self, prepared: &PreparedClause) -> CoverageCounts {
         let positives = self.positive_mask(prepared).iter().filter(|&&b| b).count();
         let negatives = self.negative_mask(prepared).iter().filter(|&&b| b).count();
-        CoverageCounts { positives, negatives }
+        CoverageCounts {
+            positives,
+            negatives,
+        }
     }
 
     /// The clause score (covered positives minus covered negatives).
@@ -274,7 +298,10 @@ mod tests {
     use dlearn_logic::{Literal, Term};
 
     fn config() -> LearnerConfig {
-        LearnerConfig { coverage_threads: 1, ..LearnerConfig::fast() }
+        LearnerConfig {
+            coverage_threads: 1,
+            ..LearnerConfig::fast()
+        }
     }
 
     fn ground_from(clause: &Clause) -> GroundExample {
@@ -287,34 +314,61 @@ mod tests {
 
     fn ge_comedy() -> GroundExample {
         let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
-        d.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(0)]));
-        d.push_unique(Literal::relation("genres", vec![Term::var(1), Term::constant("comedy")]));
+        d.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(1), Term::var(0)],
+        ));
+        d.push_unique(Literal::relation(
+            "genres",
+            vec![Term::var(1), Term::constant("comedy")],
+        ));
         ground_from(&d)
     }
 
     fn ge_drama() -> GroundExample {
         let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
-        d.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(0)]));
-        d.push_unique(Literal::relation("genres", vec![Term::var(1), Term::constant("drama")]));
+        d.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(1), Term::var(0)],
+        ));
+        d.push_unique(Literal::relation(
+            "genres",
+            vec![Term::var(1), Term::constant("drama")],
+        ));
         ground_from(&d)
     }
 
     fn comedy_clause() -> PreparedClause {
         let mut c = Clause::new(Literal::relation("t", vec![Term::var(0)]));
-        c.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(0)]));
-        c.push_unique(Literal::relation("genres", vec![Term::var(1), Term::constant("comedy")]));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(1), Term::var(0)],
+        ));
+        c.push_unique(Literal::relation(
+            "genres",
+            vec![Term::var(1), Term::constant("comedy")],
+        ));
         PreparedClause::prepare(c, &config())
     }
 
     #[test]
     fn direct_subsumption_covers() {
-        let engine =
-            CoverageEngine { positives: vec![ge_comedy()], negatives: vec![ge_drama()], config: config() };
+        let engine = CoverageEngine {
+            positives: vec![ge_comedy()],
+            negatives: vec![ge_drama()],
+            config: config(),
+        };
         let prepared = comedy_clause();
         assert!(engine.covers_positive(&prepared, &engine.positives[0]));
         assert!(!engine.covers_negative(&prepared, &engine.negatives[0]));
         let counts = engine.counts(&prepared);
-        assert_eq!(counts, CoverageCounts { positives: 1, negatives: 0 });
+        assert_eq!(
+            counts,
+            CoverageCounts {
+                positives: 1,
+                negatives: 0
+            }
+        );
         assert_eq!(counts.score(), 1);
     }
 

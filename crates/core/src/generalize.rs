@@ -55,7 +55,10 @@ mod tests {
             vec![Term::var(1), Term::var(2), Term::var(3)],
         ));
         c.push_unique(Literal::Similar(Term::var(0), Term::var(2)));
-        c.push_unique(Literal::relation("mov2genres", vec![Term::var(1), Term::constant("comedy")]));
+        c.push_unique(Literal::relation(
+            "mov2genres",
+            vec![Term::var(1), Term::constant("comedy")],
+        ));
         c.push_unique(Literal::relation(
             "mov2releasedate",
             vec![Term::var(1), Term::constant("August"), Term::var(4)],
@@ -70,7 +73,10 @@ mod tests {
             vec![Term::var(1), Term::var(2), Term::var(3)],
         ));
         d.push_unique(Literal::Similar(Term::var(0), Term::var(2)));
-        d.push_unique(Literal::relation("mov2genres", vec![Term::var(1), Term::constant("comedy")]));
+        d.push_unique(Literal::relation(
+            "mov2genres",
+            vec![Term::var(1), Term::constant("comedy")],
+        ));
         d.push_unique(Literal::relation(
             "mov2releasedate",
             vec![Term::var(1), Term::constant("September"), Term::var(4)],
@@ -86,14 +92,24 @@ mod tests {
         let target = zoolander_ground();
         let g = generalize(&bottom, &target, 32).unwrap();
         assert!(
-            !g.body.iter().any(|l| l.relation_name() == Some("mov2releasedate")),
+            !g.body
+                .iter()
+                .any(|l| l.relation_name() == Some("mov2releasedate")),
             "clause: {g}"
         );
-        assert!(g.body.iter().any(|l| l.relation_name() == Some("mov2genres")));
+        assert!(g
+            .body
+            .iter()
+            .any(|l| l.relation_name() == Some("mov2genres")));
         // The generalization covers the new example and still subsumes the
         // original bottom clause (it was produced by dropping literals).
         assert!(subsumes(&g, &target, &SubsumptionConfig::default()).is_some());
-        assert!(subsumes(&g, &GroundClause::new(&bottom), &SubsumptionConfig::default()).is_some());
+        assert!(subsumes(
+            &g,
+            &GroundClause::new(&bottom),
+            &SubsumptionConfig::default()
+        )
+        .is_some());
     }
 
     #[test]

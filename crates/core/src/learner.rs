@@ -86,7 +86,10 @@ pub fn augment_with_target(task: &LearningTask) -> Database {
             Attribute::new(name.clone(), ty)
         })
         .collect();
-    if db.create_relation(RelationSchema::new(task.target.name.clone(), attrs)).is_ok() {
+    if db
+        .create_relation(RelationSchema::new(task.target.name.clone(), attrs))
+        .is_ok()
+    {
         for e in task.positives.iter().chain(task.negatives.iter()) {
             let _ = db.insert(&task.target.name, e.clone());
         }
@@ -102,9 +105,11 @@ fn copy_without(db: &Database, skip: &str) -> Database {
         if rel.name() == skip {
             continue;
         }
-        out.create_relation(rel.schema().clone()).expect("fresh database");
+        out.create_relation(rel.schema().clone())
+            .expect("fresh database");
         for (_, t) in rel.iter() {
-            out.insert(rel.name(), t.clone()).expect("copied tuple is valid");
+            out.insert(rel.name(), t.clone())
+                .expect("copied tuple is valid");
         }
     }
     out
@@ -227,8 +232,11 @@ impl Learner {
             let mut current_prepared = PreparedClause::prepare(current.clone(), &config);
             let mut current_score = engine.score(&current_prepared);
             for _round in 0..config.max_generalization_rounds {
-                let mut sample: Vec<usize> =
-                    uncovered.iter().copied().filter(|&i| i != seed_example).collect();
+                let mut sample: Vec<usize> = uncovered
+                    .iter()
+                    .copied()
+                    .filter(|&i| i != seed_example)
+                    .collect();
                 sample.shuffle(&mut rng);
                 sample.truncate(config.sample_positives);
                 if sample.is_empty() {
@@ -264,13 +272,19 @@ impl Learner {
             // more positives than negatives.
             let positive_mask = engine.positive_mask(&current_prepared);
             let positives_covered = positive_mask.iter().filter(|&&b| b).count();
-            let negatives_covered =
-                engine.negative_mask(&current_prepared).iter().filter(|&&b| b).count();
+            let negatives_covered = engine
+                .negative_mask(&current_prepared)
+                .iter()
+                .filter(|&&b| b)
+                .count();
             let accept = positives_covered >= config.min_positive_coverage.min(uncovered.len())
                 && positives_covered > negatives_covered;
             if accept {
                 definition.push(current);
-                stats.push(ClauseStats { positives_covered, negatives_covered });
+                stats.push(ClauseStats {
+                    positives_covered,
+                    negatives_covered,
+                });
                 uncovered.retain(|&i| !positive_mask[i]);
                 if uncovered.first() == Some(&seed_example) {
                     // Defensive: never loop forever on an uncoverable seed.
@@ -282,7 +296,11 @@ impl Learner {
         }
 
         let model = LearnedModel::new(definition, stats, task, catalog, config);
-        LearnOutcome { model, seconds: start.elapsed().as_secs_f64(), bottom_clauses_built }
+        LearnOutcome {
+            model,
+            seconds: start.elapsed().as_secs_f64(),
+            bottom_clauses_built,
+        }
     }
 }
 
@@ -297,7 +315,9 @@ pub struct DLearn {
 impl DLearn {
     /// Create a DLearn learner.
     pub fn new(config: LearnerConfig) -> Self {
-        DLearn { learner: Learner::new(Strategy::DLearn, config) }
+        DLearn {
+            learner: Learner::new(Strategy::DLearn, config),
+        }
     }
 
     /// Learn a definition, returning just the model.
@@ -342,7 +362,7 @@ pub(crate) mod test_fixtures {
     use super::*;
     use crate::task::TargetSpec;
     use dlearn_constraints::MatchingDependency;
-    use dlearn_relstore::{tuple, DatabaseBuilder, RelationBuilder, Tuple, Value};
+    use dlearn_relstore::{tuple, DatabaseBuilder, RelationBuilder, Value};
 
     /// A small two-source movie task: the target `hit(imdb_id)` holds for
     /// movies that are comedies (IMDB side) *and* rated R (OMDB side); the
@@ -350,22 +370,42 @@ pub(crate) mod test_fixtures {
     pub fn two_source_task() -> LearningTask {
         let mut builder = DatabaseBuilder::new()
             .relation(
-                RelationBuilder::new("imdb_movies").int_attr("id").str_attr("title").build(),
+                RelationBuilder::new("imdb_movies")
+                    .int_attr("id")
+                    .str_attr("title")
+                    .build(),
             )
             .relation(
-                RelationBuilder::new("imdb_genres").int_attr("id").str_attr("genre").build(),
+                RelationBuilder::new("imdb_genres")
+                    .int_attr("id")
+                    .str_attr("genre")
+                    .build(),
             )
             .relation(
-                RelationBuilder::new("omdb_movies").int_attr("oid").str_attr("title").build(),
+                RelationBuilder::new("omdb_movies")
+                    .int_attr("oid")
+                    .str_attr("title")
+                    .build(),
             )
             .relation(
-                RelationBuilder::new("omdb_ratings").int_attr("oid").str_attr("rating").build(),
+                RelationBuilder::new("omdb_ratings")
+                    .int_attr("oid")
+                    .str_attr("rating")
+                    .build(),
             );
         // Ten movies; even ids are comedies, and the first six are rated R on
         // the OMDB side. Hits: comedies rated R = ids 0, 2, 4.
         let titles = [
-            "Alpha Dawn", "Beta Harvest", "Crimson Tide Story", "Delta Grove", "Echo Valley",
-            "Foxtrot Nine", "Golden Hour", "Hidden Creek", "Iron Summit", "Jade Harbor",
+            "Alpha Dawn",
+            "Beta Harvest",
+            "Crimson Tide Story",
+            "Delta Grove",
+            "Echo Valley",
+            "Foxtrot Nine",
+            "Golden Hour",
+            "Hidden Creek",
+            "Iron Summit",
+            "Jade Harbor",
         ];
         for (i, title) in titles.iter().enumerate() {
             let id = i as i64;
@@ -380,11 +420,17 @@ pub(crate) mod test_fixtures {
                 )
                 .row(
                     "omdb_movies",
-                    vec![Value::int(100 + id), Value::str(format!("{title} ({})", 1990 + i))],
+                    vec![
+                        Value::int(100 + id),
+                        Value::str(format!("{title} ({})", 1990 + i)),
+                    ],
                 )
                 .row(
                     "omdb_ratings",
-                    vec![Value::int(100 + id), Value::str(if i < 6 { "R" } else { "PG" })],
+                    vec![
+                        Value::int(100 + id),
+                        Value::str(if i < 6 { "R" } else { "PG" }),
+                    ],
                 );
         }
         let db = builder.build();
@@ -405,11 +451,6 @@ pub(crate) mod test_fixtures {
             task.negatives.push(tuple(vec![Value::int(i)]));
         }
         task
-    }
-
-    /// Extra examples (not in the training set) for prediction tests.
-    pub fn holdout() -> (Vec<Tuple>, Vec<Tuple>) {
-        (vec![], vec![])
     }
 }
 
@@ -439,12 +480,18 @@ mod tests {
         assert!(!model.clauses().is_empty(), "no definition learned");
         // The learned definition must separate training positives from
         // negatives reasonably well.
-        let pos_hits =
-            task.positives.iter().filter(|e| model.predict(e)).count();
-        let neg_hits =
-            task.negatives.iter().filter(|e| model.predict(e)).count();
-        assert!(pos_hits >= 2, "positives covered: {pos_hits}\n{}", model.render());
-        assert!(neg_hits <= 2, "negatives covered: {neg_hits}\n{}", model.render());
+        let pos_hits = task.positives.iter().filter(|e| model.predict(e)).count();
+        let neg_hits = task.negatives.iter().filter(|e| model.predict(e)).count();
+        assert!(
+            pos_hits >= 2,
+            "positives covered: {pos_hits}\n{}",
+            model.render()
+        );
+        assert!(
+            neg_hits <= 2,
+            "negatives covered: {neg_hits}\n{}",
+            model.render()
+        );
     }
 
     #[test]
@@ -456,7 +503,9 @@ mod tests {
         for clause in outcome.model.clauses() {
             assert!(
                 clause.body.iter().all(|l| {
-                    l.relation_name().map(|n| !n.starts_with("omdb")).unwrap_or(true)
+                    l.relation_name()
+                        .map(|n| !n.starts_with("omdb"))
+                        .unwrap_or(true)
                 }),
                 "clause reaches OMDB without an MD: {clause}"
             );
@@ -488,7 +537,10 @@ mod tests {
         let mut task2 = task.clone();
         task2.database = db;
         let db2 = augment_with_target(&task2);
-        assert_eq!(db2.require_relation("hit").unwrap().len(), task.example_count());
+        assert_eq!(
+            db2.require_relation("hit").unwrap().len(),
+            task.example_count()
+        );
     }
 
     #[test]

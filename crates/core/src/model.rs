@@ -50,7 +50,14 @@ impl LearnedModel {
             .iter()
             .map(|c| PreparedClause::prepare(c.clone(), &config))
             .collect();
-        LearnedModel { definition, stats, task, catalog, config, prepared }
+        LearnedModel {
+            definition,
+            stats,
+            task,
+            catalog,
+            config,
+            prepared,
+        }
     }
 
     /// The learned Horn definition.
@@ -85,7 +92,9 @@ impl LearnedModel {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xdead_beef);
         let ground_clause = builder.build(example, &mut rng);
         let ground = GroundExample::from_clause(example.clone(), &ground_clause, &self.config);
-        self.prepared.iter().any(|prepared| self.covers(prepared, &ground))
+        self.prepared
+            .iter()
+            .any(|prepared| self.covers(prepared, &ground))
     }
 
     /// Predict a batch of examples.

@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dlearn_constraints::{Cfd, MatchingDependency};
-use dlearn_relstore::{Database, StoreError, Tuple};
+use dlearn_relstore::{Database, RelId, StoreError, Sym, Tuple};
 
 /// The target relation to learn, e.g. `highGrossing(title)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +61,7 @@ pub struct LearningTask {
     /// Negative examples (tuples of the target relation).
     pub negatives: Vec<Tuple>,
     /// `(relation, attribute)` pairs whose values stay constants in clauses.
-    pub constant_attributes: BTreeSet<(String, String)>,
+    pub constant_attributes: BTreeSet<(RelId, Sym)>,
     /// Data source of each relation (e.g. `imdb` vs `omdb`). When sources are
     /// declared, exact value joins are only followed *within* a source;
     /// crossing sources requires a matching dependency. An empty map places
@@ -101,17 +101,27 @@ impl LearningTask {
     /// Mark an attribute as constant-valued for clause construction.
     pub fn add_constant_attribute(
         &mut self,
-        relation: impl Into<String>,
-        attribute: impl Into<String>,
+        relation: impl Into<RelId>,
+        attribute: impl AsRef<str>,
     ) {
-        self.constant_attributes.insert((relation.into(), attribute.into()));
+        self.constant_attributes
+            .insert((relation.into(), Sym::intern(attribute)));
     }
 
     /// `true` when the attribute's values should appear as constants.
-    pub fn is_constant_attribute(&self, relation: &str, attribute_index: usize) -> bool {
-        let Some(rel) = self.database.schema().relation(relation) else { return false };
-        let Some(attr) = rel.attribute(attribute_index) else { return false };
-        self.constant_attributes.contains(&(relation.to_string(), attr.name.clone()))
+    pub fn is_constant_attribute(
+        &self,
+        relation: impl Into<RelId>,
+        attribute_index: usize,
+    ) -> bool {
+        let id = relation.into();
+        let Some(rel) = self.database.schema().relation(id) else {
+            return false;
+        };
+        let Some(attr) = rel.attribute(attribute_index) else {
+            return false;
+        };
+        self.constant_attributes.contains(&(id, attr.name))
     }
 
     /// Validate the task: constraints must reference existing relations and
@@ -157,8 +167,18 @@ mod tests {
 
     fn small_task() -> LearningTask {
         let db = DatabaseBuilder::new()
-            .relation(RelationBuilder::new("movies").int_attr("id").str_attr("title").build())
-            .relation(RelationBuilder::new("mov2genres").int_attr("id").str_attr("genre").build())
+            .relation(
+                RelationBuilder::new("movies")
+                    .int_attr("id")
+                    .str_attr("title")
+                    .build(),
+            )
+            .relation(
+                RelationBuilder::new("mov2genres")
+                    .int_attr("id")
+                    .str_attr("genre")
+                    .build(),
+            )
             .row("movies", vec![Value::int(1), Value::str("Superbad")])
             .row("mov2genres", vec![Value::int(1), Value::str("comedy")])
             .build();
@@ -177,14 +197,17 @@ mod tests {
     #[test]
     fn example_arity_is_checked() {
         let mut task = small_task();
-        task.positives.push(tuple(vec![Value::str("a"), Value::str("b")]));
+        task.positives
+            .push(tuple(vec![Value::str("a"), Value::str("b")]));
         assert!(task.validate().is_err());
     }
 
     #[test]
     fn md_validation_is_applied() {
         let mut task = small_task();
-        task.mds.push(MatchingDependency::simple("bad", "movies", "missing", "movies", "title"));
+        task.mds.push(MatchingDependency::simple(
+            "bad", "movies", "missing", "movies", "title",
+        ));
         assert!(task.validate().is_err());
     }
 

@@ -50,13 +50,23 @@ impl CitationConfig {
 
     /// A small instance for integration tests and benchmarks.
     pub fn small() -> Self {
-        CitationConfig { n_papers: 150, n_positive: 25, n_negative: 50, ..CitationConfig::tiny() }
+        CitationConfig {
+            n_papers: 150,
+            n_positive: 25,
+            n_negative: 50,
+            ..CitationConfig::tiny()
+        }
     }
 
     /// The scale used by the experiment runner (the paper uses 500/1000
     /// examples over 15K/328K tuples).
     pub fn paper() -> Self {
-        CitationConfig { n_papers: 400, n_positive: 60, n_negative: 120, ..CitationConfig::tiny() }
+        CitationConfig {
+            n_papers: 400,
+            n_positive: 60,
+            n_negative: 120,
+            ..CitationConfig::tiny()
+        }
     }
 
     /// Set the CFD-violation rate `p`.
@@ -79,7 +89,12 @@ pub fn generate_citation_dataset(config: &CitationConfig, seed: u64) -> Dataset 
                 .int_attr("year")
                 .build(),
         )
-        .relation(RelationBuilder::new("dblp_authors").int_attr("did").str_attr("author").build())
+        .relation(
+            RelationBuilder::new("dblp_authors")
+                .int_attr("did")
+                .str_attr("author")
+                .build(),
+        )
         .relation(
             RelationBuilder::new("scholar_papers")
                 .int_attr("gsid")
@@ -88,7 +103,10 @@ pub fn generate_citation_dataset(config: &CitationConfig, seed: u64) -> Dataset 
                 .build(),
         )
         .relation(
-            RelationBuilder::new("scholar_authors").int_attr("gsid").str_attr("author").build(),
+            RelationBuilder::new("scholar_authors")
+                .int_attr("gsid")
+                .str_attr("author")
+                .build(),
         );
 
     let mut paper_years: Vec<(i64, i64)> = Vec::new(); // (gsid, true year)
@@ -126,14 +144,26 @@ pub fn generate_citation_dataset(config: &CitationConfig, seed: u64) -> Dataset 
         builder = builder
             .row(
                 "dblp_papers",
-                vec![Value::int(did), Value::str(&title), Value::str(&venue), Value::int(year)],
+                vec![
+                    Value::int(did),
+                    Value::str(&title),
+                    Value::str(&venue),
+                    Value::int(year),
+                ],
             )
             .row("dblp_authors", vec![Value::int(did), Value::str(&author)])
             .row(
                 "scholar_papers",
-                vec![Value::int(gsid), Value::str(&scholar_title), Value::str(&scholar_venue)],
+                vec![
+                    Value::int(gsid),
+                    Value::str(&scholar_title),
+                    Value::str(&scholar_venue),
+                ],
             )
-            .row("scholar_authors", vec![Value::int(gsid), Value::str(&author)]);
+            .row(
+                "scholar_authors",
+                vec![Value::int(gsid), Value::str(&author)],
+            );
 
         paper_years.push((gsid, year));
     }
@@ -163,7 +193,12 @@ pub fn generate_citation_dataset(config: &CitationConfig, seed: u64) -> Dataset 
         Cfd::fd("dblp_year_fd", "dblp_papers", vec!["did"], "year"),
     ];
     if config.cfd_violation_rate > 0.0 {
-        inject_cfd_violations(&mut database, &task.cfds, config.cfd_violation_rate, &mut rng);
+        inject_cfd_violations(
+            &mut database,
+            &task.cfds,
+            config.cfd_violation_rate,
+            &mut rng,
+        );
     }
     task.database = database;
 
@@ -178,8 +213,11 @@ pub fn generate_citation_dataset(config: &CitationConfig, seed: u64) -> Dataset 
     // Positive examples pair a Scholar id with its true DBLP year; negatives
     // pair it with a wrong year.
     paper_years.shuffle(&mut rng);
-    let positives: Vec<(i64, i64)> =
-        paper_years.iter().take(config.n_positive).cloned().collect();
+    let positives: Vec<(i64, i64)> = paper_years
+        .iter()
+        .take(config.n_positive)
+        .cloned()
+        .collect();
     let negatives: Vec<(i64, i64)> = paper_years
         .iter()
         .cycle()
@@ -190,10 +228,14 @@ pub fn generate_citation_dataset(config: &CitationConfig, seed: u64) -> Dataset 
             (gsid, year + offset)
         })
         .collect();
-    task.positives =
-        positives.iter().map(|&(g, y)| tuple(vec![Value::int(g), Value::int(y)])).collect();
-    task.negatives =
-        negatives.iter().map(|&(g, y)| tuple(vec![Value::int(g), Value::int(y)])).collect();
+    task.positives = positives
+        .iter()
+        .map(|&(g, y)| tuple(vec![Value::int(g), Value::int(y)]))
+        .collect();
+    task.negatives = negatives
+        .iter()
+        .map(|&(g, y)| tuple(vec![Value::int(g), Value::int(y)]))
+        .collect();
 
     Dataset::new("DBLP + Google Scholar", task)
 }
@@ -207,7 +249,11 @@ mod tests {
         let ds = generate_citation_dataset(&CitationConfig::tiny(), 2);
         assert!(ds.task.validate().is_ok());
         assert_eq!(ds.task.mds.len(), 2, "paper uses two MDs (titles, venues)");
-        assert_eq!(ds.task.cfds.len(), 2, "paper reports 2 CFDs for DBLP+Scholar");
+        assert_eq!(
+            ds.task.cfds.len(),
+            2,
+            "paper reports 2 CFDs for DBLP+Scholar"
+        );
         assert_eq!(ds.task.target.arity(), 2);
     }
 
@@ -218,13 +264,23 @@ mod tests {
         let year_of = |gsid: &Value| -> i64 {
             // The DBLP paper with did = gsid - 900000.
             let did = Value::int(gsid.as_int().unwrap() - 900_000);
-            db.select_eq("dblp_papers", "did", &did).unwrap()[0].value(3).unwrap().as_int().unwrap()
+            db.select_eq("dblp_papers", "did", &did).unwrap()[0]
+                .value(3)
+                .unwrap()
+                .as_int()
+                .unwrap()
         };
         for e in &ds.task.positives {
-            assert_eq!(e.value(1).unwrap().as_int().unwrap(), year_of(e.value(0).unwrap()));
+            assert_eq!(
+                e.value(1).unwrap().as_int().unwrap(),
+                year_of(e.value(0).unwrap())
+            );
         }
         for e in &ds.task.negatives {
-            assert_ne!(e.value(1).unwrap().as_int().unwrap(), year_of(e.value(0).unwrap()));
+            assert_ne!(
+                e.value(1).unwrap().as_int().unwrap(),
+                year_of(e.value(0).unwrap())
+            );
         }
     }
 
@@ -240,6 +296,10 @@ mod tests {
                 exact += 1;
             }
         }
-        assert!(exact * 3 < dblp.len(), "too many exact titles: {exact}/{}", dblp.len());
+        assert!(
+            exact * 3 < dblp.len(),
+            "too many exact titles: {exact}/{}",
+            dblp.len()
+        );
     }
 }

@@ -31,7 +31,10 @@ pub struct Fold {
 impl Dataset {
     /// Create a dataset.
     pub fn new(name: impl Into<String>, task: LearningTask) -> Self {
-        Dataset { name: name.into(), task }
+        Dataset {
+            name: name.into(),
+            task,
+        }
     }
 
     /// Produce a `k`-fold cross-validation split of the examples (the paper
@@ -85,7 +88,9 @@ impl Dataset {
         let (train_pos, test_pos) = positives.split_at(cut_pos.min(positives.len()));
         let (train_neg, test_neg) = negatives.split_at(cut_neg.min(negatives.len()));
         Fold {
-            train: self.task.with_examples(train_pos.to_vec(), train_neg.to_vec()),
+            train: self
+                .task
+                .with_examples(train_pos.to_vec(), train_neg.to_vec()),
             test_positives: test_pos.to_vec(),
             test_negatives: test_neg.to_vec(),
         }
@@ -112,7 +117,8 @@ mod tests {
             task.positives.push(tuple(vec![Value::int(i as i64)]));
         }
         for i in 0..n_neg {
-            task.negatives.push(tuple(vec![Value::int(1000 + i as i64)]));
+            task.negatives
+                .push(tuple(vec![Value::int(1000 + i as i64)]));
         }
         Dataset::new("toy", task)
     }

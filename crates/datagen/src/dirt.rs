@@ -102,7 +102,10 @@ mod tests {
             }
         }
         assert!(exact <= 4, "too many exact matches: {exact}");
-        assert!(similar >= 30, "similarity should usually survive decoration: {similar}");
+        assert!(
+            similar >= 30,
+            "similarity should usually survive decoration: {similar}"
+        );
     }
 
     #[test]
@@ -114,7 +117,11 @@ mod tests {
             assert!(!p.is_empty());
             assert!(op.score("James Chen", &p) > 0.4, "perturbed too far: {p}");
         }
-        assert_eq!(perturb_name("Cher", &mut rng), "Cher", "single tokens are left alone");
+        assert_eq!(
+            perturb_name("Cher", &mut rng),
+            "Cher",
+            "single tokens are left alone"
+        );
     }
 
     #[test]

@@ -55,13 +55,23 @@ impl MovieConfig {
 
     /// A small instance for integration tests and benchmarks.
     pub fn small() -> Self {
-        MovieConfig { n_movies: 120, n_positive: 24, n_negative: 48, ..MovieConfig::tiny() }
+        MovieConfig {
+            n_movies: 120,
+            n_positive: 24,
+            n_negative: 48,
+            ..MovieConfig::tiny()
+        }
     }
 
     /// The scale used by the experiment runner to mirror the paper's tables
     /// (scaled down from the 3.3M/4.8M-tuple originals to laptop size).
     pub fn paper() -> Self {
-        MovieConfig { n_movies: 400, n_positive: 60, n_negative: 120, ..MovieConfig::tiny() }
+        MovieConfig {
+            n_movies: 400,
+            n_positive: 60,
+            n_negative: 120,
+            ..MovieConfig::tiny()
+        }
     }
 
     /// Switch to the three-MD variant.
@@ -99,13 +109,29 @@ pub fn generate_movie_dataset(config: &MovieConfig, seed: u64) -> Dataset {
                 .int_attr("year")
                 .build(),
         )
-        .relation(RelationBuilder::new("imdb_mov2genres").int_attr("id").str_attr("genre").build())
         .relation(
-            RelationBuilder::new("imdb_mov2countries").int_attr("id").str_attr("country").build(),
+            RelationBuilder::new("imdb_mov2genres")
+                .int_attr("id")
+                .str_attr("genre")
+                .build(),
         )
-        .relation(RelationBuilder::new("imdb_mov2cast").int_attr("id").str_attr("actor").build())
         .relation(
-            RelationBuilder::new("imdb_mov2writers").int_attr("id").str_attr("writer").build(),
+            RelationBuilder::new("imdb_mov2countries")
+                .int_attr("id")
+                .str_attr("country")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("imdb_mov2cast")
+                .int_attr("id")
+                .str_attr("actor")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("imdb_mov2writers")
+                .int_attr("id")
+                .str_attr("writer")
+                .build(),
         )
         .relation(
             RelationBuilder::new("omdb_movies")
@@ -115,12 +141,28 @@ pub fn generate_movie_dataset(config: &MovieConfig, seed: u64) -> Dataset {
                 .build(),
         )
         .relation(
-            RelationBuilder::new("omdb_mov2ratings").int_attr("oid").str_attr("rating").build(),
+            RelationBuilder::new("omdb_mov2ratings")
+                .int_attr("oid")
+                .str_attr("rating")
+                .build(),
         )
-        .relation(RelationBuilder::new("omdb_mov2genres").int_attr("oid").str_attr("genre").build())
-        .relation(RelationBuilder::new("omdb_mov2cast").int_attr("oid").str_attr("actor").build())
         .relation(
-            RelationBuilder::new("omdb_mov2writers").int_attr("oid").str_attr("writer").build(),
+            RelationBuilder::new("omdb_mov2genres")
+                .int_attr("oid")
+                .str_attr("genre")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("omdb_mov2cast")
+                .int_attr("oid")
+                .str_attr("actor")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("omdb_mov2writers")
+                .int_attr("oid")
+                .str_attr("writer")
+                .build(),
         );
 
     let mut positive_ids: Vec<i64> = Vec::new();
@@ -149,9 +191,14 @@ pub fn generate_movie_dataset(config: &MovieConfig, seed: u64) -> Dataset {
             ("drama", "R")
         } else {
             match rng.gen_range(0..10) {
-                0..=3 => ("drama", *["PG-13", "PG", "G"].get(rng.gen_range(0..3)).unwrap()),
+                0..=3 => (
+                    "drama",
+                    *["PG-13", "PG", "G"].get(rng.gen_range(0..3usize)).unwrap(),
+                ),
                 4..=7 => (
-                    *["comedy", "thriller", "action", "horror"].get(rng.gen_range(0..4)).unwrap(),
+                    *["comedy", "thriller", "action", "horror"]
+                        .get(rng.gen_range(0..4usize))
+                        .unwrap(),
                     "R",
                 ),
                 _ => loop {
@@ -184,16 +231,37 @@ pub fn generate_movie_dataset(config: &MovieConfig, seed: u64) -> Dataset {
         };
 
         builder = builder
-            .row("imdb_movies", vec![Value::int(id), Value::str(&title), Value::int(year)])
+            .row(
+                "imdb_movies",
+                vec![Value::int(id), Value::str(&title), Value::int(year)],
+            )
             .row("imdb_mov2genres", vec![Value::int(id), Value::str(genre)])
-            .row("imdb_mov2countries", vec![Value::int(id), Value::str(country)])
+            .row(
+                "imdb_mov2countries",
+                vec![Value::int(id), Value::str(country)],
+            )
             .row("imdb_mov2cast", vec![Value::int(id), Value::str(&actor)])
-            .row("imdb_mov2writers", vec![Value::int(id), Value::str(&writer)])
-            .row("omdb_movies", vec![Value::int(oid), Value::str(&omdb_title), Value::int(year)])
-            .row("omdb_mov2ratings", vec![Value::int(oid), Value::str(rating)])
+            .row(
+                "imdb_mov2writers",
+                vec![Value::int(id), Value::str(&writer)],
+            )
+            .row(
+                "omdb_movies",
+                vec![Value::int(oid), Value::str(&omdb_title), Value::int(year)],
+            )
+            .row(
+                "omdb_mov2ratings",
+                vec![Value::int(oid), Value::str(rating)],
+            )
             .row("omdb_mov2genres", vec![Value::int(oid), Value::str(genre)])
-            .row("omdb_mov2cast", vec![Value::int(oid), Value::str(&omdb_actor)])
-            .row("omdb_mov2writers", vec![Value::int(oid), Value::str(&omdb_writer)]);
+            .row(
+                "omdb_mov2cast",
+                vec![Value::int(oid), Value::str(&omdb_actor)],
+            )
+            .row(
+                "omdb_mov2writers",
+                vec![Value::int(oid), Value::str(&omdb_writer)],
+            );
 
         if positive {
             positive_ids.push(id);
@@ -242,7 +310,12 @@ pub fn generate_movie_dataset(config: &MovieConfig, seed: u64) -> Dataset {
 
     // Inject CFD violations before freezing the database.
     if config.cfd_violation_rate > 0.0 {
-        inject_cfd_violations(&mut database, &task.cfds, config.cfd_violation_rate, &mut rng);
+        inject_cfd_violations(
+            &mut database,
+            &task.cfds,
+            config.cfd_violation_rate,
+            &mut rng,
+        );
     }
     task.database = database;
 
@@ -278,10 +351,20 @@ pub fn generate_movie_dataset(config: &MovieConfig, seed: u64) -> Dataset {
     // Training examples.
     sample_examples(&mut rng, &mut positive_ids, config.n_positive);
     sample_examples(&mut rng, &mut negative_ids, config.n_negative);
-    task.positives = positive_ids.iter().map(|&id| tuple(vec![Value::int(id)])).collect();
-    task.negatives = negative_ids.iter().map(|&id| tuple(vec![Value::int(id)])).collect();
+    task.positives = positive_ids
+        .iter()
+        .map(|&id| tuple(vec![Value::int(id)]))
+        .collect();
+    task.negatives = negative_ids
+        .iter()
+        .map(|&id| tuple(vec![Value::int(id)]))
+        .collect();
 
-    let name = if config.three_mds { "IMDB + OMDB (three MDs)" } else { "IMDB + OMDB (one MD)" };
+    let name = if config.three_mds {
+        "IMDB + OMDB (three MDs)"
+    } else {
+        "IMDB + OMDB (one MD)"
+    };
     Dataset::new(name, task)
 }
 
@@ -323,7 +406,9 @@ mod tests {
         for e in &ds.task.positives {
             let id = e.value(0).unwrap();
             let genres = db.select_eq("imdb_mov2genres", "id", id).unwrap();
-            assert!(genres.iter().any(|t| t.value(1) == Some(&Value::str("drama"))));
+            assert!(genres
+                .iter()
+                .any(|t| t.value(1) == Some(&Value::str("drama"))));
         }
     }
 
@@ -336,7 +421,7 @@ mod tests {
             .task
             .cfds
             .iter()
-            .any(|c| !c.satisfied_by(dirty.task.database.relation(&c.relation).unwrap()));
+            .any(|c| !c.satisfied_by(dirty.task.database.relation(c.relation).unwrap()));
         assert!(violated);
     }
 

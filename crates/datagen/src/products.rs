@@ -48,13 +48,23 @@ impl ProductConfig {
 
     /// A small instance for integration tests and benchmarks.
     pub fn small() -> Self {
-        ProductConfig { n_products: 150, n_positive: 20, n_negative: 40, ..ProductConfig::tiny() }
+        ProductConfig {
+            n_products: 150,
+            n_positive: 20,
+            n_negative: 40,
+            ..ProductConfig::tiny()
+        }
     }
 
     /// The scale used by the experiment runner (the paper uses 77/154
     /// examples over 19K/216K tuples).
     pub fn paper() -> Self {
-        ProductConfig { n_products: 350, n_positive: 50, n_negative: 100, ..ProductConfig::tiny() }
+        ProductConfig {
+            n_products: 350,
+            n_positive: 50,
+            n_negative: 100,
+            ..ProductConfig::tiny()
+        }
     }
 
     /// Set the CFD-violation rate `p`.
@@ -67,26 +77,62 @@ impl ProductConfig {
 /// Generate the product dataset.
 pub fn generate_product_dataset(config: &ProductConfig, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
-    let categories =
-        ["Computers Accessories", "Electronics - General", "Home & Kitchen", "Sports & Outdoors"];
+    let categories = [
+        "Computers Accessories",
+        "Electronics - General",
+        "Home & Kitchen",
+        "Sports & Outdoors",
+    ];
     let groups = ["Electronics - General", "Home", "Sports"];
 
     let mut builder = DatabaseBuilder::new()
-        .relation(RelationBuilder::new("walmart_ids").int_attr("pid").int_attr("upc").build())
-        .relation(RelationBuilder::new("walmart_title").int_attr("pid").str_attr("title").build())
-        .relation(RelationBuilder::new("walmart_brand").int_attr("pid").str_attr("brand").build())
         .relation(
-            RelationBuilder::new("walmart_groupname").int_attr("pid").str_attr("group").build(),
-        )
-        .relation(RelationBuilder::new("amazon_title").int_attr("aid").str_attr("title").build())
-        .relation(
-            RelationBuilder::new("amazon_category").int_attr("aid").str_attr("category").build(),
+            RelationBuilder::new("walmart_ids")
+                .int_attr("pid")
+                .int_attr("upc")
+                .build(),
         )
         .relation(
-            RelationBuilder::new("amazon_listprice").int_attr("aid").int_attr("price").build(),
+            RelationBuilder::new("walmart_title")
+                .int_attr("pid")
+                .str_attr("title")
+                .build(),
         )
         .relation(
-            RelationBuilder::new("amazon_itemweight").int_attr("aid").int_attr("weight").build(),
+            RelationBuilder::new("walmart_brand")
+                .int_attr("pid")
+                .str_attr("brand")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("walmart_groupname")
+                .int_attr("pid")
+                .str_attr("group")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("amazon_title")
+                .int_attr("aid")
+                .str_attr("title")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("amazon_category")
+                .int_attr("aid")
+                .str_attr("category")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("amazon_listprice")
+                .int_attr("aid")
+                .int_attr("price")
+                .build(),
+        )
+        .relation(
+            RelationBuilder::new("amazon_itemweight")
+                .int_attr("aid")
+                .int_attr("weight")
+                .build(),
         );
 
     let mut positive_upcs: Vec<i64> = Vec::new();
@@ -115,7 +161,11 @@ pub fn generate_product_dataset(config: &ProductConfig, seed: u64) -> Dataset {
                 }
             }
         };
-        let brand = title.split_whitespace().next().unwrap_or("Generic").to_string();
+        let brand = title
+            .split_whitespace()
+            .next()
+            .unwrap_or("Generic")
+            .to_string();
         let group = vocab::pick(&mut rng, &groups);
         let price = rng.gen_range(5..500) as i64;
         let weight = rng.gen_range(1..40) as i64;
@@ -134,11 +184,23 @@ pub fn generate_product_dataset(config: &ProductConfig, seed: u64) -> Dataset {
             .row("walmart_ids", vec![Value::int(pid), Value::int(upc)])
             .row("walmart_title", vec![Value::int(pid), Value::str(&title)])
             .row("walmart_brand", vec![Value::int(pid), Value::str(&brand)])
-            .row("walmart_groupname", vec![Value::int(pid), Value::str(group)])
-            .row("amazon_title", vec![Value::int(aid), Value::str(&amazon_title)])
-            .row("amazon_category", vec![Value::int(aid), Value::str(category)])
+            .row(
+                "walmart_groupname",
+                vec![Value::int(pid), Value::str(group)],
+            )
+            .row(
+                "amazon_title",
+                vec![Value::int(aid), Value::str(&amazon_title)],
+            )
+            .row(
+                "amazon_category",
+                vec![Value::int(aid), Value::str(category)],
+            )
             .row("amazon_listprice", vec![Value::int(aid), Value::int(price)])
-            .row("amazon_itemweight", vec![Value::int(aid), Value::int(weight)]);
+            .row(
+                "amazon_itemweight",
+                vec![Value::int(aid), Value::int(weight)],
+            );
 
         if positive {
             positive_upcs.push(upc);
@@ -164,12 +226,32 @@ pub fn generate_product_dataset(config: &ProductConfig, seed: u64) -> Dataset {
         Cfd::fd("walmart_title_fd", "walmart_title", vec!["pid"], "title"),
         Cfd::fd("walmart_upc_fd", "walmart_ids", vec!["pid"], "upc"),
         Cfd::fd("amazon_price_fd", "amazon_listprice", vec!["aid"], "price"),
-        Cfd::fd("amazon_category_fd", "amazon_category", vec!["aid"], "category"),
-        Cfd::fd("amazon_weight_fd", "amazon_itemweight", vec!["aid"], "weight"),
-        Cfd::fd("walmart_group_fd", "walmart_groupname", vec!["pid"], "group"),
+        Cfd::fd(
+            "amazon_category_fd",
+            "amazon_category",
+            vec!["aid"],
+            "category",
+        ),
+        Cfd::fd(
+            "amazon_weight_fd",
+            "amazon_itemweight",
+            vec!["aid"],
+            "weight",
+        ),
+        Cfd::fd(
+            "walmart_group_fd",
+            "walmart_groupname",
+            vec!["pid"],
+            "group",
+        ),
     ];
     if config.cfd_violation_rate > 0.0 {
-        inject_cfd_violations(&mut database, &task.cfds, config.cfd_violation_rate, &mut rng);
+        inject_cfd_violations(
+            &mut database,
+            &task.cfds,
+            config.cfd_violation_rate,
+            &mut rng,
+        );
     }
     task.database = database;
 
@@ -180,10 +262,20 @@ pub fn generate_product_dataset(config: &ProductConfig, seed: u64) -> Dataset {
     ] {
         task.add_constant_attribute(rel, attr);
     }
-    for rel in ["walmart_ids", "walmart_title", "walmart_brand", "walmart_groupname"] {
+    for rel in [
+        "walmart_ids",
+        "walmart_title",
+        "walmart_brand",
+        "walmart_groupname",
+    ] {
         task.add_source(rel, "walmart");
     }
-    for rel in ["amazon_title", "amazon_category", "amazon_listprice", "amazon_itemweight"] {
+    for rel in [
+        "amazon_title",
+        "amazon_category",
+        "amazon_listprice",
+        "amazon_itemweight",
+    ] {
         task.add_source(rel, "amazon");
     }
     task.target_source = Some("walmart".to_string());
@@ -192,8 +284,14 @@ pub fn generate_product_dataset(config: &ProductConfig, seed: u64) -> Dataset {
     positive_upcs.truncate(config.n_positive);
     negative_upcs.shuffle(&mut rng);
     negative_upcs.truncate(config.n_negative);
-    task.positives = positive_upcs.iter().map(|&u| tuple(vec![Value::int(u)])).collect();
-    task.negatives = negative_upcs.iter().map(|&u| tuple(vec![Value::int(u)])).collect();
+    task.positives = positive_upcs
+        .iter()
+        .map(|&u| tuple(vec![Value::int(u)]))
+        .collect();
+    task.negatives = negative_upcs
+        .iter()
+        .map(|&u| tuple(vec![Value::int(u)]))
+        .collect();
 
     Dataset::new("Walmart + Amazon", task)
 }
@@ -207,7 +305,11 @@ mod tests {
         let ds = generate_product_dataset(&ProductConfig::tiny(), 5);
         assert!(ds.task.validate().is_ok());
         assert_eq!(ds.task.mds.len(), 1);
-        assert_eq!(ds.task.cfds.len(), 6, "paper reports 6 CFDs for Walmart+Amazon");
+        assert_eq!(
+            ds.task.cfds.len(),
+            6,
+            "paper reports 6 CFDs for Walmart+Amazon"
+        );
         assert!(!ds.task.positives.is_empty());
     }
 
@@ -233,8 +335,7 @@ mod tests {
     #[test]
     fn violation_rate_increases_tuple_count() {
         let clean = generate_product_dataset(&ProductConfig::tiny(), 1);
-        let dirty =
-            generate_product_dataset(&ProductConfig::tiny().with_violation_rate(0.2), 1);
+        let dirty = generate_product_dataset(&ProductConfig::tiny().with_violation_rate(0.2), 1);
         assert!(dirty.task.database.total_tuples() > clean.task.database.total_tuples());
     }
 }

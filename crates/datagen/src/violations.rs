@@ -27,7 +27,9 @@ pub fn inject_cfd_violations(
     }
     let mut injected = 0usize;
     for cfd in cfds {
-        let Some(relation) = database.relation(&cfd.relation) else { continue };
+        let Some(relation) = database.relation(cfd.relation) else {
+            continue;
+        };
         let rhs_index = cfd.rhs_index(relation);
         let n = relation.len();
         if n == 0 {
@@ -41,15 +43,20 @@ pub fn inject_cfd_violations(
         ids.truncate(count);
         let mut new_rows = Vec::new();
         for id in ids {
-            let Some(tuple) = relation.tuple(id) else { continue };
+            let Some(tuple) = relation.tuple(id) else {
+                continue;
+            };
             let mut dirty = tuple.clone();
             let current = dirty.value(rhs_index).cloned().unwrap_or(Value::Null);
-            dirty.set_value(rhs_index, perturb_value(&current, relation.distinct_values(rhs_index), rng));
+            dirty.set_value(
+                rhs_index,
+                perturb_value(&current, relation.distinct_values(rhs_index), rng),
+            );
             new_rows.push(dirty);
         }
-        let name = cfd.relation.clone();
+        let name = cfd.relation;
         for row in new_rows {
-            if database.insert(&name, row).is_ok() {
+            if database.insert(name, row).is_ok() {
                 injected += 1;
             }
         }
@@ -62,10 +69,10 @@ pub fn inject_cfd_violations(
 fn perturb_value(current: &Value, domain: Vec<&Value>, rng: &mut StdRng) -> Value {
     let alternatives: Vec<&&Value> = domain.iter().filter(|v| *v != &current).collect();
     if !alternatives.is_empty() && rng.gen_bool(0.7) {
-        return (*alternatives[rng.gen_range(0..alternatives.len())]).clone();
+        return *(*alternatives[rng.gen_range(0..alternatives.len())]);
     }
     match current {
-        Value::Int(i) => Value::Int(i + rng.gen_range(1..5)),
+        Value::Int(i) => Value::Int(*i + rng.gen_range(1..5i64)),
         Value::Str(s) => Value::str(format!("{s} ?")),
         Value::Null => Value::str("unknown"),
     }
@@ -80,12 +87,20 @@ mod tests {
 
     fn db() -> Database {
         let mut builder = DatabaseBuilder::new().relation(
-            RelationBuilder::new("movies").int_attr("id").str_attr("title").int_attr("year").build(),
+            RelationBuilder::new("movies")
+                .int_attr("id")
+                .str_attr("title")
+                .int_attr("year")
+                .build(),
         );
         for i in 0..40i64 {
             builder = builder.row(
                 "movies",
-                vec![Value::int(i), Value::str(format!("Movie {i}")), Value::int(1980 + i)],
+                vec![
+                    Value::int(i),
+                    Value::str(format!("Movie {i}")),
+                    Value::int(1980 + i),
+                ],
             );
         }
         builder.build()
@@ -100,7 +115,9 @@ mod tests {
         let injected = inject_cfd_violations(&mut database, &cfds, 0.2, &mut rng);
         assert!(injected >= 4, "injected: {injected}");
         assert!(!all_cfds_satisfied(&database, &cfds));
-        let violating = cfds[0].find_violations(database.relation("movies").unwrap()).len();
+        let violating = cfds[0]
+            .find_violations(database.relation("movies").unwrap())
+            .len();
         assert!(violating >= injected, "violations: {violating}");
     }
 
@@ -109,7 +126,10 @@ mod tests {
         let mut database = db();
         let cfds = vec![Cfd::fd("year", "movies", vec!["id"], "year")];
         let mut rng = StdRng::seed_from_u64(11);
-        assert_eq!(inject_cfd_violations(&mut database, &cfds, 0.0, &mut rng), 0);
+        assert_eq!(
+            inject_cfd_violations(&mut database, &cfds, 0.0, &mut rng),
+            0
+        );
         assert_eq!(database.total_tuples(), 40);
     }
 

@@ -5,18 +5,70 @@ use rand::Rng;
 
 /// Adjective-like words used in movie and product titles.
 pub const ADJECTIVES: &[&str] = &[
-    "Crimson", "Silent", "Golden", "Hidden", "Broken", "Electric", "Midnight", "Lonely",
-    "Savage", "Velvet", "Frozen", "Burning", "Distant", "Gentle", "Hollow", "Iron",
-    "Jade", "Lunar", "Mystic", "Northern", "Obsidian", "Pale", "Quiet", "Restless",
-    "Scarlet", "Twisted", "Umber", "Violet", "Wandering", "Young",
+    "Crimson",
+    "Silent",
+    "Golden",
+    "Hidden",
+    "Broken",
+    "Electric",
+    "Midnight",
+    "Lonely",
+    "Savage",
+    "Velvet",
+    "Frozen",
+    "Burning",
+    "Distant",
+    "Gentle",
+    "Hollow",
+    "Iron",
+    "Jade",
+    "Lunar",
+    "Mystic",
+    "Northern",
+    "Obsidian",
+    "Pale",
+    "Quiet",
+    "Restless",
+    "Scarlet",
+    "Twisted",
+    "Umber",
+    "Violet",
+    "Wandering",
+    "Young",
 ];
 
 /// Noun-like words used in movie and product titles.
 pub const NOUNS: &[&str] = &[
-    "Harbor", "Summit", "Valley", "Garden", "Empire", "Shadow", "River", "Canyon",
-    "Horizon", "Meadow", "Fortress", "Lantern", "Mirror", "Orchard", "Passage", "Quarry",
-    "Reef", "Sanctuary", "Threshold", "Voyage", "Whisper", "Archive", "Beacon", "Cascade",
-    "Dominion", "Echo", "Frontier", "Glacier", "Harvest", "Island",
+    "Harbor",
+    "Summit",
+    "Valley",
+    "Garden",
+    "Empire",
+    "Shadow",
+    "River",
+    "Canyon",
+    "Horizon",
+    "Meadow",
+    "Fortress",
+    "Lantern",
+    "Mirror",
+    "Orchard",
+    "Passage",
+    "Quarry",
+    "Reef",
+    "Sanctuary",
+    "Threshold",
+    "Voyage",
+    "Whisper",
+    "Archive",
+    "Beacon",
+    "Cascade",
+    "Dominion",
+    "Echo",
+    "Frontier",
+    "Glacier",
+    "Harvest",
+    "Island",
 ];
 
 /// First names for synthetic people (cast, writers, authors).
@@ -27,30 +79,83 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Last names for synthetic people.
 pub const LAST_NAMES: &[&str] = &[
-    "Anderson", "Becker", "Chen", "Diallo", "Eriksen", "Fuentes", "Gupta", "Haddad",
-    "Ivanov", "Johansson", "Kimura", "Lopez", "Moreau", "Nakamura", "Okafor", "Petrov",
-    "Quinn", "Rossi", "Sato", "Tanaka",
+    "Anderson",
+    "Becker",
+    "Chen",
+    "Diallo",
+    "Eriksen",
+    "Fuentes",
+    "Gupta",
+    "Haddad",
+    "Ivanov",
+    "Johansson",
+    "Kimura",
+    "Lopez",
+    "Moreau",
+    "Nakamura",
+    "Okafor",
+    "Petrov",
+    "Quinn",
+    "Rossi",
+    "Sato",
+    "Tanaka",
 ];
 
 /// Product brand names.
 pub const BRANDS: &[&str] = &[
-    "Tribeca", "Novatек", "Corelink", "Zenwave", "Brightpath", "Omnicore", "Vertex",
-    "Lumina", "Apexio", "Quanta", "Nimbus", "Stratus",
+    "Tribeca",
+    "Novatек",
+    "Corelink",
+    "Zenwave",
+    "Brightpath",
+    "Omnicore",
+    "Vertex",
+    "Lumina",
+    "Apexio",
+    "Quanta",
+    "Nimbus",
+    "Stratus",
 ];
 
 /// Product nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "USB Hub", "Keyboard", "Laptop Sleeve", "Wireless Mouse", "HDMI Cable", "Monitor Stand",
-    "Webcam", "Docking Station", "Headset", "Memory Card", "Desk Lamp", "Blender",
-    "Coffee Maker", "Water Bottle", "Backpack", "Running Shoes", "Yoga Mat", "Toaster",
+    "USB Hub",
+    "Keyboard",
+    "Laptop Sleeve",
+    "Wireless Mouse",
+    "HDMI Cable",
+    "Monitor Stand",
+    "Webcam",
+    "Docking Station",
+    "Headset",
+    "Memory Card",
+    "Desk Lamp",
+    "Blender",
+    "Coffee Maker",
+    "Water Bottle",
+    "Backpack",
+    "Running Shoes",
+    "Yoga Mat",
+    "Toaster",
 ];
 
 /// Research-area terms used in synthetic paper titles.
 pub const RESEARCH_TERMS: &[&str] = &[
-    "Query Optimization", "Entity Resolution", "Data Cleaning", "Schema Matching",
-    "Relational Learning", "Stream Processing", "Graph Analytics", "Index Structures",
-    "Transaction Processing", "Approximate Joins", "Knowledge Bases", "Crowdsourcing",
-    "Provenance Tracking", "Workload Forecasting", "Cardinality Estimation",
+    "Query Optimization",
+    "Entity Resolution",
+    "Data Cleaning",
+    "Schema Matching",
+    "Relational Learning",
+    "Stream Processing",
+    "Graph Analytics",
+    "Index Structures",
+    "Transaction Processing",
+    "Approximate Joins",
+    "Knowledge Bases",
+    "Crowdsourcing",
+    "Provenance Tracking",
+    "Workload Forecasting",
+    "Cardinality Estimation",
 ];
 
 /// Publication venues.
@@ -120,10 +225,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a: Vec<String> =
-            (0..10).scan(StdRng::seed_from_u64(9), |r, _| Some(movie_title(r))).collect();
-        let b: Vec<String> =
-            (0..10).scan(StdRng::seed_from_u64(9), |r, _| Some(movie_title(r))).collect();
+        let a: Vec<String> = (0..10)
+            .scan(StdRng::seed_from_u64(9), |r, _| Some(movie_title(r)))
+            .collect();
+        let b: Vec<String> = (0..10)
+            .scan(StdRng::seed_from_u64(9), |r, _| Some(movie_title(r)))
+            .collect();
         assert_eq!(a, b);
     }
 }

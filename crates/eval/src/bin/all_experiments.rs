@@ -2,8 +2,14 @@
 fn main() {
     let scale = dlearn_eval::scale_from_args();
     println!("Running all experiments at {scale:?} scale\n");
-    println!("{}", dlearn_eval::report::render_table4(&dlearn_eval::experiments::table4(scale)));
-    println!("{}", dlearn_eval::report::render_table5(&dlearn_eval::experiments::table5(scale)));
+    println!(
+        "{}",
+        dlearn_eval::report::render_table4(&dlearn_eval::experiments::table4(scale))
+    );
+    println!(
+        "{}",
+        dlearn_eval::report::render_table5(&dlearn_eval::experiments::table5(scale))
+    );
     println!(
         "{}",
         dlearn_eval::report::render_scaling(
@@ -11,7 +17,10 @@ fn main() {
             &dlearn_eval::experiments::table6(scale)
         )
     );
-    println!("{}", dlearn_eval::report::render_table7(&dlearn_eval::experiments::table7(scale)));
+    println!(
+        "{}",
+        dlearn_eval::report::render_table7(&dlearn_eval::experiments::table7(scale))
+    );
     println!(
         "{}",
         dlearn_eval::report::render_scaling(
@@ -21,6 +30,8 @@ fn main() {
     );
     println!(
         "{}",
-        dlearn_eval::report::render_sample_size(&dlearn_eval::experiments::figure1_sample_size(scale))
+        dlearn_eval::report::render_sample_size(&dlearn_eval::experiments::figure1_sample_size(
+            scale
+        ))
     );
 }

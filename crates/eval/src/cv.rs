@@ -1,14 +1,12 @@
 //! Cross-validated evaluation of a learner on a dataset.
 
-use serde::Serialize;
-
 use dlearn_core::{Learner, LearnerConfig, Strategy};
 use dlearn_datagen::Dataset;
 
 use crate::metrics::{mean, Confusion};
 
 /// Result of evaluating one learner configuration on one dataset.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct EvalResult {
     /// Dataset name.
     pub dataset: String,
@@ -102,7 +100,10 @@ mod tests {
     use dlearn_datagen::{generate_movie_dataset, MovieConfig};
 
     fn fast_config() -> LearnerConfig {
-        LearnerConfig { coverage_threads: 2, ..LearnerConfig::fast() }
+        LearnerConfig {
+            coverage_threads: 2,
+            ..LearnerConfig::fast()
+        }
     }
 
     #[test]
@@ -131,7 +132,11 @@ mod tests {
             dlearn.f1,
             no_md.f1
         );
-        assert!(dlearn.f1 > 0.3, "DLearn should learn something useful: {}", dlearn.f1);
+        assert!(
+            dlearn.f1 > 0.3,
+            "DLearn should learn something useful: {}",
+            dlearn.f1
+        );
     }
 
     #[test]

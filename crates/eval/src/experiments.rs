@@ -3,8 +3,6 @@
 //! mirror the rows/series the paper reports; `crate::report` renders them as
 //! text tables.
 
-use serde::Serialize;
-
 use dlearn_core::{LearnerConfig, Strategy};
 use dlearn_datagen::{
     generate_citation_dataset, generate_movie_dataset, generate_product_dataset, CitationConfig,
@@ -14,7 +12,7 @@ use dlearn_datagen::{
 use crate::cv::{cross_validate, EvalResult};
 
 /// How large the synthetic datasets and parameter sweeps are.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Minutes-long smoke scale used by benchmarks and CI.
     Smoke,
@@ -77,7 +75,10 @@ impl Scale {
 }
 
 fn base_config(seed: u64) -> LearnerConfig {
-    LearnerConfig { seed, ..LearnerConfig::fast() }
+    LearnerConfig {
+        seed,
+        ..LearnerConfig::fast()
+    }
 }
 
 /// Bottom-clause iteration depth `d` per dataset, matching the choices of
@@ -124,7 +125,7 @@ fn datasets(scale: Scale, violation_rate: f64, with_three_md_movies: bool) -> Ve
 }
 
 /// One row of Table 4.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Dataset name.
     pub dataset: String,
@@ -143,7 +144,11 @@ pub fn table4(scale: Scale) -> Vec<Table4Row> {
     let mut rows = Vec::new();
     for dataset in datasets(scale, 0.0, true) {
         let depth = iterations_for(&dataset.name);
-        for strategy in [Strategy::CastorNoMd, Strategy::CastorExact, Strategy::CastorClean] {
+        for strategy in [
+            Strategy::CastorNoMd,
+            Strategy::CastorExact,
+            Strategy::CastorClean,
+        ] {
             let config = base_config(11).with_iterations(depth);
             let r = cross_validate(&dataset, strategy, &config, scale.folds(), 7);
             rows.push(to_table4_row(&dataset, strategy.name().to_string(), &r));
@@ -167,7 +172,7 @@ fn to_table4_row(dataset: &Dataset, system: String, r: &EvalResult) -> Table4Row
 }
 
 /// One row of Table 5.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table5Row {
     /// Dataset name.
     pub dataset: String,
@@ -192,9 +197,10 @@ pub fn table5(scale: Scale) -> Vec<Table5Row> {
     for &p in rates {
         for dataset in datasets(scale, p, false) {
             let depth = iterations_for(&dataset.name);
-            for (system, strategy) in
-                [("DLearn-CFD", Strategy::DLearn), ("DLearn-Repaired", Strategy::DLearnRepaired)]
-            {
+            for (system, strategy) in [
+                ("DLearn-CFD", Strategy::DLearn),
+                ("DLearn-Repaired", Strategy::DLearnRepaired),
+            ] {
                 let config = base_config(13).with_iterations(depth);
                 let r = cross_validate(&dataset, strategy, &config, scale.folds(), 9);
                 rows.push(Table5Row {
@@ -211,7 +217,7 @@ pub fn table5(scale: Scale) -> Vec<Table5Row> {
 }
 
 /// One cell of Table 6 / one point of Figure 1 (left).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingPoint {
     /// `km` used.
     pub km: usize,
@@ -248,7 +254,13 @@ pub fn table6(scale: Scale) -> Vec<ScalingPoint> {
                 .with_examples(np, nn);
             let dataset = generate_movie_dataset(&config, 52);
             let learner_config = base_config(17).with_km(km).with_iterations(4);
-            let r = cross_validate(&dataset, Strategy::DLearn, &learner_config, scale.folds(), 5);
+            let r = cross_validate(
+                &dataset,
+                Strategy::DLearn,
+                &learner_config,
+                scale.folds(),
+                5,
+            );
             rows.push(ScalingPoint {
                 km,
                 positives: np,
@@ -262,7 +274,7 @@ pub fn table6(scale: Scale) -> Vec<ScalingPoint> {
 }
 
 /// One row of Table 7.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table7Row {
     /// Bottom-clause iteration depth `d`.
     pub iterations: usize,
@@ -280,7 +292,10 @@ pub fn table7(scale: Scale) -> Vec<Table7Row> {
         _ => vec![2, 3, 4, 5],
     };
     let dataset = generate_movie_dataset(
-        &scale.movie_config().with_three_mds().with_violation_rate(0.10),
+        &scale
+            .movie_config()
+            .with_three_mds()
+            .with_violation_rate(0.10),
         61,
     );
     depths
@@ -288,13 +303,17 @@ pub fn table7(scale: Scale) -> Vec<Table7Row> {
         .map(|d| {
             let config = base_config(19).with_km(5).with_iterations(d);
             let r = cross_validate(&dataset, Strategy::DLearn, &config, scale.folds(), 3);
-            Table7Row { iterations: d, f1: r.f1, time_minutes: r.learn_seconds / 60.0 }
+            Table7Row {
+                iterations: d,
+                f1: r.f1,
+                time_minutes: r.learn_seconds / 60.0,
+            }
         })
         .collect()
 }
 
 /// One point of Figure 1 (middle/right): sample-size sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SampleSizePoint {
     /// `km` used.
     pub km: usize,
@@ -322,7 +341,10 @@ pub fn figure1_sample_size(scale: Scale) -> Vec<SampleSizePoint> {
     let mut rows = Vec::new();
     for &km in &kms {
         for &s in &sizes {
-            let config = base_config(23).with_km(km).with_sample_size(s).with_iterations(4);
+            let config = base_config(23)
+                .with_km(km)
+                .with_sample_size(s)
+                .with_iterations(4);
             let r = cross_validate(&dataset, Strategy::DLearn, &config, scale.folds(), 2);
             rows.push(SampleSizePoint {
                 km,
@@ -348,7 +370,13 @@ pub fn figure1_examples(scale: Scale) -> Vec<ScalingPoint> {
         let config = scale.movie_config().with_three_mds().with_examples(np, nn);
         let dataset = generate_movie_dataset(&config, 81);
         let learner_config = base_config(29).with_km(2).with_iterations(4);
-        let r = cross_validate(&dataset, Strategy::DLearn, &learner_config, scale.folds(), 4);
+        let r = cross_validate(
+            &dataset,
+            Strategy::DLearn,
+            &learner_config,
+            scale.folds(),
+            4,
+        );
         rows.push(ScalingPoint {
             km: 2,
             positives: np,

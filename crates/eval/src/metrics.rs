@@ -1,10 +1,8 @@
 //! Classification metrics (precision, recall, F1) used throughout the
 //! evaluation, mirroring the paper's use of F1-score under cross-validation.
 
-use serde::Serialize;
-
 /// A confusion matrix over a test split.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Confusion {
     /// Positive examples predicted positive.
     pub true_positives: usize,
@@ -24,7 +22,12 @@ impl Confusion {
         let false_negatives = positive_predictions.len() - true_positives;
         let false_positives = negative_predictions.iter().filter(|&&p| p).count();
         let true_negatives = negative_predictions.len() - false_positives;
-        Confusion { true_positives, false_positives, false_negatives, true_negatives }
+        Confusion {
+            true_positives,
+            false_positives,
+            false_negatives,
+            true_negatives,
+        }
     }
 
     /// Precision (1.0 when nothing was predicted positive).

@@ -9,7 +9,10 @@ fn header(title: &str) -> String {
 /// Render Table 4.
 pub fn render_table4(rows: &[Table4Row]) -> String {
     let mut out = header("Table 4: learning over all datasets with MDs");
-    out.push_str(&format!("{:<28} {:<18} {:>8} {:>10}\n", "Dataset", "System", "F1", "Time (m)"));
+    out.push_str(&format!(
+        "{:<28} {:<18} {:>8} {:>10}\n",
+        "Dataset", "System", "F1", "Time (m)"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:<28} {:<18} {:>8.2} {:>10.3}\n",
@@ -38,7 +41,10 @@ pub fn render_table5(rows: &[Table5Row]) -> String {
 /// Render Table 6 / Figure 1 (left) example-scaling points.
 pub fn render_scaling(title: &str, rows: &[ScalingPoint]) -> String {
     let mut out = header(title);
-    out.push_str(&format!("{:>4} {:>8} {:>8} {:>8} {:>10}\n", "km", "#P", "#N", "F1", "Time (m)"));
+    out.push_str(&format!(
+        "{:>4} {:>8} {:>8} {:>8} {:>10}\n",
+        "km", "#P", "#N", "F1", "Time (m)"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:>4} {:>8} {:>8} {:>8.2} {:>10.3}\n",
@@ -53,7 +59,10 @@ pub fn render_table7(rows: &[Table7Row]) -> String {
     let mut out = header("Table 7: effect of the number of iterations d (km=5)");
     out.push_str(&format!("{:>4} {:>8} {:>10}\n", "d", "F1", "Time (m)"));
     for r in rows {
-        out.push_str(&format!("{:>4} {:>8.2} {:>10.3}\n", r.iterations, r.f1, r.time_minutes));
+        out.push_str(&format!(
+            "{:>4} {:>8.2} {:>10.3}\n",
+            r.iterations, r.f1, r.time_minutes
+        ));
     }
     out
 }
@@ -61,7 +70,10 @@ pub fn render_table7(rows: &[Table7Row]) -> String {
 /// Render Figure 1 (middle/right) sample-size sweeps.
 pub fn render_sample_size(rows: &[SampleSizePoint]) -> String {
     let mut out = header("Figure 1 (middle/right): sample-size sweep");
-    out.push_str(&format!("{:>4} {:>12} {:>8} {:>10}\n", "km", "sample size", "F1", "Time (m)"));
+    out.push_str(&format!(
+        "{:>4} {:>12} {:>8} {:>10}\n",
+        "km", "sample size", "F1", "Time (m)"
+    ));
     for r in rows {
         out.push_str(&format!(
             "{:>4} {:>12} {:>8.2} {:>10.3}\n",
@@ -102,10 +114,20 @@ mod tests {
     fn scaling_and_table7_render() {
         let s = render_scaling(
             "Table 6",
-            &[ScalingPoint { km: 2, positives: 100, negatives: 200, f1: 0.8, time_minutes: 0.3 }],
+            &[ScalingPoint {
+                km: 2,
+                positives: 100,
+                negatives: 200,
+                f1: 0.8,
+                time_minutes: 0.3,
+            }],
         );
         assert!(s.contains("100"));
-        let t = render_table7(&[Table7Row { iterations: 4, f1: 0.78, time_minutes: 16.26 }]);
+        let t = render_table7(&[Table7Row {
+            iterations: 4,
+            f1: 0.78,
+            time_minutes: 16.26,
+        }]);
         assert!(t.contains("16.26"));
         let f = render_sample_size(&[SampleSizePoint {
             km: 5,

@@ -28,7 +28,11 @@ impl Clause {
     /// Create a clause with an empty body.
     pub fn new(head: Literal) -> Self {
         debug_assert!(head.is_relation(), "clause heads must be relation literals");
-        Clause { head, body: Vec::new(), repairs: Vec::new() }
+        Clause {
+            head,
+            body: Vec::new(),
+            repairs: Vec::new(),
+        }
     }
 
     /// Create a clause with the given body.
@@ -99,7 +103,11 @@ impl Clause {
             }
         }
         let repairs = self.repairs.iter().map(|g| g.apply(subst)).collect();
-        Clause { head, body, repairs }
+        Clause {
+            head,
+            body,
+            repairs,
+        }
     }
 
     /// Keep only head-connected body literals (Section 2.1: a literal is
@@ -159,7 +167,8 @@ impl Clause {
         // A repair survives only while every variable it replaces is still in
         // the clause: an MD repair that lost one side of its match (because
         // the literal carrying it was dropped) can no longer unify anything.
-        self.repairs.retain(|g| g.targets().iter().all(|v| live_vars.contains(v)));
+        self.repairs
+            .retain(|g| g.targets().iter().all(|v| live_vars.contains(v)));
     }
 
     /// Remove the body literal at `index` along with repair groups whose only
@@ -184,7 +193,14 @@ impl Clause {
         }
         let mut s = clause.head.to_string();
         s.push_str(" <- ");
-        s.push_str(&clause.body.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", "));
+        s.push_str(
+            &clause
+                .body
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
         for g in &clause.repairs {
             s.push_str(" & ");
             s.push_str(&g.render());
@@ -195,7 +211,7 @@ impl Clause {
     fn first_appearance_renaming(&self) -> Substitution {
         let mut renaming = Substitution::new();
         let mut next = 0u32;
-        let mut visit = |term: &Term, renaming: &mut Substitution, next: &mut u32| {
+        let visit = |term: &Term, renaming: &mut Substitution, next: &mut u32| {
             if let Some(v) = term.as_var() {
                 if renaming.get(v).is_none() {
                     renaming.bind(v, Term::var(*next));
@@ -222,7 +238,10 @@ impl Clause {
 
     /// Relation literals of the body (in order) with their body positions.
     pub fn relation_literals(&self) -> impl Iterator<Item = (usize, &Literal)> {
-        self.body.iter().enumerate().filter(|(_, l)| l.is_relation())
+        self.body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_relation())
     }
 }
 
@@ -302,7 +321,10 @@ mod tests {
             "movies",
             vec![Term::var(1), Term::var(2), Term::var(3)],
         ));
-        c.push_unique(Literal::relation("mov2genres", vec![Term::var(1), Term::constant("comedy")]));
+        c.push_unique(Literal::relation(
+            "mov2genres",
+            vec![Term::var(1), Term::constant("comedy")],
+        ));
         c.push_unique(Literal::Similar(Term::var(0), Term::var(2)));
         c
     }
@@ -330,7 +352,10 @@ mod tests {
         s.bind(Var(4), Term::var(6));
         s.bind(Var(5), Term::var(6));
         let c2 = c.apply(&s);
-        assert!(!c2.body.iter().any(|l| matches!(l, Literal::Equal(a, b) if a == b)));
+        assert!(!c2
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Equal(a, b) if a == b)));
     }
 
     #[test]
@@ -362,7 +387,10 @@ mod tests {
         ));
         let mut dropped = c.clone();
         dropped.remove_body_literal(2);
-        assert!(dropped.repairs.is_empty(), "repair should drop with its literals");
+        assert!(
+            dropped.repairs.is_empty(),
+            "repair should drop with its literals"
+        );
         c.retain_head_connected();
         assert_eq!(c.repairs.len(), 1);
     }

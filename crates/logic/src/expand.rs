@@ -25,7 +25,10 @@ pub struct ExpandLimits {
 
 impl Default for ExpandLimits {
     fn default() -> Self {
-        ExpandLimits { max_repairs: 16, max_steps: 1024 }
+        ExpandLimits {
+            max_repairs: 16,
+            max_steps: 1024,
+        }
     }
 }
 
@@ -73,9 +76,9 @@ pub fn repaired_clauses(clause: &Clause, limits: ExpandLimits) -> Vec<Clause> {
         // such repair without branching.
         let independent = applicable.iter().copied().find(|&i| {
             let vars_i = current.repairs[i].variables();
-            applicable.iter().all(|&j| {
-                j == i || current.repairs[j].variables().is_disjoint(&vars_i)
-            })
+            applicable
+                .iter()
+                .all(|&j| j == i || current.repairs[j].variables().is_disjoint(&vars_i))
         });
 
         let branch_targets: Vec<usize> = match independent {
@@ -143,22 +146,22 @@ mod tests {
         let z = Term::var(2);
         let vx = Term::var(3); // fresh for md0 (x ⇌ y)
         let ux = Term::var(4); // fresh for md1 (x ⇌ z)
-        let mut c = Clause::new(Literal::relation("t", vec![x.clone()]));
-        c.push_unique(Literal::relation("r", vec![y.clone()]));
-        c.push_unique(Literal::Similar(x.clone(), y.clone()));
-        c.push_unique(Literal::relation("s", vec![z.clone()]));
-        c.push_unique(Literal::Similar(x.clone(), z.clone()));
+        let mut c = Clause::new(Literal::relation("t", vec![x]));
+        c.push_unique(Literal::relation("r", vec![y]));
+        c.push_unique(Literal::Similar(x, y));
+        c.push_unique(Literal::relation("s", vec![z]));
+        c.push_unique(Literal::Similar(x, z));
         c.push_repair(RepairGroup::new(
             RepairOrigin::Md(0),
-            vec![CondAtom::Sim(x.clone(), y.clone())],
-            vec![(Var(0), vx.clone()), (Var(1), vx.clone())],
-            vec![Literal::Similar(x.clone(), y.clone())],
+            vec![CondAtom::Sim(x, y)],
+            vec![(Var(0), vx), (Var(1), vx)],
+            vec![Literal::Similar(x, y)],
         ));
         c.push_repair(RepairGroup::new(
             RepairOrigin::Md(1),
-            vec![CondAtom::Sim(x.clone(), z.clone())],
-            vec![(Var(0), ux.clone()), (Var(2), ux.clone())],
-            vec![Literal::Similar(x.clone(), z.clone())],
+            vec![CondAtom::Sim(x, z)],
+            vec![(Var(0), ux), (Var(2), ux)],
+            vec![Literal::Similar(x, z)],
         ));
         c
     }
@@ -221,7 +224,10 @@ mod tests {
         ));
         let repaired = repaired_clauses(&c, ExpandLimits::default());
         assert_eq!(repaired.len(), 1, "{repaired:#?}");
-        assert!(repaired[0].body.iter().all(|l| !matches!(l, Literal::Similar(_, _))));
+        assert!(repaired[0]
+            .body
+            .iter()
+            .all(|l| !matches!(l, Literal::Similar(_, _))));
     }
 
     #[test]
@@ -246,7 +252,13 @@ mod tests {
     #[test]
     fn limits_bound_the_number_of_results() {
         let c = example_3_3();
-        let repaired = repaired_clauses(&c, ExpandLimits { max_repairs: 1, max_steps: 1024 });
+        let repaired = repaired_clauses(
+            &c,
+            ExpandLimits {
+                max_repairs: 1,
+                max_steps: 1024,
+            },
+        );
         assert_eq!(repaired.len(), 1);
     }
 }

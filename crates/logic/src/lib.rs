@@ -34,7 +34,13 @@ pub use term::{Term, Var};
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    //! Property-style tests over seeded random clauses. These used to be
+    //! `proptest` strategies; the vendored deterministic RNG (see
+    //! `vendor/README.md`) drives the same properties over a fixed number of
+    //! random cases per seed instead.
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     use crate::clause::Clause;
     use crate::expand::{repaired_clauses, ExpandLimits};
@@ -44,47 +50,61 @@ mod proptests {
     use crate::subsumption::{subsumes, GroundClause, SubsumptionConfig};
     use crate::term::{Term, Var};
 
+    const CASES: usize = 200;
+
     /// Generate a small random clause over a fixed vocabulary of relations.
-    fn arb_clause() -> impl Strategy<Value = Clause> {
-        let lit = (0usize..4, proptest::collection::vec(0u32..6, 1..3)).prop_map(|(r, vars)| {
-            let names = ["r0", "r1", "r2", "r3"];
-            Literal::relation(names[r], vars.into_iter().map(Term::var).collect())
-        });
-        proptest::collection::vec(lit, 0..6).prop_map(|body| {
-            let mut c = Clause::new(Literal::relation("t", vec![Term::var(0)]));
-            for l in body {
-                c.push_unique(l);
-            }
-            c
-        })
+    pub(crate) fn random_clause(rng: &mut StdRng) -> Clause {
+        let names = ["r0", "r1", "r2", "r3"];
+        let mut c = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+        for _ in 0..rng.gen_range(0..6usize) {
+            let name = names[rng.gen_range(0..names.len())];
+            let arity = rng.gen_range(1..3usize);
+            let args: Vec<Term> = (0..arity)
+                .map(|_| Term::var(rng.gen_range(0..6u32)))
+                .collect();
+            c.push_unique(Literal::relation(name, args));
+        }
+        c
     }
 
-    proptest! {
-        /// Reflexivity: every clause θ-subsumes itself (identity substitution).
-        #[test]
-        fn subsumption_is_reflexive(c in arb_clause()) {
+    /// Reflexivity: every clause θ-subsumes itself (identity substitution).
+    #[test]
+    fn subsumption_is_reflexive() {
+        let mut rng = StdRng::seed_from_u64(0xa11ce);
+        for _ in 0..CASES {
+            let c = random_clause(&mut rng);
             let d = GroundClause::new(&c);
-            prop_assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_some());
+            assert!(
+                subsumes(&c, &d, &SubsumptionConfig::default()).is_some(),
+                "clause failed reflexivity: {c}"
+            );
         }
+    }
 
-        /// Dropping body literals generalizes: the reduced clause still
-        /// subsumes the original.
-        #[test]
-        fn dropping_literals_preserves_subsumption(c in arb_clause(), keep in proptest::collection::vec(any::<bool>(), 6)) {
+    /// Dropping body literals generalizes: the reduced clause still subsumes
+    /// the original.
+    #[test]
+    fn dropping_literals_preserves_subsumption() {
+        let mut rng = StdRng::seed_from_u64(0xd20f);
+        for _ in 0..CASES {
+            let c = random_clause(&mut rng);
             let mut reduced = c.clone();
-            let mut idx = 0;
-            reduced.body.retain(|_| {
-                let k = keep.get(idx).copied().unwrap_or(true);
-                idx += 1;
-                k
-            });
+            reduced.body.retain(|_| rng.gen_bool(0.5));
             let d = GroundClause::new(&c);
-            prop_assert!(subsumes(&reduced, &d, &SubsumptionConfig::default()).is_some());
+            assert!(
+                subsumes(&reduced, &d, &SubsumptionConfig::default()).is_some(),
+                "reduced clause {reduced} must subsume {c}"
+            );
         }
+    }
 
-        /// Variable renaming does not affect subsumption of the original.
-        #[test]
-        fn renamed_clause_subsumes_original(c in arb_clause(), offset in 10u32..20) {
+    /// Variable renaming does not affect subsumption of the original.
+    #[test]
+    fn renamed_clause_subsumes_original() {
+        let mut rng = StdRng::seed_from_u64(0x7e4a);
+        for _ in 0..CASES {
+            let c = random_clause(&mut rng);
+            let offset = rng.gen_range(10..20u32);
             let renaming: Substitution = c
                 .variables()
                 .into_iter()
@@ -92,23 +112,31 @@ mod proptests {
                 .collect();
             let renamed = c.apply(&renaming);
             let d = GroundClause::new(&c);
-            prop_assert!(subsumes(&renamed, &d, &SubsumptionConfig::default()).is_some());
+            assert!(
+                subsumes(&renamed, &d, &SubsumptionConfig::default()).is_some(),
+                "renamed clause {renamed} must subsume {c}"
+            );
         }
+    }
 
-        /// Repaired-clause expansion always yields at least one repaired
-        /// clause, every result is free of repair groups, and the count obeys
-        /// the configured cap.
-        #[test]
-        fn expansion_yields_repaired_clauses(c in arb_clause(), n_repairs in 0usize..3, cap in 1usize..8) {
-            let mut clause = c;
+    /// Repaired-clause expansion always yields at least one repaired clause,
+    /// every result is free of repair groups, and the count obeys the
+    /// configured cap.
+    #[test]
+    fn expansion_yields_repaired_clauses() {
+        let mut rng = StdRng::seed_from_u64(0xe9a2);
+        for _ in 0..CASES {
+            let mut clause = random_clause(&mut rng);
+            let n_repairs = rng.gen_range(0..3usize);
+            let cap = rng.gen_range(1..8usize);
             let base = clause.max_var_index().unwrap_or(0) + 1;
             for i in 0..n_repairs {
                 let a = Term::var(i as u32 % 3);
                 let b = Term::var((i as u32 + 1) % 3);
-                clause.push_unique(Literal::Similar(a.clone(), b.clone()));
+                clause.push_unique(Literal::Similar(a, b));
                 clause.push_repair(RepairGroup::new(
                     RepairOrigin::Md(i),
-                    vec![CondAtom::Sim(a.clone(), b.clone())],
+                    vec![CondAtom::Sim(a, b)],
                     vec![
                         (Var(i as u32 % 3), Term::var(base + i as u32)),
                         (Var((i as u32 + 1) % 3), Term::var(base + i as u32)),
@@ -116,11 +144,17 @@ mod proptests {
                     vec![Literal::Similar(a, b)],
                 ));
             }
-            let repaired = repaired_clauses(&clause, ExpandLimits { max_repairs: cap, max_steps: 512 });
-            prop_assert!(!repaired.is_empty());
-            prop_assert!(repaired.len() <= cap);
+            let repaired = repaired_clauses(
+                &clause,
+                ExpandLimits {
+                    max_repairs: cap,
+                    max_steps: 512,
+                },
+            );
+            assert!(!repaired.is_empty());
+            assert!(repaired.len() <= cap);
             for r in &repaired {
-                prop_assert!(r.is_repaired());
+                assert!(r.is_repaired());
             }
         }
     }

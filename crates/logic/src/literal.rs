@@ -7,9 +7,15 @@
 //! clause, because a repair is applied as a unit (a substitution plus the
 //! removal of its induced literals); the rendering still shows them in the
 //! paper's `V_c(x, v_x)` notation.
+//!
+//! Relation literals carry an interned [`RelId`] rather than an owned
+//! `String`: constructing, cloning and comparing literals never touches
+//! string data, which is what the θ-subsumption matcher depends on.
 
 use std::collections::BTreeSet;
 use std::fmt;
+
+use dlearn_relstore::RelId;
 
 use crate::substitution::Substitution;
 use crate::term::{Term, Var};
@@ -19,8 +25,8 @@ use crate::term::{Term, Var};
 pub enum Literal {
     /// A schema relation literal `R(t1, ..., tn)`.
     Relation {
-        /// Relation name.
-        relation: String,
+        /// Interned relation name.
+        relation: RelId,
         /// Argument terms.
         args: Vec<Term>,
     },
@@ -33,9 +39,12 @@ pub enum Literal {
 }
 
 impl Literal {
-    /// Build a relation literal.
-    pub fn relation(relation: impl Into<String>, args: Vec<Term>) -> Self {
-        Literal::Relation { relation: relation.into(), args }
+    /// Build a relation literal (interning the name when given as a string).
+    pub fn relation(relation: impl Into<RelId>, args: Vec<Term>) -> Self {
+        Literal::Relation {
+            relation: relation.into(),
+            args,
+        }
     }
 
     /// `true` when this is a relation literal.
@@ -44,9 +53,14 @@ impl Literal {
     }
 
     /// Name of the relation for relation literals.
-    pub fn relation_name(&self) -> Option<&str> {
+    pub fn relation_name(&self) -> Option<&'static str> {
+        self.relation_id().map(RelId::as_str)
+    }
+
+    /// Interned relation id for relation literals.
+    pub fn relation_id(&self) -> Option<RelId> {
         match self {
-            Literal::Relation { relation, .. } => Some(relation),
+            Literal::Relation { relation, .. } => Some(*relation),
             _ => None,
         }
     }
@@ -69,9 +83,10 @@ impl Literal {
     /// Apply a substitution, producing a new literal.
     pub fn apply(&self, subst: &Substitution) -> Literal {
         match self {
-            Literal::Relation { relation, args } => {
-                Literal::Relation { relation: relation.clone(), args: subst.apply_all(args) }
-            }
+            Literal::Relation { relation, args } => Literal::Relation {
+                relation: *relation,
+                args: subst.apply_all(args),
+            },
             Literal::Similar(a, b) => Literal::Similar(subst.apply(a), subst.apply(b)),
             Literal::Equal(a, b) => Literal::Equal(subst.apply(a), subst.apply(b)),
             Literal::NotEqual(a, b) => Literal::NotEqual(subst.apply(a), subst.apply(b)),
@@ -87,9 +102,7 @@ impl Literal {
     /// relation literals sort before constraint literals, then by name/args.
     pub fn ordering_key(&self) -> (u8, String) {
         match self {
-            Literal::Relation { relation, args } => {
-                (0, format!("{relation}/{}", args.len()))
-            }
+            Literal::Relation { relation, args } => (0, format!("{relation}/{}", args.len())),
             Literal::Similar(_, _) => (1, "~".to_string()),
             Literal::Equal(_, _) => (2, "=".to_string()),
             Literal::NotEqual(_, _) => (3, "!=".to_string()),
@@ -126,6 +139,7 @@ mod tests {
         let l = Literal::relation("movies", vec![Term::var(0), Term::constant("Superbad")]);
         assert!(l.is_relation());
         assert_eq!(l.relation_name(), Some("movies"));
+        assert_eq!(l.relation_id(), Some(RelId::intern("movies")));
         assert_eq!(l.args().len(), 2);
         assert_eq!(l.variables().len(), 1);
         assert!(l.mentions(Var(0)));
@@ -149,8 +163,14 @@ mod tests {
     fn display_uses_datalog_notation() {
         let l = Literal::relation("mov2genres", vec![Term::var(1), Term::constant("comedy")]);
         assert_eq!(l.to_string(), "mov2genres(v1, 'comedy')");
-        assert_eq!(Literal::Equal(Term::var(0), Term::var(2)).to_string(), "v0 = v2");
-        assert_eq!(Literal::Similar(Term::var(0), Term::var(2)).to_string(), "v0 ≈ v2");
+        assert_eq!(
+            Literal::Equal(Term::var(0), Term::var(2)).to_string(),
+            "v0 = v2"
+        );
+        assert_eq!(
+            Literal::Similar(Term::var(0), Term::var(2)).to_string(),
+            "v0 ≈ v2"
+        );
     }
 
     #[test]

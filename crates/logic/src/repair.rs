@@ -154,12 +154,17 @@ impl RepairGroup {
         replacements: Vec<(Var, Term)>,
         consumes: Vec<Literal>,
     ) -> Self {
-        RepairGroup { origin, condition, replacements, consumes }
+        RepairGroup {
+            origin,
+            condition,
+            replacements,
+            consumes,
+        }
     }
 
     /// The substitution performed by this repair.
     pub fn substitution(&self) -> Substitution {
-        self.replacements.iter().map(|(v, t)| (*v, t.clone())).collect()
+        self.replacements.iter().map(|(v, t)| (*v, *t)).collect()
     }
 
     /// Variables mentioned anywhere in the group (replaced variables,

@@ -39,6 +39,13 @@ impl Substitution {
         self.map.insert(var, term);
     }
 
+    /// Remove the binding of `var`, returning it. Used by the subsumption
+    /// search to unwind its binding trail instead of cloning the whole
+    /// substitution at every backtracking point.
+    pub fn remove(&mut self, var: Var) -> Option<Term> {
+        self.map.remove(&var)
+    }
+
     /// Try to bind `var` to `term`; fails (returns `false`) when the variable
     /// is already bound to a different term.
     pub fn try_bind(&mut self, var: Var, term: Term) -> bool {
@@ -54,8 +61,8 @@ impl Substitution {
     /// Apply the substitution to a term.
     pub fn apply(&self, term: &Term) -> Term {
         match term {
-            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| term.clone()),
-            Term::Const(_) => term.clone(),
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or(*term),
+            Term::Const(_) => *term,
         }
     }
 
@@ -82,7 +89,9 @@ impl Substitution {
 
 impl FromIterator<(Var, Term)> for Substitution {
     fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
-        Substitution { map: iter.into_iter().collect() }
+        Substitution {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -110,12 +119,13 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_bindings() {
-        let s: Substitution =
-            vec![(Var(0), Term::var(5)), (Var(1), Term::constant(7i64))].into_iter().collect();
+        let s: Substitution = vec![(Var(0), Term::var(5)), (Var(1), Term::constant(7i64))]
+            .into_iter()
+            .collect();
         assert_eq!(s.len(), 2);
-        assert_eq!(s.apply_all(&[Term::var(0), Term::var(1)]), vec![
-            Term::var(5),
-            Term::constant(7i64)
-        ]);
+        assert_eq!(
+            s.apply_all(&[Term::var(0), Term::var(1)]),
+            vec![Term::var(5), Term::constant(7i64)]
+        );
     }
 }

@@ -12,14 +12,27 @@
 //! equality and inequality literals are checked as constraints once their
 //! variables are bound; repair groups are matched against `D`'s repair facts
 //! at the end of the search.
+//!
+//! ## Indexing
+//!
+//! [`GroundClause`] is the index side: candidate literals are bucketed by
+//! `(RelId, arity)` and, within a bucket, by the term at every argument
+//! position. When the search reaches a literal of `C` whose argument at
+//! position `p` is already determined (a constant, or a variable bound by
+//! θ), the candidate list shrinks to the bucket entries carrying exactly
+//! that term at `p` — no string is hashed or compared anywhere, and no
+//! linear scan over same-name literals happens. Bindings are undone through
+//! a trail instead of cloning θ at every backtracking point.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use dlearn_relstore::RelId;
 
 use crate::clause::Clause;
 use crate::literal::Literal;
 use crate::repair::{RepairGroup, RepairOrigin};
 use crate::substitution::Substitution;
-use crate::term::Term;
+use crate::term::{Term, Var};
 
 /// Budget and strictness knobs for the subsumption search.
 #[derive(Debug, Clone, Copy)]
@@ -38,8 +51,22 @@ pub struct SubsumptionConfig {
 
 impl Default for SubsumptionConfig {
     fn default() -> Self {
-        SubsumptionConfig { max_steps: 200_000, strict_repair_mapping: false }
+        SubsumptionConfig {
+            max_steps: 200_000,
+            strict_repair_mapping: false,
+        }
     }
+}
+
+/// Candidate literals of one `(relation, arity)` signature, with a value
+/// index per argument position.
+#[derive(Debug, Clone, Default)]
+struct RelBucket {
+    /// Body indices of the literals with this signature, in body order.
+    lits: Vec<usize>,
+    /// One map per argument position: the term at that position in `D` →
+    /// body indices carrying it (in body order).
+    by_pos: Vec<HashMap<Term, Vec<usize>>>,
 }
 
 /// A clause indexed for use as the right-hand side (`D`) of subsumption
@@ -49,55 +76,70 @@ impl Default for SubsumptionConfig {
 pub struct GroundClause {
     head: Literal,
     body: Vec<Literal>,
-    by_relation: HashMap<String, Vec<usize>>,
-    similar_pairs: HashSet<(Term, Term)>,
-    equal_pairs: HashSet<(Term, Term)>,
-    notequal_pairs: HashSet<(Term, Term)>,
+    /// Candidate index keyed by `(RelId, arity)`.
+    buckets: HashMap<(RelId, usize), RelBucket>,
+    /// Candidate counts per relation name regardless of arity; used only for
+    /// the literal-ordering heuristic (kept name-keyed for parity with the
+    /// pre-interning matcher, so search order — and therefore which witness
+    /// substitution is found first — is unchanged).
+    rel_counts: HashMap<RelId, usize>,
+    similar_pairs: BTreeSet<(Term, Term)>,
+    equal_pairs: BTreeSet<(Term, Term)>,
     /// Flattened repair literals: `(origin, replaced variable as a term,
     /// replacement term, group index)`.
     repair_facts: Vec<(RepairOrigin, Term, Term, usize)>,
     repairs: Vec<RepairGroup>,
 }
 
+static EMPTY_IDS: [usize; 0] = [];
+
 impl GroundClause {
     /// Index a clause for repeated subsumption testing.
     pub fn new(clause: &Clause) -> Self {
-        let mut by_relation: HashMap<String, Vec<usize>> = HashMap::new();
-        let mut similar_pairs = HashSet::new();
-        let mut equal_pairs = HashSet::new();
-        let mut notequal_pairs = HashSet::new();
+        let mut buckets: HashMap<(RelId, usize), RelBucket> = HashMap::new();
+        let mut rel_counts: HashMap<RelId, usize> = HashMap::new();
+        let mut similar_pairs = BTreeSet::new();
+        let mut equal_pairs = BTreeSet::new();
         for (i, l) in clause.body.iter().enumerate() {
             match l {
-                Literal::Relation { relation, .. } => {
-                    by_relation.entry(relation.clone()).or_default().push(i);
+                Literal::Relation { relation, args } => {
+                    let bucket = buckets.entry((*relation, args.len())).or_default();
+                    if bucket.by_pos.len() < args.len() {
+                        bucket.by_pos.resize_with(args.len(), HashMap::new);
+                    }
+                    bucket.lits.push(i);
+                    for (p, t) in args.iter().enumerate() {
+                        bucket.by_pos[p].entry(*t).or_default().push(i);
+                    }
+                    *rel_counts.entry(*relation).or_default() += 1;
                 }
                 Literal::Similar(a, b) => {
-                    similar_pairs.insert((a.clone(), b.clone()));
-                    similar_pairs.insert((b.clone(), a.clone()));
+                    similar_pairs.insert((*a, *b));
+                    similar_pairs.insert((*b, *a));
                 }
                 Literal::Equal(a, b) => {
-                    equal_pairs.insert((a.clone(), b.clone()));
-                    equal_pairs.insert((b.clone(), a.clone()));
+                    equal_pairs.insert((*a, *b));
+                    equal_pairs.insert((*b, *a));
                 }
-                Literal::NotEqual(a, b) => {
-                    notequal_pairs.insert((a.clone(), b.clone()));
-                    notequal_pairs.insert((b.clone(), a.clone()));
-                }
+                // NotEqual literals of D constrain nothing the matcher
+                // checks (C's inequality literals are verified against D's
+                // equal_pairs), so they are not indexed.
+                Literal::NotEqual(_, _) => {}
             }
         }
         let mut repair_facts = Vec::new();
         for (gi, g) in clause.repairs.iter().enumerate() {
             for (v, t) in &g.replacements {
-                repair_facts.push((g.origin, Term::Var(*v), t.clone(), gi));
+                repair_facts.push((g.origin, Term::Var(*v), *t, gi));
             }
         }
         GroundClause {
             head: clause.head.clone(),
             body: clause.body.clone(),
-            by_relation,
+            buckets,
+            rel_counts,
             similar_pairs,
             equal_pairs,
-            notequal_pairs,
             repair_facts,
             repairs: clause.repairs.clone(),
         }
@@ -128,25 +170,66 @@ impl GroundClause {
         self.body.is_empty()
     }
 
-    fn candidates(&self, relation: &str) -> &[usize] {
-        static EMPTY: [usize; 0] = [];
-        self.by_relation.get(relation).map(|v| v.as_slice()).unwrap_or(&EMPTY)
+    /// Total number of body literals with this relation name (any arity).
+    /// This is the branching estimate used to order `C`'s literals.
+    fn relation_count(&self, relation: RelId) -> usize {
+        self.rel_counts.get(&relation).copied().unwrap_or(0)
+    }
+
+    /// The smallest candidate list for a literal of `C` under the current
+    /// substitution: starts from the `(RelId, arity)` bucket and shrinks it
+    /// through the per-position value indexes for every argument that is
+    /// already determined (a constant, or a θ-bound variable). Every literal
+    /// skipped by the pruning could not have matched.
+    fn candidates_pruned(&self, relation: RelId, args: &[Term], theta: &Substitution) -> &[usize] {
+        let Some(bucket) = self.buckets.get(&(relation, args.len())) else {
+            return &EMPTY_IDS;
+        };
+        let mut best: &[usize] = &bucket.lits;
+        for (p, arg) in args.iter().enumerate() {
+            let determined = match arg {
+                Term::Const(_) => Some(*arg),
+                Term::Var(v) => theta.get(*v).copied(),
+            };
+            if let Some(term) = determined {
+                match bucket.by_pos[p].get(&term) {
+                    None => return &EMPTY_IDS,
+                    Some(ids) => {
+                        if ids.len() < best.len() {
+                            best = ids;
+                        }
+                    }
+                }
+            }
+        }
+        best
     }
 }
 
 /// Try to unify (match) a literal of `C` against a concrete literal of `D`,
-/// extending the substitution.
-fn match_literal(c_lit: &Literal, d_lit: &Literal, theta: &mut Substitution) -> bool {
+/// extending the substitution and recording fresh bindings on `trail`.
+fn match_literal(
+    c_lit: &Literal,
+    d_lit: &Literal,
+    theta: &mut Substitution,
+    trail: &mut Vec<Var>,
+) -> bool {
     match (c_lit, d_lit) {
         (
-            Literal::Relation { relation: rc, args: ac },
-            Literal::Relation { relation: rd, args: ad },
+            Literal::Relation {
+                relation: rc,
+                args: ac,
+            },
+            Literal::Relation {
+                relation: rd,
+                args: ad,
+            },
         ) => {
             if rc != rd || ac.len() != ad.len() {
                 return false;
             }
             for (a, b) in ac.iter().zip(ad.iter()) {
-                if !match_term(a, b, theta) {
+                if !match_term(a, b, theta, trail) {
                     return false;
                 }
             }
@@ -156,23 +239,41 @@ fn match_literal(c_lit: &Literal, d_lit: &Literal, theta: &mut Substitution) -> 
     }
 }
 
-/// Match a term of `C` against a term of `D` under the current substitution.
-fn match_term(c_term: &Term, d_term: &Term, theta: &mut Substitution) -> bool {
+/// Match a term of `C` against a term of `D` under the current substitution,
+/// recording any fresh binding on `trail`.
+fn match_term(
+    c_term: &Term,
+    d_term: &Term,
+    theta: &mut Substitution,
+    trail: &mut Vec<Var>,
+) -> bool {
     match c_term {
         Term::Const(v) => match d_term {
             Term::Const(w) => v == w,
             Term::Var(_) => false,
         },
-        Term::Var(v) => theta.try_bind(*v, d_term.clone()),
+        Term::Var(v) => match theta.get(*v) {
+            Some(existing) => existing == d_term,
+            None => {
+                theta.bind(*v, *d_term);
+                trail.push(*v);
+                true
+            }
+        },
     }
 }
 
-/// Result of the matching search, carrying the substitution and the set of
-/// `D` body-literal indices used by the mapping (needed for the strict
-/// repair-mapping check).
+/// Undo every binding recorded past `mark`.
+fn unwind(theta: &mut Substitution, trail: &mut Vec<Var>, mark: usize) {
+    for var in trail.drain(mark..) {
+        theta.remove(var);
+    }
+}
+
+/// Mutable state of the matching search.
 struct SearchState {
     theta: Substitution,
-    used_body: HashSet<usize>,
+    trail: Vec<Var>,
     used_repair_groups: HashSet<usize>,
     steps: usize,
 }
@@ -183,24 +284,21 @@ struct SearchState {
 pub fn subsumes(c: &Clause, d: &GroundClause, config: &SubsumptionConfig) -> Option<Substitution> {
     // 1. Heads must unify.
     let mut theta = Substitution::new();
-    if !match_heads(&c.head, d.head(), &mut theta) {
+    let mut head_trail = Vec::new();
+    if !match_literal(&c.head, d.head(), &mut theta, &mut head_trail) {
         return None;
     }
 
     // 2. Order C's relation literals: fewest candidates first, which both
     // fails fast and keeps the branching factor low.
-    let mut relation_lits: Vec<&Literal> =
-        c.body.iter().filter(|l| l.is_relation()).collect();
-    relation_lits.sort_by_key(|l| {
-        l.relation_name().map(|n| d.candidates(n).len()).unwrap_or(0)
-    });
+    let mut relation_lits: Vec<&Literal> = c.body.iter().filter(|l| l.is_relation()).collect();
+    relation_lits.sort_by_key(|l| l.relation_id().map(|r| d.relation_count(r)).unwrap_or(0));
 
-    let constraint_lits: Vec<&Literal> =
-        c.body.iter().filter(|l| !l.is_relation()).collect();
+    let constraint_lits: Vec<&Literal> = c.body.iter().filter(|l| !l.is_relation()).collect();
 
     let mut state = SearchState {
         theta,
-        used_body: HashSet::new(),
+        trail: Vec::new(),
         used_repair_groups: HashSet::new(),
         steps: 0,
     };
@@ -216,10 +314,6 @@ pub fn subsumes(c: &Clause, d: &GroundClause, config: &SubsumptionConfig) -> Opt
     }
 }
 
-fn match_heads(c_head: &Literal, d_head: &Literal, theta: &mut Substitution) -> bool {
-    match_literal(c_head, d_head, theta)
-}
-
 fn search_relations(
     lits: &[&Literal],
     depth: usize,
@@ -231,26 +325,22 @@ fn search_relations(
         return true;
     }
     let lit = lits[depth];
-    let Some(name) = lit.relation_name() else {
+    let Literal::Relation { relation, args } = lit else {
         return false;
     };
-    let candidates: Vec<usize> = d.candidates(name).to_vec();
-    for idx in candidates {
+    let candidates = d.candidates_pruned(*relation, args, &state.theta);
+    for &idx in candidates {
         state.steps += 1;
         if state.steps > config.max_steps {
             return false;
         }
-        let saved = state.theta.clone();
-        if match_literal(lit, &d.body()[idx], &mut state.theta) {
-            let newly_used = state.used_body.insert(idx);
-            if search_relations(lits, depth + 1, d, state, config) {
-                return true;
-            }
-            if newly_used {
-                state.used_body.remove(&idx);
-            }
+        let mark = state.trail.len();
+        if match_literal(lit, &d.body()[idx], &mut state.theta, &mut state.trail)
+            && search_relations(lits, depth + 1, d, state, config)
+        {
+            return true;
         }
-        state.theta = saved;
+        unwind(&mut state.theta, &mut state.trail, mark);
     }
     false
 }
@@ -308,11 +398,12 @@ fn check_pair(
     match (a_bound, b_bound) {
         (true, true) => ta == tb || pairs.contains(&(ta, tb)),
         (true, false) => {
-            // Bind b to any partner of a.
+            // Bind b to any partner of a (BTreeSet iteration: deterministic,
+            // smallest partner first).
             for (x, y) in pairs.iter() {
                 if *x == ta {
                     if let Some(vb) = b.as_var() {
-                        if theta.try_bind(vb, y.clone()) {
+                        if theta.try_bind(vb, *y) {
                             return true;
                         }
                     }
@@ -330,9 +421,10 @@ fn check_pair(
             // other when the pair set is empty.
             if let (Some(va), Some(vb)) = (a.as_var(), b.as_var()) {
                 if let Some((x, y)) = pairs.iter().next() {
-                    return theta.try_bind(va, x.clone()) && theta.try_bind(vb, y.clone());
+                    return theta.try_bind(va, *x) && theta.try_bind(vb, *y);
                 }
-                return theta.try_bind(va, Term::var(u32::MAX)) && theta.try_bind(vb, Term::var(u32::MAX));
+                return theta.try_bind(va, Term::var(u32::MAX))
+                    && theta.try_bind(vb, Term::var(u32::MAX));
             }
             false
         }
@@ -379,14 +471,21 @@ fn match_group_replacements(
         if *origin != group.origin {
             continue;
         }
-        let saved = state.theta.clone();
-        if match_term(&x_term, dx, &mut state.theta) && match_term(t, dt, &mut state.theta) {
-            state.used_repair_groups.insert(*gi);
+        let mark = state.trail.len();
+        if match_term(&x_term, dx, &mut state.theta, &mut state.trail)
+            && match_term(t, dt, &mut state.theta, &mut state.trail)
+        {
+            let newly_used = state.used_repair_groups.insert(*gi);
             if match_group_replacements(group, ri + 1, d, state, config) {
                 return true;
             }
+            // Roll the mark back with the bindings: a group used only on an
+            // abandoned branch must not satisfy the strict repair check.
+            if newly_used {
+                state.used_repair_groups.remove(gi);
+            }
         }
-        state.theta = saved;
+        unwind(&mut state.theta, &mut state.trail, mark);
     }
     false
 }
@@ -409,7 +508,8 @@ fn strict_repairs_ok(state: &SearchState, d: &GroundClause) -> bool {
 /// clause. Returns `None` when the heads cannot unify.
 pub fn head_bindings(head: &Literal, d: &GroundClause) -> Option<Substitution> {
     let mut theta = Substitution::new();
-    if match_heads(head, d.head(), &mut theta) {
+    let mut trail = Vec::new();
+    if match_literal(head, d.head(), &mut theta, &mut trail) {
         Some(theta)
     } else {
         None
@@ -429,12 +529,14 @@ pub fn extend_bindings(
     cap: usize,
 ) -> Vec<Substitution> {
     let mut out: Vec<Substitution> = Vec::new();
+    let mut trail: Vec<Var> = Vec::new();
     for theta in bindings {
         match lit {
-            Literal::Relation { relation, .. } => {
-                for &idx in d.candidates(relation) {
+            Literal::Relation { relation, args } => {
+                for &idx in d.candidates_pruned(*relation, args, theta) {
                     let mut candidate = theta.clone();
-                    if match_literal(lit, &d.body()[idx], &mut candidate) {
+                    trail.clear();
+                    if match_literal(lit, &d.body()[idx], &mut candidate, &mut trail) {
                         out.push(candidate);
                         if out.len() >= cap {
                             return out;
@@ -545,7 +647,23 @@ mod tests {
     #[test]
     fn missing_relation_blocks_subsumption() {
         let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
-        c.push_unique(Literal::relation("mov2countries", vec![Term::var(1), Term::var(2)]));
+        c.push_unique(Literal::relation(
+            "mov2countries",
+            vec![Term::var(1), Term::var(2)],
+        ));
+        let d = ground_clause();
+        assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_blocks_subsumption() {
+        // Same relation name, wrong arity: the (RelId, arity) bucket lookup
+        // must rule it out.
+        let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(1), Term::var(2)],
+        ));
         let d = ground_clause();
         assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_none());
     }
@@ -598,9 +716,61 @@ mod tests {
         ));
         let d = ground_clause();
         let lenient = SubsumptionConfig::default();
-        let strict = SubsumptionConfig { strict_repair_mapping: true, ..lenient };
+        let strict = SubsumptionConfig {
+            strict_repair_mapping: true,
+            ..lenient
+        };
         assert!(subsumes(&c, &d, &lenient).is_some());
         assert!(subsumes(&c, &d, &strict).is_none());
+    }
+
+    #[test]
+    fn strict_mode_ignores_repair_groups_used_only_on_abandoned_branches() {
+        // D: t(v0) ← r0(v1) with two same-origin repair groups:
+        //   g0 replaces v1 by 'p', g1 replaces v2 by 'q'.
+        let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+        d.push_unique(Literal::relation("r0", vec![Term::var(1)]));
+        d.push_repair(RepairGroup::new(
+            RepairOrigin::Md(0),
+            vec![],
+            vec![(Var(1), Term::constant("p"))],
+            vec![],
+        ));
+        d.push_repair(RepairGroup::new(
+            RepairOrigin::Md(0),
+            vec![],
+            vec![(Var(2), Term::constant("q"))],
+            vec![],
+        ));
+        let g = GroundClause::new(&d);
+
+        // C maps r0 onto v1 (so g0 is *touched*) and carries one repair
+        // group that first partially matches g0's fact, backtracks, and
+        // finally succeeds entirely through g1. With correct bookkeeping the
+        // mapping never uses g0, so the strict reading must reject; a stale
+        // used-mark from the abandoned g0 branch would wrongly accept.
+        let mut c = Clause::new(Literal::relation("t", vec![Term::var(10)]));
+        c.push_unique(Literal::relation("r0", vec![Term::var(11)]));
+        c.push_repair(RepairGroup::new(
+            RepairOrigin::Md(0),
+            vec![],
+            vec![(Var(12), Term::var(13)), (Var(12), Term::constant("q"))],
+            vec![],
+        ));
+        let lenient = SubsumptionConfig::default();
+        let strict = SubsumptionConfig {
+            strict_repair_mapping: true,
+            ..lenient
+        };
+        assert!(
+            subsumes(&c, &g, &lenient).is_some(),
+            "lenient mode must accept"
+        );
+        assert!(
+            subsumes(&c, &g, &strict).is_none(),
+            "strict mode must reject: g0 (touching the mapped v1) was only \
+             used on an abandoned branch"
+        );
     }
 
     #[test]
@@ -608,10 +778,7 @@ mod tests {
         let d = ground_clause();
         let head = Literal::relation("highGrossing", vec![Term::var(10)]);
         let start = vec![head_bindings(&head, &d).unwrap()];
-        let movies = Literal::relation(
-            "movies",
-            vec![Term::var(11), Term::var(12), Term::var(13)],
-        );
+        let movies = Literal::relation("movies", vec![Term::var(11), Term::var(12), Term::var(13)]);
         let after_movies = extend_bindings(&movies, &start, &d, 16);
         assert_eq!(after_movies.len(), 1);
         // A literal whose relation does not exist in D blocks every binding.
@@ -623,15 +790,24 @@ mod tests {
         assert!(extend_bindings(&wrong_genre, &after_movies, &d, 16).is_empty());
         let right_genre =
             Literal::relation("mov2genres", vec![Term::var(11), Term::constant("comedy")]);
-        assert_eq!(extend_bindings(&right_genre, &after_movies, &d, 16).len(), 1);
+        assert_eq!(
+            extend_bindings(&right_genre, &after_movies, &d, 16).len(),
+            1
+        );
     }
 
     #[test]
     fn two_c_variables_may_map_to_the_same_d_term() {
         // θ-subsumption does not require injectivity.
         let mut c = Clause::new(Literal::relation("highGrossing", vec![Term::var(0)]));
-        c.push_unique(Literal::relation("movies", vec![Term::var(1), Term::var(2), Term::var(3)]));
-        c.push_unique(Literal::relation("movies", vec![Term::var(4), Term::var(5), Term::var(6)]));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(1), Term::var(2), Term::var(3)],
+        ));
+        c.push_unique(Literal::relation(
+            "movies",
+            vec![Term::var(4), Term::var(5), Term::var(6)],
+        ));
         let d = ground_clause();
         assert!(subsumes(&c, &d, &SubsumptionConfig::default()).is_some());
     }
@@ -647,7 +823,39 @@ mod tests {
         }
         c.push_unique(Literal::relation("missing", vec![Term::var(50)]));
         let d = ground_clause();
-        let tiny = SubsumptionConfig { max_steps: 1, ..SubsumptionConfig::default() };
+        let tiny = SubsumptionConfig {
+            max_steps: 1,
+            ..SubsumptionConfig::default()
+        };
         assert!(subsumes(&c, &d, &tiny).is_none());
+    }
+
+    #[test]
+    fn positional_index_prunes_by_bound_variables() {
+        // D has many same-relation literals; once v10 is bound through the
+        // head, the pruned candidate list for p(v10, _) must be exactly the
+        // literals whose first argument is v0.
+        let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+        for i in 1..50 {
+            d.push_unique(Literal::relation(
+                "p",
+                vec![Term::var(i), Term::var(i + 100)],
+            ));
+        }
+        d.push_unique(Literal::relation("p", vec![Term::var(0), Term::var(200)]));
+        let g = GroundClause::new(&d);
+
+        let mut c = Clause::new(Literal::relation("t", vec![Term::var(10)]));
+        c.push_unique(Literal::relation("p", vec![Term::var(10), Term::var(11)]));
+        // The budget only admits a couple of candidate extensions: without
+        // positional pruning the matcher would scan ~50 candidates for the
+        // p-literal and could exhaust a small budget before reaching the
+        // matching one; with pruning it tries exactly one.
+        let tight = SubsumptionConfig {
+            max_steps: 2,
+            ..SubsumptionConfig::default()
+        };
+        let theta = subsumes(&c, &g, &tight).expect("pruned search must succeed in 2 steps");
+        assert_eq!(theta.apply(&Term::var(11)), Term::var(200));
     }
 }

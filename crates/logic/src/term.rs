@@ -15,7 +15,10 @@ impl fmt::Display for Var {
 }
 
 /// A term: either a variable or a constant database value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Copy` since the interning refactor: constants carry an interned
+/// [`Value`], so terms are 16 bytes and never allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A variable.
     Var(Var),

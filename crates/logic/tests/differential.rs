@@ -1,0 +1,219 @@
+//! Differential test: the interned, position-indexed subsumption engine
+//! against a reference re-implementation of the **pre-refactor string-based
+//! matcher** (see `support/reference_impl.rs`).
+//!
+//! The reference preserves the old path's semantics — same literal ordering
+//! heuristic (candidate count per relation *name*), same first-found-mapping
+//! constraint checking, same repair-group matching — so any decision
+//! difference on randomized clauses (including clauses with repair literals)
+//! is a bug in the new index or trail logic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dlearn_logic::{
+    subsumes, Clause, CondAtom, GroundClause, Literal, RepairGroup, RepairOrigin, Substitution,
+    SubsumptionConfig, Term, Var,
+};
+
+#[path = "support/reference_impl.rs"]
+mod reference;
+
+// ---------------------------------------------------------------------------
+// Randomized clause generation
+// ---------------------------------------------------------------------------
+
+const RELATIONS: [&str; 4] = ["r0", "r1", "r2", "r3"];
+const CONSTANTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn random_term(rng: &mut StdRng, max_var: u32) -> Term {
+    if rng.gen_bool(0.3) {
+        Term::constant(CONSTANTS[rng.gen_range(0..CONSTANTS.len())])
+    } else {
+        Term::var(rng.gen_range(0..max_var))
+    }
+}
+
+/// A random "ground bottom" style clause: relation literals (mixing vars and
+/// constants), similarity literals, and MD repair groups over them.
+fn random_d(rng: &mut StdRng) -> Clause {
+    let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+    let n_lits = rng.gen_range(2..8usize);
+    for _ in 0..n_lits {
+        let name = RELATIONS[rng.gen_range(0..RELATIONS.len())];
+        let arity = rng.gen_range(1..4usize);
+        let args: Vec<Term> = (0..arity).map(|_| random_term(rng, 8)).collect();
+        d.push_unique(Literal::relation(name, args));
+    }
+    for _ in 0..rng.gen_range(0..3usize) {
+        let a = Term::var(rng.gen_range(0..8u32));
+        let b = Term::var(rng.gen_range(0..8u32));
+        if a != b {
+            d.push_unique(Literal::Similar(a, b));
+        }
+    }
+    // Repair groups over existing similarity literals.
+    let sims: Vec<(Term, Term)> = d
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Similar(a, b) => Some((*a, *b)),
+            _ => None,
+        })
+        .collect();
+    for (gi, (a, b)) in sims.iter().enumerate().take(2) {
+        let fresh = Term::var(20 + gi as u32);
+        let (Some(va), Some(vb)) = (a.as_var(), b.as_var()) else {
+            continue;
+        };
+        d.push_repair(RepairGroup::new(
+            RepairOrigin::Md(gi),
+            vec![CondAtom::Sim(*a, *b)],
+            vec![(va, fresh), (vb, fresh)],
+            vec![Literal::Similar(*a, *b)],
+        ));
+    }
+    d
+}
+
+/// Derive a candidate `C` from `D`: keep a random subset of literals and
+/// repair groups, then rename variables. By construction these frequently
+/// (but not always — repair groups may lose their consumed literals)
+/// subsume `D`, giving the differential both positive and negative cases.
+fn derived_c(rng: &mut StdRng, d: &Clause) -> Clause {
+    let mut c = Clause::new(d.head.clone());
+    for l in &d.body {
+        if rng.gen_bool(0.6) {
+            c.push_unique(l.clone());
+        }
+    }
+    for g in &d.repairs {
+        if rng.gen_bool(0.4) {
+            c.push_repair(g.clone());
+        }
+    }
+    let renaming: Substitution = c
+        .variables()
+        .into_iter()
+        .map(|v| (v, Term::var(v.0 + 40)))
+        .collect();
+    c.apply(&renaming)
+}
+
+/// A fully random candidate (mostly negative cases).
+fn random_c(rng: &mut StdRng) -> Clause {
+    let c = random_d(rng);
+    let renaming: Substitution = c
+        .variables()
+        .into_iter()
+        .map(|v| (v, Term::var(v.0 + 60)))
+        .collect();
+    c.apply(&renaming)
+}
+
+// ---------------------------------------------------------------------------
+// The differential properties
+// ---------------------------------------------------------------------------
+
+/// Interned decisions match the string-based reference on randomized clause
+/// pairs, including clauses with repair literals.
+#[test]
+fn interned_path_matches_string_reference_on_random_clauses() {
+    let mut rng = StdRng::seed_from_u64(0xd1ff);
+    // Effectively unbounded: the reference has no budget, so give the new
+    // path one it cannot hit at this clause size.
+    let config = SubsumptionConfig {
+        max_steps: usize::MAX,
+        ..SubsumptionConfig::default()
+    };
+    let mut positives = 0usize;
+    for case in 0..400 {
+        let d = random_d(&mut rng);
+        let c = if case % 2 == 0 {
+            derived_c(&mut rng, &d)
+        } else {
+            random_c(&mut rng)
+        };
+        let ground = GroundClause::new(&d);
+        let string_ground = reference::StringGround::new(&d);
+        let new_decision = subsumes(&c, &ground, &config).is_some();
+        let old_decision = reference::subsumes(&c, &string_ground);
+        assert_eq!(
+            new_decision, old_decision,
+            "divergence on case {case}:\n  C = {c}\n  D = {d}"
+        );
+        positives += new_decision as usize;
+    }
+    // The generator must exercise both outcomes or the test is vacuous.
+    assert!(positives > 50, "too few positive cases: {positives}");
+    assert!(
+        positives < 350,
+        "too few negative cases: {}",
+        400 - positives
+    );
+}
+
+/// The witness substitution returned by the interned path is a real witness:
+/// applying it to C's relation literals lands inside D's body.
+#[test]
+fn witness_substitutions_are_sound() {
+    let mut rng = StdRng::seed_from_u64(0x50d4);
+    let config = SubsumptionConfig {
+        max_steps: usize::MAX,
+        ..SubsumptionConfig::default()
+    };
+    for _ in 0..200 {
+        let d = random_d(&mut rng);
+        let c = derived_c(&mut rng, &d);
+        let ground = GroundClause::new(&d);
+        if let Some(theta) = subsumes(&c, &ground, &config) {
+            for lit in c.body.iter().filter(|l| l.is_relation()) {
+                let mapped = lit.apply(&theta);
+                assert!(
+                    d.body.contains(&mapped),
+                    "mapped literal {mapped} not in D = {d}"
+                );
+            }
+        }
+    }
+}
+
+/// Budget exhaustion must report "does not subsume" (never panic), at every
+/// budget size, and a positive answer under a small budget must agree with
+/// the unbounded decision.
+#[test]
+fn budget_exhaustion_is_a_clean_no() {
+    let mut rng = StdRng::seed_from_u64(0xb4d9);
+    let unbounded = SubsumptionConfig {
+        max_steps: usize::MAX,
+        ..SubsumptionConfig::default()
+    };
+    for _ in 0..50 {
+        let d = random_d(&mut rng);
+        let c = derived_c(&mut rng, &d);
+        let ground = GroundClause::new(&d);
+        let full = subsumes(&c, &ground, &unbounded).is_some();
+        for budget in [0usize, 1, 2, 5, 20] {
+            let tiny = SubsumptionConfig {
+                max_steps: budget,
+                ..SubsumptionConfig::default()
+            };
+            let decision = subsumes(&c, &ground, &tiny).is_some();
+            // A budgeted yes must be a real yes; a budgeted no is allowed.
+            assert!(!decision || full, "budget {budget} invented a subsumption");
+        }
+    }
+}
+
+/// `Var(u32::MAX)` is used as a sentinel by the pair checker; make sure the
+/// trail/unwind machinery copes with adversarial variable indices near it.
+#[test]
+fn extreme_variable_indices_do_not_break_matching() {
+    let mut c = Clause::new(Literal::relation("t", vec![Term::var(u32::MAX - 1)]));
+    c.push_unique(Literal::relation("r0", vec![Term::var(u32::MAX - 1)]));
+    let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
+    d.push_unique(Literal::relation("r0", vec![Term::var(0)]));
+    let ground = GroundClause::new(&d);
+    assert!(subsumes(&c, &ground, &SubsumptionConfig::default()).is_some());
+    let _ = Var(u32::MAX); // the sentinel itself stays constructible
+}

@@ -19,17 +19,20 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start building a relation schema with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        RelationBuilder { name: name.into(), attributes: Vec::new() }
+        RelationBuilder {
+            name: name.into(),
+            attributes: Vec::new(),
+        }
     }
 
     /// Add a string attribute.
-    pub fn str_attr(mut self, name: impl Into<String>) -> Self {
+    pub fn str_attr(mut self, name: impl AsRef<str>) -> Self {
         self.attributes.push(Attribute::new(name, ValueType::Str));
         self
     }
 
     /// Add an integer attribute.
-    pub fn int_attr(mut self, name: impl Into<String>) -> Self {
+    pub fn int_attr(mut self, name: impl AsRef<str>) -> Self {
         self.attributes.push(Attribute::new(name, ValueType::Int));
         self
     }
@@ -49,12 +52,16 @@ pub struct DatabaseBuilder {
 impl DatabaseBuilder {
     /// Start with an empty database.
     pub fn new() -> Self {
-        DatabaseBuilder { database: Database::new() }
+        DatabaseBuilder {
+            database: Database::new(),
+        }
     }
 
     /// Declare a relation. Panics on duplicate names (programming error).
     pub fn relation(mut self, schema: RelationSchema) -> Self {
-        self.database.create_relation(schema).expect("duplicate relation in builder");
+        self.database
+            .create_relation(schema)
+            .expect("duplicate relation in builder");
         self
     }
 
@@ -66,7 +73,9 @@ impl DatabaseBuilder {
         V: Into<Value>,
     {
         let tuple = Tuple::new(values.into_iter().map(Into::into).collect());
-        self.database.insert(relation, tuple).expect("row does not match relation schema");
+        self.database
+            .insert(relation, tuple)
+            .expect("row does not match relation schema");
         self
     }
 
@@ -83,7 +92,12 @@ mod tests {
     #[test]
     fn builder_constructs_database() {
         let db = DatabaseBuilder::new()
-            .relation(RelationBuilder::new("movies").int_attr("id").str_attr("title").build())
+            .relation(
+                RelationBuilder::new("movies")
+                    .int_attr("id")
+                    .str_attr("title")
+                    .build(),
+            )
             .row("movies", vec![Value::int(1), Value::str("Superbad")])
             .row("movies", vec![Value::int(2), Value::str("Zoolander")])
             .build();
@@ -100,7 +114,11 @@ mod tests {
 
     #[test]
     fn relation_builder_orders_attributes() {
-        let schema = RelationBuilder::new("r").int_attr("a").str_attr("b").int_attr("c").build();
+        let schema = RelationBuilder::new("r")
+            .int_attr("a")
+            .str_attr("b")
+            .int_attr("c")
+            .build();
         assert_eq!(schema.arity(), 3);
         assert_eq!(schema.attribute_index("b"), Some(1));
     }

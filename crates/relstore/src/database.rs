@@ -3,16 +3,21 @@
 use std::collections::HashMap;
 
 use crate::error::StoreError;
+use crate::intern::RelId;
 use crate::relation::{Relation, TupleId};
 use crate::schema::{RelationSchema, Schema};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
 /// A fully materialized, in-memory database instance.
+///
+/// Relations are keyed by interned [`RelId`], so lookups on the learner's
+/// hot paths never hash a string; the `&str`-accepting convenience methods
+/// intern on the way in.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     schema: Schema,
-    relations: HashMap<String, Relation>,
+    relations: HashMap<RelId, Relation>,
 }
 
 impl Database {
@@ -29,50 +34,61 @@ impl Database {
     /// Declare a new relation.
     pub fn create_relation(&mut self, schema: RelationSchema) -> Result<(), StoreError> {
         self.schema.add_relation(schema.clone())?;
-        self.relations.insert(schema.name.clone(), Relation::new(schema));
+        self.relations.insert(schema.name, Relation::new(schema));
         Ok(())
     }
 
-    /// Relation instance by name.
-    pub fn relation(&self, name: &str) -> Option<&Relation> {
-        self.relations.get(name)
+    /// Relation instance by name or id.
+    pub fn relation(&self, name: impl Into<RelId>) -> Option<&Relation> {
+        self.relations.get(&name.into())
     }
 
-    /// Mutable relation instance by name.
-    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
-        self.relations.get_mut(name)
+    /// Mutable relation instance by name or id.
+    pub fn relation_mut(&mut self, name: impl Into<RelId>) -> Option<&mut Relation> {
+        self.relations.get_mut(&name.into())
     }
 
     /// Relation instance, erroring when it does not exist.
-    pub fn require_relation(&self, name: &str) -> Result<&Relation, StoreError> {
-        self.relation(name).ok_or_else(|| StoreError::UnknownRelation(name.to_string()))
+    pub fn require_relation(&self, name: impl Into<RelId>) -> Result<&Relation, StoreError> {
+        let id = name.into();
+        self.relations
+            .get(&id)
+            .ok_or_else(|| StoreError::UnknownRelation(id.as_str().to_string()))
     }
 
     /// Insert a tuple into the named relation.
-    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<TupleId, StoreError> {
+    pub fn insert(
+        &mut self,
+        relation: impl Into<RelId>,
+        tuple: Tuple,
+    ) -> Result<TupleId, StoreError> {
+        let id = relation.into();
         let rel = self
             .relations
-            .get_mut(relation)
-            .ok_or_else(|| StoreError::UnknownRelation(relation.to_string()))?;
+            .get_mut(&id)
+            .ok_or_else(|| StoreError::UnknownRelation(id.as_str().to_string()))?;
         rel.insert(tuple)
     }
 
     /// Insert many tuples into the named relation.
-    pub fn insert_all<I>(&mut self, relation: &str, tuples: I) -> Result<(), StoreError>
+    pub fn insert_all<I>(&mut self, relation: impl Into<RelId>, tuples: I) -> Result<(), StoreError>
     where
         I: IntoIterator<Item = Tuple>,
     {
+        let id = relation.into();
         for t in tuples {
-            self.insert(relation, t)?;
+            self.insert(id, t)?;
         }
         Ok(())
     }
 
     /// Iterate over all relation instances in deterministic (name) order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        let mut names: Vec<&String> = self.relations.keys().collect();
-        names.sort();
-        names.into_iter().map(move |n| &self.relations[n])
+        // RelId's Ord is lexicographic on the name, so this matches the old
+        // String-sorted iteration order exactly.
+        let mut ids: Vec<RelId> = self.relations.keys().copied().collect();
+        ids.sort();
+        ids.into_iter().map(move |id| &self.relations[&id])
     }
 
     /// Total number of tuples across all relations.
@@ -83,7 +99,7 @@ impl Database {
     /// Equality selection over a named relation and attribute.
     pub fn select_eq(
         &self,
-        relation: &str,
+        relation: impl Into<RelId>,
         attribute: &str,
         value: &Value,
     ) -> Result<Vec<&Tuple>, StoreError> {
@@ -94,8 +110,10 @@ impl Database {
 
     /// A compact human-readable summary (relation name -> cardinality).
     pub fn summary(&self) -> String {
-        let mut parts: Vec<String> =
-            self.relations().map(|r| format!("{}:{}", r.name(), r.len())).collect();
+        let mut parts: Vec<String> = self
+            .relations()
+            .map(|r| format!("{}:{}", r.name(), r.len()))
+            .collect();
         parts.sort();
         parts.join(", ")
     }
@@ -125,12 +143,31 @@ mod tests {
     #[test]
     fn create_insert_select() {
         let mut db = db();
-        db.insert("movies", tuple(vec![Value::int(1), Value::str("Superbad")])).unwrap();
-        db.insert("mov2genres", tuple(vec![Value::int(1), Value::str("comedy")])).unwrap();
+        db.insert("movies", tuple(vec![Value::int(1), Value::str("Superbad")]))
+            .unwrap();
+        db.insert(
+            "mov2genres",
+            tuple(vec![Value::int(1), Value::str("comedy")]),
+        )
+        .unwrap();
 
-        let hits = db.select_eq("movies", "title", &Value::str("Superbad")).unwrap();
+        let hits = db
+            .select_eq("movies", "title", &Value::str("Superbad"))
+            .unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(db.total_tuples(), 2);
+    }
+
+    #[test]
+    fn relid_lookups_match_str_lookups() {
+        let mut db = db();
+        db.insert(
+            RelId::intern("movies"),
+            tuple(vec![Value::int(1), Value::str("a")]),
+        )
+        .unwrap();
+        assert_eq!(db.relation(RelId::intern("movies")).unwrap().len(), 1);
+        assert_eq!(db.relation("movies").unwrap().len(), 1);
     }
 
     #[test]
@@ -160,7 +197,8 @@ mod tests {
     #[test]
     fn summary_lists_cardinalities() {
         let mut db = db();
-        db.insert("movies", tuple(vec![Value::int(1), Value::str("a")])).unwrap();
+        db.insert("movies", tuple(vec![Value::int(1), Value::str("a")]))
+            .unwrap();
         assert_eq!(db.summary(), "mov2genres:0, movies:1");
     }
 }

@@ -41,15 +41,31 @@ impl fmt::Display for StoreError {
                 write!(f, "relation '{name}' already exists")
             }
             StoreError::UnknownRelation(name) => write!(f, "unknown relation '{name}'"),
-            StoreError::UnknownAttribute { relation, attribute } => {
-                write!(f, "unknown attribute '{attribute}' in relation '{relation}'")
+            StoreError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "unknown attribute '{attribute}' in relation '{relation}'"
+                )
             }
-            StoreError::ArityMismatch { relation, expected, actual } => write!(
+            StoreError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "arity mismatch inserting into '{relation}': expected {expected}, got {actual}"
             ),
-            StoreError::TypeMismatch { relation, attribute } => {
-                write!(f, "type mismatch for attribute '{attribute}' of relation '{relation}'")
+            StoreError::TypeMismatch {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "type mismatch for attribute '{attribute}' of relation '{relation}'"
+                )
             }
         }
     }
@@ -63,7 +79,11 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable_messages() {
-        let e = StoreError::ArityMismatch { relation: "r".into(), expected: 2, actual: 3 };
+        let e = StoreError::ArityMismatch {
+            relation: "r".into(),
+            expected: 2,
+            actual: 3,
+        };
         assert!(e.to_string().contains("expected 2"));
         let e = StoreError::UnknownRelation("movies".into());
         assert!(e.to_string().contains("movies"));

@@ -1,0 +1,324 @@
+//! Process-wide string interning: copy-type [`Sym`] / [`RelId`] handles.
+//!
+//! Every relation name, attribute name and string constant in the system is
+//! interned exactly once and referred to by a copyable [`Sym`] handle.
+//! Equality and hashing of symbols are pointer operations, which is what
+//! removes string hashing and string comparison from the θ-subsumption hot
+//! path (the matcher compares `Sym`s, and `GroundClause` indexes literals by
+//! `(RelId, arity)` and per-position values).
+//!
+//! Design notes:
+//!
+//! * The interner is a process-global dedup table behind an `RwLock`, taken
+//!   **only when interning**. Interned strings are leaked (`Box::leak`) and
+//!   the handle *is* the `&'static str`, so resolution ([`Sym::as_str`]),
+//!   equality, hashing and ordering never touch the lock — coverage worker
+//!   threads comparing and sorting symbols share nothing.
+//! * Because each distinct string is leaked exactly once, pointer equality
+//!   coincides with content equality; `Eq`/`Hash` use the pointer (O(1)),
+//!   while `Ord` compares the *resolved strings*, so every `BTreeMap`/sort
+//!   that used to be keyed by `String` keeps its deterministic
+//!   lexicographic iteration order after the migration.
+//! * Symbols live for the process lifetime — the right trade-off for a
+//!   learner whose vocabulary (schema names plus attribute values) is
+//!   bounded by its input databases.
+//! * [`RelId`] is a newtype over [`Sym`] for relation names, so a relation
+//!   id cannot be confused with an attribute or constant symbol.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{OnceLock, RwLock};
+
+/// The process-wide string interner backing [`Sym`] and [`RelId`].
+#[derive(Debug, Default)]
+pub struct Interner {
+    strings: HashSet<&'static str>,
+}
+
+static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+
+fn global() -> &'static RwLock<Interner> {
+    GLOBAL.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+impl Interner {
+    /// Number of distinct strings interned so far in this process.
+    pub fn len() -> usize {
+        global().read().expect("interner poisoned").strings.len()
+    }
+
+    fn intern(s: &str) -> &'static str {
+        {
+            let inner = global().read().expect("interner poisoned");
+            if let Some(&existing) = inner.strings.get(s) {
+                return existing;
+            }
+        }
+        let mut inner = global().write().expect("interner poisoned");
+        if let Some(&existing) = inner.strings.get(s) {
+            return existing;
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        inner.strings.insert(leaked);
+        leaked
+    }
+}
+
+/// An interned string: a copyable handle with O(1) pointer
+/// equality/hashing and lock-free resolution.
+#[derive(Clone, Copy)]
+pub struct Sym(&'static str);
+
+impl Sym {
+    /// Intern a string, returning its symbol.
+    pub fn intern(s: impl AsRef<str>) -> Sym {
+        Sym(Interner::intern(s.as_ref()))
+    }
+
+    /// The symbol for a string **if it was already interned** — a read-only
+    /// probe that never inserts or leaks. Use this to query `Sym`-keyed
+    /// indexes with arbitrary strings: a string nobody interned cannot be a
+    /// key in any such index.
+    pub fn lookup(s: impl AsRef<str>) -> Option<Sym> {
+        let inner = global().read().expect("interner poisoned");
+        inner.strings.get(s.as_ref()).map(|&existing| Sym(existing))
+    }
+
+    /// The interned string (no lock, no lookup: the handle is the string).
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+}
+
+// The interner leaks each distinct string exactly once, so address (+ len,
+// for the dangling-pointer empty string) equality coincides with content
+// equality — no string bytes are touched.
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.as_ptr() == other.0.as_ptr() && self.0.len() == other.0.len()
+    }
+}
+
+impl Eq for Sym {}
+
+impl Hash for Sym {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_usize(self.0.as_ptr() as usize);
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+// Lexicographic order (not address order): keeps every previously
+// String-keyed BTree/sort deterministic and human-predictable.
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self == other {
+            std::cmp::Ordering::Equal
+        } else {
+            self.0.cmp(other.0)
+        }
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+/// An interned *relation name*. Distinct from [`Sym`] so relation handles
+/// cannot be mixed up with attribute/constant symbols in signatures.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(Sym);
+
+impl RelId {
+    /// Intern a relation name.
+    pub fn intern(s: impl AsRef<str>) -> RelId {
+        RelId(Sym::intern(s))
+    }
+
+    /// The relation name.
+    pub fn as_str(self) -> &'static str {
+        self.0.as_str()
+    }
+
+    /// The underlying symbol.
+    pub fn as_sym(self) -> Sym {
+        self.0
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelId({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for RelId {
+    fn from(s: &str) -> RelId {
+        RelId::intern(s)
+    }
+}
+
+impl From<&String> for RelId {
+    fn from(s: &String) -> RelId {
+        RelId::intern(s)
+    }
+}
+
+impl From<String> for RelId {
+    fn from(s: String) -> RelId {
+        RelId::intern(s)
+    }
+}
+
+impl From<Sym> for RelId {
+    fn from(s: Sym) -> RelId {
+        RelId(s)
+    }
+}
+
+impl From<&RelId> for RelId {
+    fn from(r: &RelId) -> RelId {
+        *r
+    }
+}
+
+impl PartialEq<str> for RelId {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for RelId {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_copy() {
+        let a = Sym::intern("movies");
+        let b = Sym::intern("movies");
+        assert_eq!(a, b);
+        // Same content must resolve to the same leaked allocation.
+        assert_eq!(a.as_str().as_ptr(), b.as_str().as_ptr());
+        let c = a; // Copy
+        assert_eq!(c.as_str(), "movies");
+        assert_ne!(Sym::intern("movies"), Sym::intern("movies2"));
+    }
+
+    #[test]
+    fn empty_strings_are_equal() {
+        assert_eq!(Sym::intern(""), Sym::intern(String::new()));
+    }
+
+    #[test]
+    fn sym_orders_lexicographically() {
+        // Intern deliberately out of order: addresses are allocation-ordered
+        // but comparisons must follow the strings.
+        let z = Sym::intern("zzz-order-test");
+        let a = Sym::intern("aaa-order-test");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn relid_is_a_distinct_handle_over_the_same_table() {
+        let r = RelId::intern("movies");
+        assert_eq!(r.as_sym(), Sym::intern("movies"));
+        assert_eq!(r.as_str(), "movies");
+        assert_eq!(r, "movies");
+        assert_eq!(RelId::from("movies"), r);
+    }
+
+    #[test]
+    fn str_comparisons_work_both_ways() {
+        let s = Sym::intern("comedy");
+        assert_eq!(s, "comedy");
+        assert_eq!(s, *"comedy");
+        assert!(s != "drama");
+    }
+
+    #[test]
+    fn hashing_follows_identity() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(Sym::intern("key-one"), 1);
+        assert_eq!(m.get(&Sym::intern("key-one")), Some(&1));
+        assert_eq!(m.get(&Sym::intern("key-two")), None);
+    }
+
+    #[test]
+    fn lookup_never_inserts() {
+        // If lookup inserted on miss, the second probe would find the
+        // string. (No len() comparison: other tests intern concurrently.)
+        assert!(Sym::lookup("never-interned-probe-string").is_none());
+        assert!(Sym::lookup("never-interned-probe-string").is_none());
+        let s = Sym::intern("interned-then-looked-up");
+        assert_eq!(Sym::lookup("interned-then-looked-up"), Some(s));
+    }
+
+    #[test]
+    fn interner_reports_growth() {
+        let before = Interner::len();
+        let _ = Sym::intern("definitely-a-fresh-string-for-len-test");
+        // The table is append-only and the string above is interned nowhere
+        // else, so the count must strictly grow.
+        assert!(Interner::len() > before);
+    }
+}

@@ -9,11 +9,16 @@
 //!
 //! The main types are:
 //!
-//! * [`Value`] / [`ValueType`] — attribute values (ints, strings, `NULL`).
+//! * [`Interner`], [`Sym`], [`RelId`] — process-wide string interning; every
+//!   relation name, attribute name and string constant is a copy-type handle
+//!   with integer equality/hashing (the representation the θ-subsumption hot
+//!   path in `dlearn-logic` relies on).
+//! * [`Value`] / [`ValueType`] — attribute values (ints, interned strings,
+//!   `NULL`); `Value` is `Copy`.
 //! * [`Attribute`], [`RelationSchema`], [`Schema`] — schema catalog.
 //! * [`Tuple`] — an ordered list of values.
 //! * [`Relation`] — a relation instance with per-attribute hash indexes.
-//! * [`Database`] — the full instance, keyed by relation name.
+//! * [`Database`] — the full instance, keyed by [`RelId`].
 //! * [`DatabaseBuilder`] / [`RelationBuilder`] — fluent construction helpers.
 
 #![warn(missing_docs)]
@@ -21,6 +26,7 @@
 pub mod builder;
 pub mod database;
 pub mod error;
+pub mod intern;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -29,6 +35,7 @@ pub mod value;
 pub use builder::{DatabaseBuilder, RelationBuilder};
 pub use database::Database;
 pub use error::StoreError;
+pub use intern::{Interner, RelId, Sym};
 pub use relation::{Relation, TupleId};
 pub use schema::{Attribute, RelationSchema, Schema};
 pub use tuple::{tuple, Tuple};

@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use crate::error::StoreError;
+use crate::intern::RelId;
 use crate::schema::RelationSchema;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -28,7 +29,11 @@ impl Relation {
     /// Create an empty relation instance for the given schema.
     pub fn new(schema: RelationSchema) -> Self {
         let arity = schema.arity();
-        Relation { schema, tuples: Vec::new(), indexes: vec![HashMap::new(); arity] }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+            indexes: vec![HashMap::new(); arity],
+        }
     }
 
     /// The relation schema.
@@ -37,8 +42,13 @@ impl Relation {
     }
 
     /// The relation name.
-    pub fn name(&self) -> &str {
-        &self.schema.name
+    pub fn name(&self) -> &'static str {
+        self.schema.name.as_str()
+    }
+
+    /// The interned relation id.
+    pub fn rel_id(&self) -> RelId {
+        self.schema.name
     }
 
     /// Number of tuples.
@@ -55,7 +65,7 @@ impl Relation {
     pub fn insert(&mut self, tuple: Tuple) -> Result<TupleId, StoreError> {
         if tuple.arity() != self.schema.arity() {
             return Err(StoreError::ArityMismatch {
-                relation: self.schema.name.clone(),
+                relation: self.schema.name.as_str().to_string(),
                 expected: self.schema.arity(),
                 actual: tuple.arity(),
             });
@@ -64,14 +74,14 @@ impl Relation {
             let attr = &self.schema.attributes[i];
             if !attr.ty.accepts(value.value_type()) {
                 return Err(StoreError::TypeMismatch {
-                    relation: self.schema.name.clone(),
-                    attribute: attr.name.clone(),
+                    relation: self.schema.name.as_str().to_string(),
+                    attribute: attr.name.as_str().to_string(),
                 });
             }
         }
         let id = self.tuples.len();
         for (i, value) in tuple.values().iter().enumerate() {
-            self.indexes[i].entry(value.clone()).or_default().push(id);
+            self.indexes[i].entry(*value).or_default().push(id);
         }
         self.tuples.push(tuple);
         Ok(id)
@@ -114,7 +124,10 @@ impl Relation {
 
     /// Distinct values appearing in an attribute column.
     pub fn distinct_values(&self, attribute: usize) -> Vec<&Value> {
-        self.indexes.get(attribute).map(|idx| idx.keys().collect()).unwrap_or_default()
+        self.indexes
+            .get(attribute)
+            .map(|idx| idx.keys().collect())
+            .unwrap_or_default()
     }
 
     /// All (value, count) pairs of an attribute column.
@@ -135,21 +148,21 @@ impl Relation {
     ) -> Result<(), StoreError> {
         if attribute >= self.schema.arity() {
             return Err(StoreError::UnknownAttribute {
-                relation: self.schema.name.clone(),
+                relation: self.schema.name.as_str().to_string(),
                 attribute: format!("#{attribute}"),
             });
         }
         let attr = &self.schema.attributes[attribute];
         if !attr.ty.accepts(value.value_type()) {
             return Err(StoreError::TypeMismatch {
-                relation: self.schema.name.clone(),
-                attribute: attr.name.clone(),
+                relation: self.schema.name.as_str().to_string(),
+                attribute: attr.name.as_str().to_string(),
             });
         }
         let Some(t) = self.tuples.get_mut(id) else {
             return Ok(());
         };
-        let old = t.set_value(attribute, value.clone());
+        let old = t.set_value(attribute, value);
         if old != value {
             if let Some(ids) = self.indexes[attribute].get_mut(&old) {
                 ids.retain(|&tid| tid != id);
@@ -170,7 +183,9 @@ impl Relation {
         if self.schema.arity() == 0 {
             return !self.tuples.is_empty();
         }
-        self.select_eq(0, &t.values()[0]).iter().any(|&id| &self.tuples[id] == t)
+        self.select_eq(0, &t.values()[0])
+            .iter()
+            .any(|&id| &self.tuples[id] == t)
     }
 }
 
@@ -183,20 +198,44 @@ mod tests {
     fn rel() -> Relation {
         Relation::new(RelationSchema::new(
             "movies",
-            vec![Attribute::int("id"), Attribute::str("title"), Attribute::int("year")],
+            vec![
+                Attribute::int("id"),
+                Attribute::str("title"),
+                Attribute::int("year"),
+            ],
         ))
     }
 
     #[test]
     fn insert_and_select_eq() {
         let mut r = rel();
-        r.insert(tuple(vec![Value::int(1), Value::str("Superbad"), Value::int(2007)])).unwrap();
-        r.insert(tuple(vec![Value::int(2), Value::str("Zoolander"), Value::int(2001)])).unwrap();
-        r.insert(tuple(vec![Value::int(3), Value::str("Superbad"), Value::int(2007)])).unwrap();
+        r.insert(tuple(vec![
+            Value::int(1),
+            Value::str("Superbad"),
+            Value::int(2007),
+        ]))
+        .unwrap();
+        r.insert(tuple(vec![
+            Value::int(2),
+            Value::str("Zoolander"),
+            Value::int(2001),
+        ]))
+        .unwrap();
+        r.insert(tuple(vec![
+            Value::int(3),
+            Value::str("Superbad"),
+            Value::int(2007),
+        ]))
+        .unwrap();
 
-        let hits = r.select_eq_by_name("title", &Value::str("Superbad")).unwrap();
+        let hits = r
+            .select_eq_by_name("title", &Value::str("Superbad"))
+            .unwrap();
         assert_eq!(hits, &[0, 2]);
-        assert_eq!(r.select_eq_by_name("year", &Value::int(1999)).unwrap(), &[] as &[usize]);
+        assert_eq!(
+            r.select_eq_by_name("year", &Value::int(1999)).unwrap(),
+            &[] as &[usize]
+        );
         assert_eq!(r.len(), 3);
     }
 
@@ -205,15 +244,17 @@ mod tests {
         let mut r = rel();
         let err = r.insert(tuple(vec![Value::int(1)])).unwrap_err();
         assert!(matches!(err, StoreError::ArityMismatch { .. }));
-        let err =
-            r.insert(tuple(vec![Value::str("x"), Value::str("t"), Value::int(1)])).unwrap_err();
+        let err = r
+            .insert(tuple(vec![Value::str("x"), Value::str("t"), Value::int(1)]))
+            .unwrap_err();
         assert!(matches!(err, StoreError::TypeMismatch { .. }));
     }
 
     #[test]
     fn nulls_are_accepted_in_any_attribute() {
         let mut r = rel();
-        r.insert(Tuple::new(vec![Value::int(1), Value::Null, Value::Null])).unwrap();
+        r.insert(Tuple::new(vec![Value::int(1), Value::Null, Value::Null]))
+            .unwrap();
         assert_eq!(r.len(), 1);
     }
 
@@ -221,7 +262,11 @@ mod tests {
     fn update_value_keeps_indexes_consistent() {
         let mut r = rel();
         let id = r
-            .insert(tuple(vec![Value::int(1), Value::str("Bait"), Value::int(2000)]))
+            .insert(tuple(vec![
+                Value::int(1),
+                Value::str("Bait"),
+                Value::int(2000),
+            ]))
             .unwrap();
         r.update_value(id, 1, Value::str("Bait 2")).unwrap();
         assert!(r.select_eq(1, &Value::str("Bait")).is_empty());
@@ -232,7 +277,8 @@ mod tests {
     #[test]
     fn contains_checks_full_tuple_equality() {
         let mut r = rel();
-        r.insert(tuple(vec![Value::int(1), Value::str("a"), Value::int(2)])).unwrap();
+        r.insert(tuple(vec![Value::int(1), Value::str("a"), Value::int(2)]))
+            .unwrap();
         assert!(r.contains(&tuple(vec![Value::int(1), Value::str("a"), Value::int(2)])));
         assert!(!r.contains(&tuple(vec![Value::int(1), Value::str("a"), Value::int(3)])));
         assert!(!r.contains(&tuple(vec![Value::int(1)])));
@@ -241,8 +287,18 @@ mod tests {
     #[test]
     fn distinct_values_and_counts() {
         let mut r = rel();
-        r.insert(tuple(vec![Value::int(1), Value::str("a"), Value::int(2000)])).unwrap();
-        r.insert(tuple(vec![Value::int(2), Value::str("a"), Value::int(2001)])).unwrap();
+        r.insert(tuple(vec![
+            Value::int(1),
+            Value::str("a"),
+            Value::int(2000),
+        ]))
+        .unwrap();
+        r.insert(tuple(vec![
+            Value::int(2),
+            Value::str("a"),
+            Value::int(2001),
+        ]))
+        .unwrap();
         let mut counts = r.value_counts(1);
         counts.sort_by_key(|(_, c)| *c);
         assert_eq!(counts.len(), 1);

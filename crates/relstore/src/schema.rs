@@ -1,33 +1,43 @@
 //! Relation schemas and the database-wide schema catalog.
+//!
+//! Names are interned: attribute names are [`Sym`]s and relation names are
+//! [`RelId`]s, so schema lookups on the hot path compare integers. The
+//! catalog is keyed by [`RelId`], whose `Ord` is lexicographic on the
+//! resolved name, preserving the deterministic name-ordered iteration the
+//! learner relies on.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::StoreError;
+use crate::intern::{RelId, Sym};
 use crate::value::ValueType;
 
 /// A named, typed attribute of a relation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Attribute {
-    /// Attribute name, unique within its relation.
-    pub name: String,
+    /// Attribute name (interned), unique within its relation.
+    pub name: Sym,
     /// Declared type.
     pub ty: ValueType,
 }
 
 impl Attribute {
     /// Create a new attribute.
-    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        Attribute { name: name.into(), ty }
+    pub fn new(name: impl AsRef<str>, ty: ValueType) -> Self {
+        Attribute {
+            name: Sym::intern(name),
+            ty,
+        }
     }
 
     /// Shorthand for a string attribute.
-    pub fn str(name: impl Into<String>) -> Self {
+    pub fn str(name: impl AsRef<str>) -> Self {
         Attribute::new(name, ValueType::Str)
     }
 
     /// Shorthand for an integer attribute.
-    pub fn int(name: impl Into<String>) -> Self {
+    pub fn int(name: impl AsRef<str>) -> Self {
         Attribute::new(name, ValueType::Int)
     }
 }
@@ -35,16 +45,19 @@ impl Attribute {
 /// Schema of a single relation: an ordered list of attributes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelationSchema {
-    /// Relation name, unique within the database schema.
-    pub name: String,
+    /// Relation name (interned), unique within the database schema.
+    pub name: RelId,
     /// Ordered attributes.
     pub attributes: Vec<Attribute>,
 }
 
 impl RelationSchema {
     /// Create a relation schema.
-    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Self {
-        RelationSchema { name: name.into(), attributes }
+    pub fn new(name: impl Into<RelId>, attributes: Vec<Attribute>) -> Self {
+        RelationSchema {
+            name: name.into(),
+            attributes,
+        }
     }
 
     /// Number of attributes (the relation arity).
@@ -54,6 +67,12 @@ impl RelationSchema {
 
     /// Position of the attribute with the given name.
     pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == *name)
+    }
+
+    /// Position of the attribute with the given interned name (no string
+    /// comparison).
+    pub fn attribute_pos(&self, name: Sym) -> Option<usize> {
         self.attributes.iter().position(|a| a.name == name)
     }
 
@@ -64,15 +83,16 @@ impl RelationSchema {
 
     /// Attribute by name.
     pub fn attribute_by_name(&self, name: &str) -> Option<&Attribute> {
-        self.attributes.iter().find(|a| a.name == name)
+        self.attributes.iter().find(|a| a.name == *name)
     }
 
     /// Resolve an attribute name, returning a [`StoreError`] when unknown.
     pub fn require_attribute_index(&self, name: &str) -> Result<usize, StoreError> {
-        self.attribute_index(name).ok_or_else(|| StoreError::UnknownAttribute {
-            relation: self.name.clone(),
-            attribute: name.to_string(),
-        })
+        self.attribute_index(name)
+            .ok_or_else(|| StoreError::UnknownAttribute {
+                relation: self.name.as_str().to_string(),
+                attribute: name.to_string(),
+            })
     }
 }
 
@@ -89,10 +109,10 @@ impl fmt::Display for RelationSchema {
     }
 }
 
-/// The database schema: the set of relation schemas, keyed by name.
+/// The database schema: the set of relation schemas, keyed by [`RelId`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schema {
-    relations: BTreeMap<String, RelationSchema>,
+    relations: BTreeMap<RelId, RelationSchema>,
 }
 
 impl Schema {
@@ -104,20 +124,25 @@ impl Schema {
     /// Add a relation schema. Returns an error when the name is taken.
     pub fn add_relation(&mut self, relation: RelationSchema) -> Result<(), StoreError> {
         if self.relations.contains_key(&relation.name) {
-            return Err(StoreError::DuplicateRelation(relation.name));
+            return Err(StoreError::DuplicateRelation(
+                relation.name.as_str().to_string(),
+            ));
         }
-        self.relations.insert(relation.name.clone(), relation);
+        self.relations.insert(relation.name, relation);
         Ok(())
     }
 
     /// Look up a relation schema by name.
-    pub fn relation(&self, name: &str) -> Option<&RelationSchema> {
-        self.relations.get(name)
+    pub fn relation(&self, name: impl Into<RelId>) -> Option<&RelationSchema> {
+        self.relations.get(&name.into())
     }
 
     /// Look up a relation schema, returning an error when unknown.
-    pub fn require_relation(&self, name: &str) -> Result<&RelationSchema, StoreError> {
-        self.relation(name).ok_or_else(|| StoreError::UnknownRelation(name.to_string()))
+    pub fn require_relation(&self, name: impl Into<RelId>) -> Result<&RelationSchema, StoreError> {
+        let id = name.into();
+        self.relations
+            .get(&id)
+            .ok_or_else(|| StoreError::UnknownRelation(id.as_str().to_string()))
     }
 
     /// Iterate over relation schemas in name order.
@@ -127,7 +152,12 @@ impl Schema {
 
     /// Relation names in deterministic (sorted) order.
     pub fn relation_names(&self) -> Vec<&str> {
-        self.relations.keys().map(|s| s.as_str()).collect()
+        self.relations.keys().map(|r| r.as_str()).collect()
+    }
+
+    /// Relation ids in deterministic (name-sorted) order.
+    pub fn relation_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.relations.keys().copied()
     }
 
     /// Number of relations.
@@ -141,8 +171,8 @@ impl Schema {
     }
 
     /// `true` when the schema contains the named relation.
-    pub fn contains(&self, name: &str) -> bool {
-        self.relations.contains_key(name)
+    pub fn contains(&self, name: impl Into<RelId>) -> bool {
+        self.relations.contains_key(&name.into())
     }
 }
 
@@ -153,7 +183,11 @@ mod tests {
     fn movies_schema() -> RelationSchema {
         RelationSchema::new(
             "movies",
-            vec![Attribute::int("id"), Attribute::str("title"), Attribute::int("year")],
+            vec![
+                Attribute::int("id"),
+                Attribute::str("title"),
+                Attribute::int("year"),
+            ],
         )
     }
 
@@ -162,6 +196,7 @@ mod tests {
         let s = movies_schema();
         assert_eq!(s.attribute_index("title"), Some(1));
         assert_eq!(s.attribute_index("missing"), None);
+        assert_eq!(s.attribute_pos(Sym::intern("title")), Some(1));
         assert_eq!(s.arity(), 3);
     }
 
@@ -170,7 +205,10 @@ mod tests {
         let s = movies_schema();
         let err = s.require_attribute_index("nope").unwrap_err();
         match err {
-            StoreError::UnknownAttribute { relation, attribute } => {
+            StoreError::UnknownAttribute {
+                relation,
+                attribute,
+            } => {
                 assert_eq!(relation, "movies");
                 assert_eq!(attribute, "nope");
             }
@@ -199,6 +237,8 @@ mod tests {
         assert!(schema.contains("a_rel"));
         assert!(schema.require_relation("missing").is_err());
         assert_eq!(schema.len(), 2);
+        let ids: Vec<RelId> = schema.relation_ids().collect();
+        assert_eq!(ids, vec![RelId::intern("a_rel"), RelId::intern("b_rel")]);
     }
 
     #[test]

@@ -1,27 +1,30 @@
 //! Typed attribute values stored in relations.
 //!
 //! The store supports three value kinds: 64-bit integers, interned strings
-//! and SQL-style `NULL`. Strings are reference counted (`Arc<str>`) because
-//! bottom-clause construction and similarity indexing clone values heavily.
+//! and SQL-style `NULL`. Strings are interned [`Sym`] handles, so `Value` is
+//! `Copy`, equality and hashing are integer operations, and the heavy value
+//! cloning done by bottom-clause construction and similarity indexing is
+//! free.
 
 use std::fmt;
-use std::sync::Arc;
+
+use crate::intern::Sym;
 
 /// A single attribute value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// Absent / unknown value.
     Null,
     /// 64-bit signed integer.
     Int(i64),
-    /// Reference-counted UTF-8 string.
-    Str(Arc<str>),
+    /// Interned UTF-8 string.
+    Str(Sym),
 }
 
 impl Value {
-    /// Build a string value.
+    /// Build a string value (interning the string).
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Sym::intern(s))
     }
 
     /// Build an integer value.
@@ -35,9 +38,17 @@ impl Value {
     }
 
     /// Return the string payload, if any.
-    pub fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&'static str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Return the interned symbol, if this is a string value.
+    pub fn as_sym(&self) -> Option<Sym> {
+        match self {
+            Value::Str(s) => Some(*s),
             _ => None,
         }
     }
@@ -60,11 +71,21 @@ impl Value {
     }
 
     /// Render the value as it would appear in a Datalog literal argument.
+    /// Embedded quotes and backslashes are escaped, so the rendering is
+    /// unambiguous (`it's` renders as `'it\'s'`, not the broken `'it's'`).
     pub fn render(&self) -> String {
         match self {
             Value::Null => "null".to_string(),
             Value::Int(i) => i.to_string(),
-            Value::Str(s) => format!("'{}'", s),
+            Value::Str(s) => {
+                let raw = s.as_str();
+                if raw.contains('\'') || raw.contains('\\') {
+                    let escaped = raw.replace('\\', "\\\\").replace('\'', "\\'");
+                    format!("'{escaped}'")
+                } else {
+                    format!("'{raw}'")
+                }
+            }
         }
     }
 }
@@ -82,6 +103,12 @@ impl fmt::Display for Value {
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(v: Sym) -> Self {
+        Value::Str(v)
     }
 }
 
@@ -146,6 +173,7 @@ mod tests {
         assert_eq!(Value::int(42).as_int(), Some(42));
         assert_eq!(Value::int(42).as_str(), None);
         assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::str("x").as_sym(), Some(Sym::intern("x")));
         assert!(Value::Null.is_null());
     }
 
@@ -164,9 +192,27 @@ mod tests {
     }
 
     #[test]
+    fn render_escapes_embedded_quotes() {
+        // Regression: `'a'b'` used to render ambiguously for values
+        // containing a quote character.
+        assert_eq!(Value::str("a'b").render(), r"'a\'b'");
+        assert_eq!(Value::str(r"back\slash").render(), r"'back\\slash'");
+        assert_eq!(Value::str(r"mix\'ed").render(), r"'mix\\\'ed'");
+        // Distinct raw strings must render distinctly.
+        assert_ne!(Value::str(r"a\'b").render(), Value::str("a'b").render());
+    }
+
+    #[test]
     fn display_matches_payload() {
         assert_eq!(Value::str("hello").to_string(), "hello");
         assert_eq!(Value::int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn values_are_copy() {
+        let v = Value::str("copied");
+        let w = v;
+        assert_eq!(v, w);
     }
 
     #[test]
@@ -176,6 +222,8 @@ mod tests {
         let v: Value = "abc".into();
         assert_eq!(v, Value::str("abc"));
         let v: Value = String::from("abc").into();
+        assert_eq!(v, Value::str("abc"));
+        let v: Value = Sym::intern("abc").into();
         assert_eq!(v, Value::str("abc"));
     }
 }

@@ -23,14 +23,20 @@ impl Default for SimilarityOperator {
         // decorated variants in the other source (e.g. "Star Wars" vs
         // "Star Wars: Episode IV - 1977", where the length component pulls
         // the average down) while unrelated names stay below it.
-        SimilarityOperator { swg: SwgParams::default(), threshold: 0.65 }
+        SimilarityOperator {
+            swg: SwgParams::default(),
+            threshold: 0.65,
+        }
     }
 }
 
 impl SimilarityOperator {
     /// Operator with a custom decision threshold.
     pub fn with_threshold(threshold: f64) -> Self {
-        SimilarityOperator { threshold, ..SimilarityOperator::default() }
+        SimilarityOperator {
+            threshold,
+            ..SimilarityOperator::default()
+        }
     }
 
     /// Combined similarity score of two strings in `[0, 1]`.

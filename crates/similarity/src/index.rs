@@ -8,17 +8,24 @@
 //! token/trigram blocking: values are only aligned when they share at least
 //! one blocking key, which is how record-linkage systems keep this step
 //! tractable on large inputs.
+//!
+//! The index is keyed by interned [`Sym`] handles: probes coming from
+//! bottom-clause construction arrive as the `Sym` already stored in a
+//! [`dlearn_relstore::Value`], so a lookup hashes a 4-byte id instead of
+//! re-hashing the raw string on every probe.
 
 use std::collections::HashMap;
+
+use dlearn_relstore::Sym;
 
 use crate::combined::SimilarityOperator;
 use crate::tokenize::blocking_keys;
 
 /// A single similarity match.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Match {
-    /// The matched value from the *other* column.
-    pub value: String,
+    /// The matched value from the *other* column (interned).
+    pub value: Sym,
     /// Combined similarity score in `[0, 1]`.
     pub score: f64,
 }
@@ -34,14 +41,48 @@ pub struct IndexConfig {
 
 impl Default for IndexConfig {
     fn default() -> Self {
-        IndexConfig { top_k: 5, operator: SimilarityOperator::default() }
+        IndexConfig {
+            top_k: 5,
+            operator: SimilarityOperator::default(),
+        }
     }
 }
 
 impl IndexConfig {
     /// Config with a given `km` and default operator.
     pub fn top_k(top_k: usize) -> Self {
-        IndexConfig { top_k, ..IndexConfig::default() }
+        IndexConfig {
+            top_k,
+            ..IndexConfig::default()
+        }
+    }
+}
+
+/// A probe key for `Sym`-keyed indexes: either a `Sym` (hot path — already
+/// interned, nothing to do) or a raw string, resolved through the interner
+/// **without inserting** — a string nobody interned cannot be an index key,
+/// so unknown probes return "no matches" instead of leaking into the
+/// process-global intern table.
+pub trait QuerySym {
+    /// Resolve to an interned symbol, if one exists.
+    fn query_sym(self) -> Option<Sym>;
+}
+
+impl QuerySym for Sym {
+    fn query_sym(self) -> Option<Sym> {
+        Some(self)
+    }
+}
+
+impl QuerySym for &str {
+    fn query_sym(self) -> Option<Sym> {
+        Sym::lookup(self)
+    }
+}
+
+impl QuerySym for &String {
+    fn query_sym(self) -> Option<Sym> {
+        Sym::lookup(self)
     }
 }
 
@@ -49,33 +90,33 @@ impl IndexConfig {
 /// string values (the two sides of a matching dependency).
 #[derive(Debug, Clone, Default)]
 pub struct SimilarityIndex {
-    left_to_right: HashMap<String, Vec<Match>>,
-    right_to_left: HashMap<String, Vec<Match>>,
+    left_to_right: HashMap<Sym, Vec<Match>>,
+    right_to_left: HashMap<Sym, Vec<Match>>,
 }
 
 impl SimilarityIndex {
     /// Build the index between the distinct values of the left and right
     /// columns.
-    pub fn build(left: &[String], right: &[String], config: &IndexConfig) -> Self {
+    pub fn build(left: &[Sym], right: &[Sym], config: &IndexConfig) -> Self {
         let left = dedup(left);
         let right = dedup(right);
 
         // Inverted blocking index over the right column.
         let mut block: HashMap<String, Vec<usize>> = HashMap::new();
         for (j, r) in right.iter().enumerate() {
-            for key in blocking_keys(r) {
+            for key in blocking_keys(r.as_str()) {
                 block.entry(key).or_default().push(j);
             }
         }
 
-        let mut left_to_right: HashMap<String, Vec<Match>> = HashMap::new();
-        let mut right_to_left: HashMap<String, Vec<Match>> = HashMap::new();
+        let mut left_to_right: HashMap<Sym, Vec<Match>> = HashMap::new();
+        let mut right_to_left: HashMap<Sym, Vec<Match>> = HashMap::new();
 
         let mut candidates: Vec<usize> = Vec::new();
         let mut seen = vec![false; right.len()];
-        for l in &left {
+        for &l in &left {
             candidates.clear();
-            for key in blocking_keys(l) {
+            for key in blocking_keys(l.as_str()) {
                 if let Some(ids) = block.get(&key) {
                     for &j in ids {
                         if !seen[j] {
@@ -88,57 +129,68 @@ impl SimilarityIndex {
             let mut matches: Vec<Match> = Vec::new();
             for &j in &candidates {
                 seen[j] = false;
-                let r = &right[j];
-                let score = config.operator.score(l, r);
+                let r = right[j];
+                let score = config.operator.score(l.as_str(), r.as_str());
                 if score >= config.operator.threshold {
-                    matches.push(Match { value: r.clone(), score });
+                    matches.push(Match { value: r, score });
                 }
             }
-            matches.sort_by(|a, b| {
-                b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.value.cmp(&b.value))
-            });
+            sort_matches(&mut matches);
             matches.truncate(config.top_k);
             for m in &matches {
-                let back = right_to_left.entry(m.value.clone()).or_default();
-                back.push(Match { value: l.clone(), score: m.score });
+                let back = right_to_left.entry(m.value).or_default();
+                back.push(Match {
+                    value: l,
+                    score: m.score,
+                });
             }
             if !matches.is_empty() {
-                left_to_right.insert(l.clone(), matches);
+                left_to_right.insert(l, matches);
             }
         }
 
         // The reverse direction also keeps only the top-k matches per value.
         for matches in right_to_left.values_mut() {
-            matches.sort_by(|a, b| {
-                b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.value.cmp(&b.value))
-            });
+            sort_matches(matches);
             matches.truncate(config.top_k);
         }
 
-        SimilarityIndex { left_to_right, right_to_left }
+        SimilarityIndex {
+            left_to_right,
+            right_to_left,
+        }
     }
 
     /// Matches of a left-column value (empty slice when none).
-    pub fn matches_left(&self, value: &str) -> &[Match] {
-        self.left_to_right.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+    pub fn matches_left(&self, value: impl QuerySym) -> &[Match] {
+        value
+            .query_sym()
+            .and_then(|s| self.left_to_right.get(&s))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Matches of a right-column value (empty slice when none).
-    pub fn matches_right(&self, value: &str) -> &[Match] {
-        self.right_to_left.get(value).map(|v| v.as_slice()).unwrap_or(&[])
+    pub fn matches_right(&self, value: impl QuerySym) -> &[Match] {
+        value
+            .query_sym()
+            .and_then(|s| self.right_to_left.get(&s))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// The single best match of a left-column value, if any. Used by the
     /// Castor-Clean baseline, which unifies each value with its most similar
     /// counterpart before learning.
-    pub fn best_match_left(&self, value: &str) -> Option<&Match> {
+    pub fn best_match_left(&self, value: impl QuerySym) -> Option<&Match> {
         self.matches_left(value).first()
     }
 
     /// Whether a specific pair of values was matched (in either direction).
-    pub fn are_matched(&self, left: &str, right: &str) -> bool {
+    pub fn are_matched(&self, left: impl QuerySym, right: impl QuerySym) -> bool {
+        let (Some(left), Some(right)) = (left.query_sym(), right.query_sym()) else {
+            return false;
+        };
         self.matches_left(left).iter().any(|m| m.value == right)
             || self.matches_right(left).iter().any(|m| m.value == right)
     }
@@ -154,9 +206,20 @@ impl SimilarityIndex {
     }
 }
 
-fn dedup(values: &[String]) -> Vec<String> {
-    let mut v: Vec<String> = values.to_vec();
-    v.sort();
+/// Descending score, ties broken by the value's string order — the same
+/// deterministic order the pre-interning index used.
+fn sort_matches(matches: &mut [Match]) {
+    matches.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.value.cmp(&b.value))
+    });
+}
+
+fn dedup(values: &[Sym]) -> Vec<Sym> {
+    let mut v: Vec<Sym> = values.to_vec();
+    v.sort(); // Sym's Ord is lexicographic
     v.dedup();
     v
 }
@@ -165,23 +228,22 @@ fn dedup(values: &[String]) -> Vec<String> {
 mod tests {
     use super::*;
 
-    fn movies_left() -> Vec<String> {
-        vec![
-            "Star Wars".to_string(),
-            "Superbad".to_string(),
-            "Zoolander".to_string(),
-            "Totally Unrelated".to_string(),
-        ]
+    fn syms(values: &[&str]) -> Vec<Sym> {
+        values.iter().map(Sym::intern).collect()
     }
 
-    fn movies_right() -> Vec<String> {
-        vec![
-            "Star Wars: Episode IV - 1977".to_string(),
-            "Star Wars: Episode III - 2005".to_string(),
-            "Superbad (2007)".to_string(),
-            "Zoolander (2001)".to_string(),
-            "The Orphanage".to_string(),
-        ]
+    fn movies_left() -> Vec<Sym> {
+        syms(&["Star Wars", "Superbad", "Zoolander", "Totally Unrelated"])
+    }
+
+    fn movies_right() -> Vec<Sym> {
+        syms(&[
+            "Star Wars: Episode IV - 1977",
+            "Star Wars: Episode III - 2005",
+            "Superbad (2007)",
+            "Zoolander (2001)",
+            "The Orphanage",
+        ])
     }
 
     #[test]
@@ -189,12 +251,19 @@ mod tests {
         let idx = SimilarityIndex::build(
             &movies_left(),
             &movies_right(),
-            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.6) },
+            &IndexConfig {
+                top_k: 5,
+                operator: SimilarityOperator::with_threshold(0.6),
+            },
         );
         let superbad = idx.matches_left("Superbad");
         assert!(superbad.iter().any(|m| m.value == "Superbad (2007)"));
         let star_wars = idx.matches_left("Star Wars");
-        assert_eq!(star_wars.len(), 2, "Star Wars should match both episodes: {star_wars:?}");
+        assert_eq!(
+            star_wars.len(),
+            2,
+            "Star Wars should match both episodes: {star_wars:?}"
+        );
         assert!(idx.matches_left("Totally Unrelated").is_empty());
     }
 
@@ -203,7 +272,10 @@ mod tests {
         let idx = SimilarityIndex::build(
             &movies_left(),
             &movies_right(),
-            &IndexConfig { top_k: 1, operator: SimilarityOperator::with_threshold(0.6) },
+            &IndexConfig {
+                top_k: 1,
+                operator: SimilarityOperator::with_threshold(0.6),
+            },
         );
         assert!(idx.matches_left("Star Wars").len() <= 1);
     }
@@ -213,7 +285,10 @@ mod tests {
         let idx = SimilarityIndex::build(
             &movies_left(),
             &movies_right(),
-            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.6) },
+            &IndexConfig {
+                top_k: 5,
+                operator: SimilarityOperator::with_threshold(0.6),
+            },
         );
         let back = idx.matches_right("Superbad (2007)");
         assert!(back.iter().any(|m| m.value == "Superbad"));
@@ -221,14 +296,33 @@ mod tests {
     }
 
     #[test]
+    fn sym_probes_equal_str_probes() {
+        let idx = SimilarityIndex::build(
+            &movies_left(),
+            &movies_right(),
+            &IndexConfig {
+                top_k: 5,
+                operator: SimilarityOperator::with_threshold(0.6),
+            },
+        );
+        assert_eq!(
+            idx.matches_left(Sym::intern("Superbad")).len(),
+            idx.matches_left("Superbad").len()
+        );
+    }
+
+    #[test]
     fn matches_are_sorted_by_descending_score() {
         let idx = SimilarityIndex::build(
             &movies_left(),
             &movies_right(),
-            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.5) },
+            &IndexConfig {
+                top_k: 5,
+                operator: SimilarityOperator::with_threshold(0.5),
+            },
         );
         for v in movies_left() {
-            let ms = idx.matches_left(&v);
+            let ms = idx.matches_left(v);
             for w in ms.windows(2) {
                 assert!(w[0].score >= w[1].score);
             }
@@ -240,7 +334,10 @@ mod tests {
         let idx = SimilarityIndex::build(
             &movies_left(),
             &movies_right(),
-            &IndexConfig { top_k: 5, operator: SimilarityOperator::with_threshold(0.5) },
+            &IndexConfig {
+                top_k: 5,
+                operator: SimilarityOperator::with_threshold(0.5),
+            },
         );
         let best = idx.best_match_left("Zoolander").unwrap();
         assert_eq!(best.value, "Zoolander (2001)");

@@ -20,44 +20,89 @@ pub mod sw_gotoh;
 pub mod tokenize;
 
 pub use combined::{combined_similarity, SimilarityOperator};
-pub use index::{IndexConfig, Match, SimilarityIndex};
+pub use index::{IndexConfig, Match, QuerySym, SimilarityIndex};
 pub use length::length_similarity;
 pub use sw_gotoh::{swg_similarity, swg_similarity_with, SwgParams};
 
 #[cfg(test)]
 mod proptests {
-    use proptest::prelude::*;
+    //! Property-style tests over seeded random strings (formerly `proptest`
+    //! strategies; driven by the vendored deterministic RNG instead).
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     use crate::combined::SimilarityOperator;
     use crate::length::length_similarity;
     use crate::sw_gotoh::swg_similarity;
 
-    proptest! {
-        #[test]
-        fn swg_is_bounded_and_symmetric(a in "[ -~]{0,24}", b in "[ -~]{0,24}") {
+    const CASES: usize = 300;
+
+    /// Random printable-ASCII string of length `0..max_len`.
+    fn printable(rng: &mut StdRng, max_len: usize) -> String {
+        let len = rng.gen_range(0..max_len + 1);
+        (0..len)
+            .map(|_| rng.gen_range(0x20u8..0x7f) as char)
+            .collect()
+    }
+
+    /// Random lowercase alphanumeric string of length `1..=max_len`.
+    fn alnum(rng: &mut StdRng, max_len: usize) -> String {
+        let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789 ";
+        let len = rng.gen_range(1..max_len + 1);
+        (0..len)
+            .map(|_| alphabet.as_bytes()[rng.gen_range(0..alphabet.len())] as char)
+            .collect()
+    }
+
+    #[test]
+    fn swg_is_bounded_and_symmetric() {
+        let mut rng = StdRng::seed_from_u64(0x5179);
+        for _ in 0..CASES {
+            let a = printable(&mut rng, 24);
+            let b = printable(&mut rng, 24);
             let ab = swg_similarity(&a, &b);
             let ba = swg_similarity(&b, &a);
-            prop_assert!((0.0..=1.0).contains(&ab));
-            prop_assert!((ab - ba).abs() < 1e-9);
+            assert!((0.0..=1.0).contains(&ab), "swg({a:?}, {b:?}) = {ab}");
+            assert!((ab - ba).abs() < 1e-9, "asymmetry on ({a:?}, {b:?})");
         }
+    }
 
-        #[test]
-        fn swg_identity_is_one(a in "[a-z0-9 ]{1,24}") {
-            prop_assume!(!a.trim().is_empty());
-            prop_assert!((swg_similarity(&a, &a) - 1.0).abs() < 1e-9);
+    #[test]
+    fn swg_identity_is_one() {
+        let mut rng = StdRng::seed_from_u64(0x1d31);
+        for _ in 0..CASES {
+            let a = alnum(&mut rng, 24);
+            if a.trim().is_empty() {
+                continue;
+            }
+            assert!(
+                (swg_similarity(&a, &a) - 1.0).abs() < 1e-9,
+                "swg({a:?}, {a:?}) != 1"
+            );
         }
+    }
 
-        #[test]
-        fn length_similarity_bounded(a in "[ -~]{0,32}", b in "[ -~]{0,32}") {
+    #[test]
+    fn length_similarity_bounded() {
+        let mut rng = StdRng::seed_from_u64(0x1e57);
+        for _ in 0..CASES {
+            let a = printable(&mut rng, 32);
+            let b = printable(&mut rng, 32);
             let s = length_similarity(&a, &b);
-            prop_assert!((0.0..=1.0).contains(&s));
+            assert!((0.0..=1.0).contains(&s), "length({a:?}, {b:?}) = {s}");
         }
+    }
 
-        #[test]
-        fn combined_score_bounded(a in "[ -~]{0,24}", b in "[ -~]{0,24}") {
-            let op = SimilarityOperator::default();
+    #[test]
+    fn combined_score_bounded() {
+        let mut rng = StdRng::seed_from_u64(0xc0b1);
+        let op = SimilarityOperator::default();
+        for _ in 0..CASES {
+            let a = printable(&mut rng, 24);
+            let b = printable(&mut rng, 24);
             let s = op.score(&a, &b);
-            prop_assert!((0.0..=1.0).contains(&s));
+            assert!((0.0..=1.0).contains(&s), "combined({a:?}, {b:?}) = {s}");
         }
     }
 }

@@ -26,7 +26,12 @@ impl Default for SwgParams {
     fn default() -> Self {
         // The SimMetrics defaults used by Castor/DLearn-style systems:
         // reward 1 for a match, -2 for a mismatch, affine gaps of 0.5 / 0.3.
-        SwgParams { match_score: 1.0, mismatch_score: -2.0, gap_open: 0.5, gap_extend: 0.3 }
+        SwgParams {
+            match_score: 1.0,
+            mismatch_score: -2.0,
+            gap_open: 0.5,
+            gap_extend: 0.3,
+        }
     }
 }
 
@@ -50,7 +55,11 @@ fn best_local_score(a: &[char], b: &[char], p: &SwgParams) -> f64 {
         for j in 1..=m {
             e = (e - p.gap_extend).max(h_curr[j - 1] - p.gap_open);
             f_curr[j] = (f_prev[j] - p.gap_extend).max(h_prev[j] - p.gap_open);
-            let subst = if a[i - 1] == b[j - 1] { p.match_score } else { p.mismatch_score };
+            let subst = if a[i - 1] == b[j - 1] {
+                p.match_score
+            } else {
+                p.mismatch_score
+            };
             let diag = h_prev[j - 1] + subst;
             let score = diag.max(e).max(f_curr[j]).max(0.0);
             h_curr[j] = score;
@@ -123,7 +132,11 @@ mod tests {
 
     #[test]
     fn similarity_is_symmetric() {
-        let pairs = [("Zoolander", "Zoolander 2001"), ("J. Smth", "Jon Smith"), ("abc", "abd")];
+        let pairs = [
+            ("Zoolander", "Zoolander 2001"),
+            ("J. Smth", "Jon Smith"),
+            ("abc", "abd"),
+        ];
         for (a, b) in pairs {
             let ab = swg_similarity(a, b);
             let ba = swg_similarity(b, a);
@@ -144,7 +157,10 @@ mod tests {
 
     #[test]
     fn custom_params_are_respected() {
-        let strict = SwgParams { mismatch_score: -10.0, ..SwgParams::default() };
+        let strict = SwgParams {
+            mismatch_score: -10.0,
+            ..SwgParams::default()
+        };
         assert!(swg_similarity_with("abcd", "abxd", &strict) <= swg_similarity("abcd", "abxd"));
     }
 }

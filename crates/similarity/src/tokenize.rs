@@ -24,7 +24,11 @@ pub fn normalize(s: &str) -> String {
 
 /// Split a normalized string into word tokens.
 pub fn tokens(s: &str) -> Vec<String> {
-    normalize(s).split(' ').filter(|t| !t.is_empty()).map(|t| t.to_string()).collect()
+    normalize(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect()
 }
 
 /// Character trigrams of the normalized string (used as a fallback blocking
@@ -60,7 +64,10 @@ mod tests {
 
     #[test]
     fn normalize_lowercases_and_collapses_punctuation() {
-        assert_eq!(normalize("Star Wars: Episode IV - 1977"), "star wars episode iv 1977");
+        assert_eq!(
+            normalize("Star Wars: Episode IV - 1977"),
+            "star wars episode iv 1977"
+        );
         assert_eq!(normalize("  A--B  "), "a b");
         assert_eq!(normalize(""), "");
     }

@@ -14,9 +14,10 @@ fn main() {
         let dataset =
             generate_citation_dataset(&CitationConfig::small().with_violation_rate(p), 13);
         let fold = dataset.train_test_split(0.7, 2);
-        for (name, strategy) in
-            [("DLearn-CFD", Strategy::DLearn), ("DLearn-Repaired", Strategy::DLearnRepaired)]
-        {
+        for (name, strategy) in [
+            ("DLearn-CFD", Strategy::DLearn),
+            ("DLearn-Repaired", Strategy::DLearnRepaired),
+        ] {
             let learner = Learner::new(strategy, LearnerConfig::fast().with_iterations(3));
             let outcome = learner.learn(&fold.train);
             let confusion = Confusion::from_predictions(

@@ -12,9 +12,16 @@ use dlearn::eval::Confusion;
 fn main() {
     let dataset = generate_movie_dataset(&MovieConfig::small().with_three_mds(), 42);
     let fold = dataset.train_test_split(0.7, 1);
-    println!("dataset: {} ({} tuples)\n", dataset.name, dataset.task.database.total_tuples());
+    println!(
+        "dataset: {} ({} tuples)\n",
+        dataset.name,
+        dataset.task.database.total_tuples()
+    );
 
-    println!("{:<18} {:>6} {:>10} {:>10} {:>10}", "system", "F1", "precision", "recall", "time(s)");
+    println!(
+        "{:<18} {:>6} {:>10} {:>10} {:>10}",
+        "system", "F1", "precision", "recall", "time(s)"
+    );
     for strategy in Strategy::all() {
         if strategy == Strategy::DLearnRepaired {
             continue; // no CFD violations in this scenario

@@ -12,7 +12,11 @@ use dlearn::eval::Confusion;
 fn main() {
     let dataset = generate_product_dataset(&ProductConfig::small(), 5);
     let fold = dataset.train_test_split(0.7, 3);
-    println!("dataset: {} ({} tuples)", dataset.name, dataset.task.database.total_tuples());
+    println!(
+        "dataset: {} ({} tuples)",
+        dataset.name,
+        dataset.task.database.total_tuples()
+    );
 
     // The Walmart+Amazon chain (upc -> pid -> title ≈ title -> aid ->
     // category) is the longest of the three workloads, so use a deeper walk.

@@ -27,10 +27,18 @@ fn main() {
     println!("{}\n", model.render());
 
     // Apply the model to the training examples to show how it is used.
-    let covered_positives =
-        dataset.task.positives.iter().filter(|e| model.predict(e)).count();
-    let covered_negatives =
-        dataset.task.negatives.iter().filter(|e| model.predict(e)).count();
+    let covered_positives = dataset
+        .task
+        .positives
+        .iter()
+        .filter(|e| model.predict(e))
+        .count();
+    let covered_negatives = dataset
+        .task
+        .negatives
+        .iter()
+        .filter(|e| model.predict(e))
+        .count();
     println!(
         "training coverage: {covered_positives}/{} positives, {covered_negatives}/{} negatives",
         dataset.task.positives.len(),

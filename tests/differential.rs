@@ -1,0 +1,163 @@
+//! End-to-end differential test on the movie workload (acceptance criterion
+//! of the interning refactor): every coverage decision the learner makes —
+//! candidate clause × ground bottom clause, across direct and repaired-
+//! clause subsumption — must be identical between the interned,
+//! position-indexed engine and the string-based reference matcher.
+
+use rand::SeedableRng;
+
+use dlearn::core::{BottomClauseBuilder, CoverageEngine, DLearn, LearnerConfig, PreparedClause};
+use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
+use dlearn::logic::{subsumes, Clause, GroundClause, SubsumptionConfig};
+use dlearn_constraints::MdCatalog;
+use dlearn_similarity::{IndexConfig, SimilarityOperator};
+
+#[path = "../crates/logic/tests/support/reference_impl.rs"]
+mod reference;
+
+fn config() -> LearnerConfig {
+    LearnerConfig {
+        coverage_threads: 1,
+        ..LearnerConfig::fast().with_iterations(4)
+    }
+}
+
+/// Coverage decision through the reference matcher, replicating
+/// `CoverageEngine::covers_positive` / `covers_negative` over pre-expanded
+/// repaired clauses.
+fn reference_covers(
+    prepared: &PreparedClause,
+    ground: &Clause,
+    repaired_grounds: &[Clause],
+    positive_semantics: bool,
+) -> bool {
+    let direct = reference::StringGround::new(ground);
+    if reference::subsumes(&prepared.clause, &direct) {
+        return true;
+    }
+    if prepared.repaired.is_empty() {
+        return false;
+    }
+    let repaired_refs: Vec<reference::StringGround> = repaired_grounds
+        .iter()
+        .map(reference::StringGround::new)
+        .collect();
+    let one = |cr: &Clause| repaired_refs.iter().any(|gr| reference::subsumes(cr, gr));
+    if positive_semantics {
+        prepared.repaired.iter().all(one)
+    } else {
+        prepared.repaired.iter().any(one)
+    }
+}
+
+/// Interned-path coverage decision from raw clauses (mirrors the engine's
+/// covers_* methods, so both paths see exactly the same clause inputs).
+fn interned_covers(
+    prepared: &PreparedClause,
+    ground: &GroundClause,
+    repaired_grounds: &[GroundClause],
+    positive_semantics: bool,
+    sub: &SubsumptionConfig,
+) -> bool {
+    if subsumes(&prepared.clause, ground, sub).is_some() {
+        return true;
+    }
+    if prepared.repaired.is_empty() {
+        return false;
+    }
+    let one = |cr: &Clause| {
+        repaired_grounds
+            .iter()
+            .any(|gr| subsumes(cr, gr, sub).is_some())
+    };
+    if positive_semantics {
+        prepared.repaired.iter().all(one)
+    } else {
+        prepared.repaired.iter().any(one)
+    }
+}
+
+#[test]
+fn movie_task_coverage_decisions_match_string_reference() {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let task = &dataset.task;
+    let config = config();
+
+    // Candidate clauses: the actually learned definition plus the raw bottom
+    // clauses of a few positive examples (the clauses the covering loop
+    // scores most often).
+    let mut learner = DLearn::new(config.clone());
+    let model = learner.learn(task);
+    let index_config = IndexConfig {
+        top_k: config.km,
+        operator: SimilarityOperator::with_threshold(config.similarity_threshold),
+    };
+    let catalog = MdCatalog::build(
+        &task.mds,
+        &dlearn::core::augment_with_target(task),
+        &index_config,
+    );
+    let builder = BottomClauseBuilder::new(task, &catalog, &config);
+    let engine = CoverageEngine::build(task, &builder, &config);
+
+    let mut candidates: Vec<PreparedClause> = model
+        .clauses()
+        .iter()
+        .map(|c| PreparedClause::prepare(c.clone(), &config))
+        .collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for example in task.positives.iter().take(3) {
+        let bottom = builder.build(example, &mut rng);
+        candidates.push(PreparedClause::prepare(bottom, &config));
+    }
+    assert!(!candidates.is_empty(), "no candidate clauses to compare");
+
+    // Ground sides: rebuild the raw clauses the engine indexed, so the
+    // reference sees the identical inputs.
+    let sub = SubsumptionConfig {
+        max_steps: usize::MAX,
+        ..config.subsumption
+    };
+    let mut compared = 0usize;
+    let mut covered = 0usize;
+    for (examples, positive_semantics) in [(engine.positives(), true), (engine.negatives(), false)]
+    {
+        for ge in examples {
+            let ground_clause = clause_of(&ge.ground);
+            let repaired_clauses: Vec<Clause> = ge.repaired.iter().map(clause_of).collect();
+            for prepared in &candidates {
+                let new_decision =
+                    interned_covers(prepared, &ge.ground, &ge.repaired, positive_semantics, &sub);
+                let old_decision = reference_covers(
+                    prepared,
+                    &ground_clause,
+                    &repaired_clauses,
+                    positive_semantics,
+                );
+                assert_eq!(
+                    new_decision, old_decision,
+                    "coverage divergence for clause {} on example {}",
+                    prepared.clause, ge.example
+                );
+                compared += 1;
+                covered += new_decision as usize;
+            }
+        }
+    }
+    assert!(compared >= 24, "too few decisions compared: {compared}");
+    assert!(covered > 0, "differential is vacuous: nothing was covered");
+    assert!(
+        covered < compared,
+        "differential is vacuous: everything was covered"
+    );
+}
+
+/// Reconstruct the plain clause a `GroundClause` indexed (its public
+/// accessors expose head, body and repair groups).
+fn clause_of(g: &GroundClause) -> Clause {
+    let mut c = Clause::with_body(g.head().clone(), g.body().to_vec());
+    for r in g.repairs() {
+        c.push_repair(r.clone());
+    }
+    c
+}

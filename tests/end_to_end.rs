@@ -10,7 +10,10 @@ use dlearn::datagen::products::{generate_product_dataset, ProductConfig};
 use dlearn::eval::Confusion;
 
 fn fast(iterations: usize) -> LearnerConfig {
-    LearnerConfig { coverage_threads: 2, ..LearnerConfig::fast().with_iterations(iterations) }
+    LearnerConfig {
+        coverage_threads: 2,
+        ..LearnerConfig::fast().with_iterations(iterations)
+    }
 }
 
 #[test]
@@ -19,12 +22,21 @@ fn movies_end_to_end_learning_and_prediction() {
     let fold = dataset.train_test_split(0.7, 1);
     let mut learner = DLearn::new(fast(4));
     let model = learner.learn(&fold.train);
-    assert!(!model.clauses().is_empty(), "no definition learned:\n{}", model.render());
+    assert!(
+        !model.clauses().is_empty(),
+        "no definition learned:\n{}",
+        model.render()
+    );
     let confusion = Confusion::from_predictions(
         &model.predict_all(&fold.test_positives),
         &model.predict_all(&fold.test_negatives),
     );
-    assert!(confusion.f1() > 0.3, "F1 too low: {:.2}\n{}", confusion.f1(), model.render());
+    assert!(
+        confusion.f1() > 0.3,
+        "F1 too low: {:.2}\n{}",
+        confusion.f1(),
+        model.render()
+    );
 }
 
 #[test]
@@ -37,7 +49,12 @@ fn citations_end_to_end_with_two_mds() {
         &model.predict_all(&fold.test_positives),
         &model.predict_all(&fold.test_negatives),
     );
-    assert!(confusion.f1() > 0.3, "F1 too low: {:.2}\n{}", confusion.f1(), model.render());
+    assert!(
+        confusion.f1() > 0.3,
+        "F1 too low: {:.2}\n{}",
+        confusion.f1(),
+        model.render()
+    );
 }
 
 #[test]
@@ -48,7 +65,11 @@ fn products_learned_definition_crosses_the_similarity_join() {
     // At least one learned clause should reach the Amazon side (category),
     // which is only possible through the title MD.
     let reaches_amazon = model.clauses().iter().any(|c| {
-        c.body.iter().any(|l| l.relation_name().map(|n| n.starts_with("amazon")).unwrap_or(false))
+        c.body.iter().any(|l| {
+            l.relation_name()
+                .map(|n| n.starts_with("amazon"))
+                .unwrap_or(false)
+        })
     });
     assert!(
         reaches_amazon || model.clauses().is_empty(),
@@ -75,10 +96,12 @@ fn castor_no_md_stays_within_the_target_source() {
 
 #[test]
 fn dlearn_repaired_trains_over_a_cfd_consistent_database() {
-    let dataset =
-        generate_movie_dataset(&MovieConfig::tiny().with_violation_rate(0.2), 17);
+    let dataset = generate_movie_dataset(&MovieConfig::tiny().with_violation_rate(0.2), 17);
     // The generated database violates its CFDs...
-    assert!(!all_cfds_satisfied(&dataset.task.database, &dataset.task.cfds));
+    assert!(!all_cfds_satisfied(
+        &dataset.task.database,
+        &dataset.task.cfds
+    ));
     // ...and the DLearn-Repaired baseline still learns end-to-end over the
     // repaired instance.
     let outcome = Learner::new(Strategy::DLearnRepaired, fast(4)).learn(&dataset.task);
@@ -95,13 +118,23 @@ fn learned_clauses_use_similarity_literals_on_dirty_data() {
     // similarity literals / MD repair literals in at least one clause when
     // the definition crosses sources.
     let crosses = model.clauses().iter().any(|c| {
-        c.body.iter().any(|l| l.relation_name().map(|n| n.starts_with("omdb")).unwrap_or(false))
+        c.body.iter().any(|l| {
+            l.relation_name()
+                .map(|n| n.starts_with("omdb"))
+                .unwrap_or(false)
+        })
     });
     if crosses {
         let has_similarity = model.clauses().iter().any(|c| {
             !c.repairs.is_empty()
-                || c.body.iter().any(|l| matches!(l, dlearn::logic::Literal::Similar(_, _)))
+                || c.body
+                    .iter()
+                    .any(|l| matches!(l, dlearn::logic::Literal::Similar(_, _)))
         });
-        assert!(has_similarity, "cross-source clause without similarity machinery:\n{}", model.render());
+        assert!(
+            has_similarity,
+            "cross-source clause without similarity machinery:\n{}",
+            model.render()
+        );
     }
 }

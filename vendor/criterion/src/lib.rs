@@ -1,0 +1,259 @@
+//! Offline, from-scratch shim for the subset of the `criterion` 0.5 bench
+//! API used by this workspace. See `vendor/README.md` for why this exists.
+//!
+//! Unlike a mock, this shim really measures: each `bench_function` call runs
+//! timed samples of the closure until the configured measurement budget (or
+//! sample count) is reached and records the **median** wall-clock time per
+//! iteration. Collected results are exposed through
+//! [`Criterion::take_results`] so custom-`main` benches can emit
+//! machine-readable baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Fully qualified name (`group/function`).
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Number of timed samples behind the median.
+    pub samples: usize,
+}
+
+/// Identifier for a parameterized benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the bench closure; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    result_ns: Option<(f64, usize)>,
+}
+
+impl Bencher<'_> {
+    /// Measure the closure: one warm-up call, then timed samples until the
+    /// measurement budget or the sample target is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let budget = self.settings.measurement_time;
+        let target_samples = self.settings.sample_size.max(1);
+        let started = Instant::now();
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(target_samples);
+        loop {
+            let t = Instant::now();
+            black_box(f());
+            samples_ns.push(t.elapsed().as_nanos() as f64);
+            if samples_ns.len() >= target_samples || started.elapsed() >= budget {
+                break;
+            }
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let median = samples_ns[samples_ns.len() / 2];
+        self.result_ns = Some((median, samples_ns.len()));
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        // Far smaller than upstream criterion's defaults: these benches run
+        // in CI with `--no-run` compile checks and locally for baselines, so
+        // a short budget per bench keeps `cargo bench` usable.
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let settings = self.settings.clone();
+        self.run(name.into(), &settings, f);
+        self
+    }
+
+    fn run<F>(&mut self, name: String, settings: &Settings, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            settings,
+            result_ns: None,
+        };
+        f(&mut bencher);
+        let (median_ns, samples) = bencher.result_ns.unwrap_or((0.0, 0));
+        eprintln!("bench {name:<48} median {median_ns:>14.1} ns ({samples} samples)");
+        self.results.push(BenchResult {
+            name,
+            median_ns,
+            samples,
+        });
+    }
+
+    /// All results measured so far, draining the internal buffer. Used by
+    /// custom-`main` benches to write machine-readable baselines.
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Option<Settings>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings_mut().sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings_mut().measurement_time = d;
+        self
+    }
+
+    fn settings_mut(&mut self) -> &mut Settings {
+        if self.settings.is_none() {
+            self.settings = Some(self.criterion.settings.clone());
+        }
+        self.settings.as_mut().expect("just initialized")
+    }
+
+    fn effective_settings(&self) -> Settings {
+        self.settings
+            .clone()
+            .unwrap_or_else(|| self.criterion.settings.clone())
+    }
+
+    /// Run a benchmark inside this group.
+    pub fn bench_function<N: Display, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let settings = self.effective_settings();
+        self.criterion.run(full, &settings, f);
+        self
+    }
+
+    /// Run a parameterized benchmark inside this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let settings = self.effective_settings();
+        self.criterion.run(full, &settings, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::criterion_group!`: defines a function running each
+/// bench function against a shared `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: defines `main` running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("busy", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].name, "g/busy");
+        assert_eq!(results[1].name, "g/param/3");
+        assert!(results[0].samples >= 1);
+        assert!(results[0].median_ns >= 0.0);
+        assert!(c.take_results().is_empty());
+    }
+}
