@@ -3,9 +3,13 @@
 //!
 //! Besides printing criterion-style numbers, this bench writes
 //! `BENCH_subsumption.json` at the workspace root: median nanoseconds for
-//! `GroundClause::new` (index construction) and `subsumes` (the matcher) on
-//! bottom clauses of the synthetic IMDB+OMDB task. Later performance work
-//! diffs against this file to prove a trajectory.
+//! `GroundClause::new` (index construction), `subsumes` (the flat-
+//! substitution matcher over a prepared-once numbering — the covering
+//! loop's hot-path shape), full coverage counting, bottom-clause
+//! construction and one generalization round on bottom clauses of the
+//! synthetic IMDB+OMDB task. Later performance work diffs against this file
+//! to prove a trajectory; CI parses it for structural integrity (see
+//! `scripts/check_bench_json.py`).
 
 use std::time::Duration;
 
@@ -14,9 +18,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dlearn_constraints::MdCatalog;
-use dlearn_core::{BottomClauseBuilder, CoverageEngine, LearnerConfig, PreparedClause};
+use dlearn_core::{
+    generalize_prepared, BottomClauseBuilder, CoverageEngine, LearnerConfig, PreparedClause,
+};
 use dlearn_datagen::{generate_movie_dataset, MovieConfig};
-use dlearn_logic::{subsumes, Clause, GroundClause, SubsumptionConfig};
+use dlearn_logic::{
+    subsumes_numbered_decision, Clause, GroundClause, NumberedClause, SubsumptionConfig,
+};
 use dlearn_similarity::{IndexConfig, SimilarityOperator};
 
 fn bench_subsumption(c: &mut Criterion) {
@@ -57,18 +65,50 @@ fn bench_subsumption(c: &mut Criterion) {
         b.iter(|| criterion::black_box(GroundClause::new(&bottom)))
     });
     group.bench_function("subsumes", |b| {
+        // The covering loop renumbers a candidate once and then tests it
+        // against many ground clauses; measure exactly that shape.
+        let numbered = NumberedClause::new(&bottom);
         b.iter(|| {
             let mut hits = 0usize;
             for g in &grounds {
-                hits += subsumes(&bottom, g, &sub_config).is_some() as usize;
+                hits += subsumes_numbered_decision(&numbered, g, &sub_config) as usize;
             }
             criterion::black_box(hits)
         })
     });
+    let engine = CoverageEngine::build(task, &builder, &config);
+    let prepared = PreparedClause::prepare(bottom.clone(), &config);
     group.bench_function("coverage_engine_counts", |b| {
-        let engine = CoverageEngine::build(task, &builder, &config);
-        let prepared = PreparedClause::prepare(bottom.clone(), &config);
         b.iter(|| criterion::black_box(engine.counts(&prepared)))
+    });
+    group.bench_function("bottom_clause_build", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            criterion::black_box(builder.build(&task.positives[0], &mut rng))
+        })
+    });
+    group.bench_function("generalization_round", |b| {
+        // One covering-loop round: generalize the current clause toward a
+        // few sampled positives, prepare each candidate and score it.
+        b.iter(|| {
+            let mut best = i64::MIN;
+            for ge in engine.positives().iter().take(4) {
+                let Some(candidate) = generalize_prepared(
+                    &bottom,
+                    prepared.numbered(),
+                    &ge.ground,
+                    config.binding_cap,
+                ) else {
+                    continue;
+                };
+                if candidate.body.is_empty() {
+                    continue;
+                }
+                let scored = PreparedClause::prepare(candidate, &config);
+                best = best.max(engine.score(&scored));
+            }
+            criterion::black_box(best)
+        })
     });
     group.finish();
 }

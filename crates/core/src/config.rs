@@ -42,6 +42,11 @@ pub struct LearnerConfig {
     pub use_cfd_repairs: bool,
     /// Number of worker threads for coverage testing (0 = available cores).
     pub coverage_threads: usize,
+    /// Number of worker threads for scoring generalization candidates in the
+    /// covering loop (0 = available cores). The parallel reduction is
+    /// deterministic — best score, ties broken by sample order — so any
+    /// thread count learns the identical definition.
+    pub generalization_threads: usize,
     /// RNG seed for sampling (bottom-clause sampling, example sampling).
     pub seed: u64,
 }
@@ -64,6 +69,7 @@ impl Default for LearnerConfig {
             exact_md_joins: false,
             use_cfd_repairs: true,
             coverage_threads: 0,
+            generalization_threads: 0,
             seed: 7,
         }
     }
@@ -111,8 +117,17 @@ impl LearnerConfig {
 
     /// Number of coverage worker threads to actually use.
     pub fn effective_threads(&self) -> usize {
-        if self.coverage_threads > 0 {
-            self.coverage_threads
+        Self::resolve_threads(self.coverage_threads)
+    }
+
+    /// Number of generalization-scoring worker threads to actually use.
+    pub fn effective_generalization_threads(&self) -> usize {
+        Self::resolve_threads(self.generalization_threads)
+    }
+
+    fn resolve_threads(requested: usize) -> usize {
+        if requested > 0 {
+            requested
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())

@@ -13,7 +13,10 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dlearn_logic::{repaired_clauses, subsumes, Clause, ExpandLimits, GroundClause};
+use dlearn_logic::{
+    repaired_clauses, subsumes_numbered_decision, Clause, ExpandLimits, GroundClause,
+    NumberedClause,
+};
 use dlearn_relstore::Tuple;
 
 use crate::bottom::BottomClauseBuilder;
@@ -64,29 +67,54 @@ impl GroundExample {
 }
 
 /// A candidate clause prepared for repeated coverage testing: its repaired
-/// clauses are expanded once.
+/// clauses are expanded once, and the clause-local variable numbering of the
+/// clause and of every repaired clause is assigned once, so each subsumption
+/// test runs on flat substitutions with no per-test renumbering.
 #[derive(Debug, Clone)]
 pub struct PreparedClause {
     /// The candidate clause (with repair groups).
     pub clause: Clause,
     /// Its repaired clauses.
     pub repaired: Vec<Clause>,
+    /// The clause, renumbered to a dense variable range.
+    numbered: NumberedClause,
+    /// The repaired clauses, renumbered (index-aligned with `repaired`).
+    numbered_repaired: Vec<NumberedClause>,
 }
 
 impl PreparedClause {
-    /// Expand the candidate's repaired clauses.
+    /// Expand the candidate's repaired clauses and assign variable
+    /// numberings.
     pub fn prepare(clause: Clause, config: &LearnerConfig) -> Self {
         let limits = ExpandLimits {
             max_repairs: config.max_repaired_clauses,
             max_steps: 2048,
         };
         let repaired = repaired_clauses(&clause, limits);
-        PreparedClause { clause, repaired }
+        let numbered = NumberedClause::new(&clause);
+        let numbered_repaired = repaired.iter().map(NumberedClause::new).collect();
+        PreparedClause {
+            clause,
+            repaired,
+            numbered,
+            numbered_repaired,
+        }
     }
 
     /// Number of repaired clauses.
     pub fn repair_count(&self) -> usize {
         self.repaired.len()
+    }
+
+    /// The renumbered candidate clause.
+    pub fn numbered(&self) -> &NumberedClause {
+        &self.numbered
+    }
+
+    /// The renumbered repaired clauses (index-aligned with
+    /// [`PreparedClause::repaired`]).
+    pub fn numbered_repaired(&self) -> &[NumberedClause] {
+        &self.numbered_repaired
     }
 }
 
@@ -136,42 +164,9 @@ impl CoverageEngine {
         config: &LearnerConfig,
         salt: u64,
     ) -> Vec<GroundExample> {
-        let threads = config.effective_threads().min(examples.len().max(1));
-        if threads <= 1 || examples.len() < 8 {
-            return examples
-                .iter()
-                .enumerate()
-                .map(|(i, e)| {
-                    GroundExample::build(builder, e, config, config.seed ^ salt ^ i as u64)
-                })
-                .collect();
-        }
-        let chunk = examples.len().div_ceil(threads);
-        let mut out: Vec<Vec<GroundExample>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (ci, chunk_examples) in examples.chunks(chunk).enumerate() {
-                handles.push(scope.spawn(move || {
-                    chunk_examples
-                        .iter()
-                        .enumerate()
-                        .map(|(i, e)| {
-                            let idx = ci * chunk + i;
-                            GroundExample::build(
-                                builder,
-                                e,
-                                config,
-                                config.seed ^ salt ^ idx as u64,
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                out.push(h.join().expect("coverage worker panicked"));
-            }
-        });
-        out.into_iter().flatten().collect()
+        crate::par::chunked_map(examples, config.effective_threads(), 8, |idx, e| {
+            GroundExample::build(builder, e, config, config.seed ^ salt ^ idx as u64)
+        })
     }
 
     /// Ground examples of the positive training set.
@@ -193,17 +188,21 @@ impl CoverageEngine {
     /// θ-subsumes the ground clause directly, or every one of its repaired
     /// clauses subsumes some repaired version of the ground clause.
     pub fn covers_positive(&self, prepared: &PreparedClause, example: &GroundExample) -> bool {
-        if subsumes(&prepared.clause, &example.ground, &self.config.subsumption).is_some() {
+        if subsumes_numbered_decision(
+            prepared.numbered(),
+            &example.ground,
+            &self.config.subsumption,
+        ) {
             return true;
         }
         if prepared.repaired.is_empty() {
             return false;
         }
-        prepared.repaired.iter().all(|cr| {
+        prepared.numbered_repaired().iter().all(|cr| {
             example
                 .repaired
                 .iter()
-                .any(|gr| subsumes(cr, gr, &self.config.subsumption).is_some())
+                .any(|gr| subsumes_numbered_decision(cr, gr, &self.config.subsumption))
         })
     }
 
@@ -211,84 +210,80 @@ impl CoverageEngine {
     /// some repaired clause of it subsumes some repaired version of the
     /// ground clause (or the clause subsumes the ground clause directly).
     pub fn covers_negative(&self, prepared: &PreparedClause, example: &GroundExample) -> bool {
-        if subsumes(&prepared.clause, &example.ground, &self.config.subsumption).is_some() {
+        if subsumes_numbered_decision(
+            prepared.numbered(),
+            &example.ground,
+            &self.config.subsumption,
+        ) {
             return true;
         }
-        prepared.repaired.iter().any(|cr| {
+        prepared.numbered_repaired().iter().any(|cr| {
             example
                 .repaired
                 .iter()
-                .any(|gr| subsumes(cr, gr, &self.config.subsumption).is_some())
+                .any(|gr| subsumes_numbered_decision(cr, gr, &self.config.subsumption))
         })
     }
 
     /// Coverage mask over the positive training examples.
     pub fn positive_mask(&self, prepared: &PreparedClause) -> Vec<bool> {
-        self.mask(prepared, true)
+        self.mask(prepared, true, self.config.effective_threads())
     }
 
     /// Coverage mask over the negative training examples.
     pub fn negative_mask(&self, prepared: &PreparedClause) -> Vec<bool> {
-        self.mask(prepared, false)
+        self.mask(prepared, false, self.config.effective_threads())
     }
 
-    fn mask(&self, prepared: &PreparedClause, positive: bool) -> Vec<bool> {
+    fn mask(&self, prepared: &PreparedClause, positive: bool, threads: usize) -> Vec<bool> {
         let examples = if positive {
             &self.positives
         } else {
             &self.negatives
         };
-        let threads = self.config.effective_threads().min(examples.len().max(1));
-        if threads <= 1 || examples.len() < 8 {
-            return examples
-                .iter()
-                .map(|e| {
-                    if positive {
-                        self.covers_positive(prepared, e)
-                    } else {
-                        self.covers_negative(prepared, e)
-                    }
-                })
-                .collect();
-        }
-        let chunk = examples.len().div_ceil(threads);
-        let mut out: Vec<Vec<bool>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk_examples in examples.chunks(chunk) {
-                handles.push(scope.spawn(move || {
-                    chunk_examples
-                        .iter()
-                        .map(|e| {
-                            if positive {
-                                self.covers_positive(prepared, e)
-                            } else {
-                                self.covers_negative(prepared, e)
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                }));
+        crate::par::chunked_map(examples, threads, 8, |_, e| {
+            if positive {
+                self.covers_positive(prepared, e)
+            } else {
+                self.covers_negative(prepared, e)
             }
-            for h in handles {
-                out.push(h.join().expect("coverage worker panicked"));
-            }
-        });
-        out.into_iter().flatten().collect()
+        })
     }
 
-    /// Count coverage over both example sets.
-    pub fn counts(&self, prepared: &PreparedClause) -> CoverageCounts {
-        let positives = self.positive_mask(prepared).iter().filter(|&&b| b).count();
-        let negatives = self.negative_mask(prepared).iter().filter(|&&b| b).count();
+    fn counts_with_threads(&self, prepared: &PreparedClause, threads: usize) -> CoverageCounts {
+        let positives = self
+            .mask(prepared, true, threads)
+            .iter()
+            .filter(|&&b| b)
+            .count();
+        let negatives = self
+            .mask(prepared, false, threads)
+            .iter()
+            .filter(|&&b| b)
+            .count();
         CoverageCounts {
             positives,
             negatives,
         }
     }
 
+    /// Count coverage over both example sets.
+    pub fn counts(&self, prepared: &PreparedClause) -> CoverageCounts {
+        self.counts_with_threads(prepared, self.config.effective_threads())
+    }
+
     /// The clause score (covered positives minus covered negatives).
     pub fn score(&self, prepared: &PreparedClause) -> i64 {
         self.counts(prepared).score()
+    }
+
+    /// [`CoverageEngine::score`] without the per-mask thread fan-out. Callers
+    /// that already parallelize *over* scoring calls (the generalization
+    /// fan-out in the covering loop) use this so thread counts do not
+    /// multiply to cores². The counts — and therefore the score — are
+    /// identical at any thread count.
+    pub fn score_serial(&self, prepared: &PreparedClause) -> i64 {
+        self.counts_with_threads(prepared, 1).score()
     }
 }
 

@@ -9,19 +9,33 @@
 //! it. The result θ-subsumes `C` (it is produced by dropping literals), is
 //! head-connected, and covers `e'` by construction.
 
-use dlearn_logic::subsumption::{extend_bindings, head_bindings, GroundClause};
-use dlearn_logic::Clause;
+use dlearn_logic::subsumption::{extend_bindings_flat, head_bindings_numbered, GroundClause};
+use dlearn_logic::{Clause, FlatSubstitution, NumberedClause};
 
 /// Generalize `clause` so that it covers the example whose ground bottom
 /// clause is `target`. Returns `None` when even the head cannot be mapped
 /// (e.g. a different target relation).
 pub fn generalize(clause: &Clause, target: &GroundClause, binding_cap: usize) -> Option<Clause> {
-    let head = head_bindings(&clause.head, target)?;
-    let mut bindings = vec![head];
+    generalize_prepared(clause, &NumberedClause::new(clause), target, binding_cap)
+}
+
+/// [`generalize`] with the clause's variable numbering prepared once by the
+/// caller (the covering loop reuses one numbering across every sampled
+/// target). `numbered` must be the renumbering of `clause`; the two bodies
+/// are index-aligned because renumbering is a pure renaming.
+pub fn generalize_prepared(
+    clause: &Clause,
+    numbered: &NumberedClause,
+    target: &GroundClause,
+    binding_cap: usize,
+) -> Option<Clause> {
+    debug_assert_eq!(numbered.clause().body.len(), clause.body.len());
+    let head = head_bindings_numbered(numbered, target)?;
+    let mut bindings: Vec<FlatSubstitution> = vec![head];
     let mut blocking: Vec<usize> = Vec::new();
 
-    for (i, literal) in clause.body.iter().enumerate() {
-        let extended = extend_bindings(literal, &bindings, target, binding_cap);
+    for (i, literal) in numbered.clause().body.iter().enumerate() {
+        let extended = extend_bindings_flat(literal, &bindings, target, binding_cap);
         if extended.is_empty() {
             blocking.push(i);
         } else {

@@ -6,14 +6,14 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use dlearn_constraints::{enforce_md_best_match, minimal_cfd_repair, MdCatalog};
-use dlearn_logic::Definition;
+use dlearn_logic::{Clause, Definition, NumberedClause};
 use dlearn_relstore::{Attribute, Database, RelationSchema, ValueType};
 use dlearn_similarity::{IndexConfig, SimilarityOperator};
 
 use crate::bottom::BottomClauseBuilder;
 use crate::config::LearnerConfig;
 use crate::coverage::{CoverageEngine, PreparedClause};
-use crate::generalize::generalize;
+use crate::generalize::generalize_prepared;
 use crate::model::{ClauseStats, LearnedModel};
 use crate::task::LearningTask;
 
@@ -242,22 +242,13 @@ impl Learner {
                 if sample.is_empty() {
                     break;
                 }
-                let mut best: Option<(i64, PreparedClause)> = None;
-                for &ei in &sample {
-                    let target_ground = &engine.positive(ei).ground;
-                    let Some(candidate) = generalize(&current, target_ground, config.binding_cap)
-                    else {
-                        continue;
-                    };
-                    if candidate.body.is_empty() {
-                        continue;
-                    }
-                    let prepared = PreparedClause::prepare(candidate, &config);
-                    let score = engine.score(&prepared);
-                    if best.as_ref().map(|(s, _)| score > *s).unwrap_or(true) {
-                        best = Some((score, prepared));
-                    }
-                }
+                let best = best_generalization(
+                    &engine,
+                    &current,
+                    current_prepared.numbered(),
+                    &sample,
+                    &config,
+                );
                 match best {
                     Some((score, prepared)) if score > current_score => {
                         current = prepared.clause.clone();
@@ -302,6 +293,54 @@ impl Learner {
             bottom_clauses_built,
         }
     }
+}
+
+/// Score every sampled generalization candidate and return the best one.
+///
+/// The per-candidate work — generalize `current` toward the sampled
+/// positive's ground bottom clause, expand/renumber the result, score it
+/// against the full training set — is independent across samples, so it fans
+/// out across `std::thread::scope` workers in contiguous chunks (the same
+/// order-preserving [`crate::par::chunked_map`] the coverage masks use).
+/// Workers score with [`CoverageEngine::score_serial`] so the per-mask
+/// coverage threads do not multiply underneath the fan-out (cores², with
+/// both knobs defaulting to available cores). The reduction is deterministic
+/// and matches the serial loop exactly: highest score wins, ties broken by
+/// the earliest sample position, so learned definitions are bit-identical at
+/// any thread count.
+fn best_generalization(
+    engine: &CoverageEngine,
+    current: &Clause,
+    current_numbered: &NumberedClause,
+    sample: &[usize],
+    config: &LearnerConfig,
+) -> Option<(i64, PreparedClause)> {
+    let threads = config.effective_generalization_threads();
+    let fanned_out = threads > 1 && sample.len() >= 2;
+    let scored = crate::par::chunked_map(sample, threads, 2, |_, &ei| {
+        let target_ground = &engine.positive(ei).ground;
+        let candidate =
+            generalize_prepared(current, current_numbered, target_ground, config.binding_cap)?;
+        if candidate.body.is_empty() {
+            return None;
+        }
+        let prepared = PreparedClause::prepare(candidate, config);
+        let score = if fanned_out {
+            engine.score_serial(&prepared)
+        } else {
+            engine.score(&prepared)
+        };
+        Some((score, prepared))
+    });
+
+    // First strict maximum in sample order — identical to the serial loop.
+    let mut best: Option<(i64, PreparedClause)> = None;
+    for entry in scored.into_iter().flatten() {
+        if best.as_ref().map(|(s, _)| entry.0 > *s).unwrap_or(true) {
+            best = Some(entry);
+        }
+    }
+    best
 }
 
 /// The DLearn system with its default strategy (learning directly over the

@@ -49,12 +49,13 @@ pub mod coverage;
 pub mod generalize;
 pub mod learner;
 pub mod model;
+mod par;
 pub mod task;
 
 pub use bottom::BottomClauseBuilder;
 pub use config::LearnerConfig;
 pub use coverage::{CoverageCounts, CoverageEngine, GroundExample, PreparedClause};
-pub use generalize::generalize;
+pub use generalize::{generalize, generalize_prepared};
 pub use learner::{augment_with_target, baselines, DLearn, LearnOutcome, Learner, Strategy};
 pub use model::{ClauseStats, LearnedModel};
 pub use task::{LearningTask, TargetSpec};

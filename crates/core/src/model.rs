@@ -102,19 +102,26 @@ impl LearnedModel {
         examples.iter().map(|e| self.predict(e)).collect()
     }
 
+    /// Positive-coverage test over the prepared clause's once-assigned
+    /// variable numbering (the same flat-substitution decision path
+    /// `CoverageEngine::covers_positive` uses).
     fn covers(&self, prepared: &PreparedClause, ground: &GroundExample) -> bool {
-        use dlearn_logic::subsumes;
-        if subsumes(&prepared.clause, &ground.ground, &self.config.subsumption).is_some() {
+        use dlearn_logic::subsumes_numbered_decision;
+        if subsumes_numbered_decision(
+            prepared.numbered(),
+            &ground.ground,
+            &self.config.subsumption,
+        ) {
             return true;
         }
         if prepared.repaired.is_empty() {
             return false;
         }
-        prepared.repaired.iter().all(|cr| {
+        prepared.numbered_repaired().iter().all(|cr| {
             ground
                 .repaired
                 .iter()
-                .any(|gr| subsumes(cr, gr, &self.config.subsumption).is_some())
+                .any(|gr| subsumes_numbered_decision(cr, gr, &self.config.subsumption))
         })
     }
 

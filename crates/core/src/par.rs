@@ -1,0 +1,75 @@
+//! Order-preserving chunked parallel map, shared by the coverage engine and
+//! the covering loop's generalization fan-out.
+//!
+//! Determinism lives here: items are split into contiguous chunks, each
+//! chunk is mapped on one `std::thread::scope` worker, and the per-chunk
+//! results are concatenated in chunk order — so the output is always
+//! element-for-element identical to the serial map, at any thread count.
+
+/// Map `f` over `items`, fanning out across at most `threads` scoped worker
+/// threads in contiguous chunks. `f` receives each item's global index.
+/// Runs serially when `threads <= 1` or there are fewer than `min_items`
+/// items (not worth the spawn overhead). The result order always matches
+/// `items` order.
+pub(crate) fn chunked_map<T, R, F>(items: &[T], threads: usize, min_items: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 || items.len() < min_items {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (ci, chunk_items) in items.chunks(chunk).enumerate() {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                chunk_items
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| f(ci * chunk + i, t))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_matches_input_order_at_any_thread_count() {
+        let items: Vec<u32> = (0..37).collect();
+        let serial = chunked_map(&items, 1, 0, |i, &x| (i, x * 2));
+        for threads in [2, 3, 8, 64] {
+            let parallel = chunked_map(&items, threads, 0, |i, &x| (i, x * 2));
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_serially() {
+        let items = [1, 2, 3];
+        let mapped = chunked_map(&items, 8, 8, |i, &x| i + x);
+        assert_eq!(mapped, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn global_indices_are_correct_across_chunks() {
+        let items: Vec<usize> = (0..100).collect();
+        let mapped = chunked_map(&items, 7, 2, |i, &x| {
+            assert_eq!(i, x);
+            i
+        });
+        assert_eq!(mapped, items);
+    }
+}

@@ -19,6 +19,7 @@
 pub mod clause;
 pub mod expand;
 pub mod literal;
+pub mod numbering;
 pub mod repair;
 pub mod substitution;
 pub mod subsumption;
@@ -27,9 +28,13 @@ pub mod term;
 pub use clause::{Clause, Definition};
 pub use expand::{repaired_clauses, ExpandLimits};
 pub use literal::Literal;
+pub use numbering::{NumberedClause, VarNumbering};
 pub use repair::{CondAtom, RepairGroup, RepairOrigin};
-pub use substitution::Substitution;
-pub use subsumption::{extend_bindings, head_bindings, subsumes, GroundClause, SubsumptionConfig};
+pub use substitution::{FlatSubstitution, Substitution};
+pub use subsumption::{
+    extend_bindings, extend_bindings_flat, head_bindings, head_bindings_numbered, subsumes,
+    subsumes_numbered, subsumes_numbered_decision, GroundClause, SubsumptionConfig,
+};
 pub use term::{Term, Var};
 
 #[cfg(test)]

@@ -85,7 +85,7 @@ impl Literal {
         match self {
             Literal::Relation { relation, args } => Literal::Relation {
                 relation: *relation,
-                args: subst.apply_all(args),
+                args: subst.apply_iter(args).collect(),
             },
             Literal::Similar(a, b) => Literal::Similar(subst.apply(a), subst.apply(b)),
             Literal::Equal(a, b) => Literal::Equal(subst.apply(a), subst.apply(b)),

@@ -23,16 +23,80 @@
 //! that term at `p` — no string is hashed or compared anywhere, and no
 //! linear scan over same-name literals happens. Bindings are undone through
 //! a trail instead of cloning θ at every backtracking point.
+//!
+//! ## Flat substitutions
+//!
+//! The search binds only variables of the candidate clause `C`. `C` is
+//! renumbered once to the dense variable range `0..n` (see
+//! [`crate::numbering::NumberedClause`]), so θ is a [`FlatSubstitution`] —
+//! a `Vec<Option<Term>>` indexed by variable number. Every `get`/`bind`/
+//! `remove` in the inner loop is a direct slot access and trail unwinding is
+//! `O(1)` per binding; no hashing happens anywhere in the search. The
+//! hash-keyed [`Substitution`] path ([`head_bindings`], [`extend_bindings`])
+//! is kept as the general-purpose reference implementation over the same
+//! generic matcher internals; [`subsumes`] renumbers on the fly, while
+//! [`subsumes_numbered`] / [`subsumes_numbered_decision`] reuse a
+//! prepared-once numbering (the covering loop's hot path).
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
-use dlearn_relstore::RelId;
+use dlearn_relstore::{FxHashMap, RelId};
 
 use crate::clause::Clause;
 use crate::literal::Literal;
+use crate::numbering::NumberedClause;
 use crate::repair::{RepairGroup, RepairOrigin};
-use crate::substitution::Substitution;
+use crate::substitution::{FlatSubstitution, Substitution};
 use crate::term::{Term, Var};
+
+/// The θ interface the matcher internals are generic over: implemented by
+/// the flat, clause-locally-numbered [`FlatSubstitution`] (the hot path) and
+/// by the hash-keyed [`Substitution`] (the arbitrary-variable reference
+/// path). Monomorphization keeps the flat instantiation allocation- and
+/// hash-free.
+trait Theta {
+    fn binding(&self, v: Var) -> Option<&Term>;
+    fn bind(&mut self, v: Var, t: Term);
+    fn unbind(&mut self, v: Var);
+    fn try_bind(&mut self, v: Var, t: Term) -> bool;
+    fn apply(&self, t: &Term) -> Term;
+}
+
+impl Theta for Substitution {
+    fn binding(&self, v: Var) -> Option<&Term> {
+        self.get(v)
+    }
+    fn bind(&mut self, v: Var, t: Term) {
+        Substitution::bind(self, v, t);
+    }
+    fn unbind(&mut self, v: Var) {
+        self.remove(v);
+    }
+    fn try_bind(&mut self, v: Var, t: Term) -> bool {
+        Substitution::try_bind(self, v, t)
+    }
+    fn apply(&self, t: &Term) -> Term {
+        Substitution::apply(self, t)
+    }
+}
+
+impl Theta for FlatSubstitution {
+    fn binding(&self, v: Var) -> Option<&Term> {
+        self.get(v)
+    }
+    fn bind(&mut self, v: Var, t: Term) {
+        FlatSubstitution::bind(self, v, t);
+    }
+    fn unbind(&mut self, v: Var) {
+        self.remove(v);
+    }
+    fn try_bind(&mut self, v: Var, t: Term) -> bool {
+        FlatSubstitution::try_bind(self, v, t)
+    }
+    fn apply(&self, t: &Term) -> Term {
+        FlatSubstitution::apply(self, t)
+    }
+}
 
 /// Budget and strictness knobs for the subsumption search.
 #[derive(Debug, Clone, Copy)]
@@ -65,8 +129,11 @@ struct RelBucket {
     /// Body indices of the literals with this signature, in body order.
     lits: Vec<usize>,
     /// One map per argument position: the term at that position in `D` →
-    /// body indices carrying it (in body order).
-    by_pos: Vec<HashMap<Term, Vec<usize>>>,
+    /// body indices carrying it (in body order). Fx-hashed: probed once per
+    /// determined argument at every search node, and only ever *looked up*
+    /// (iteration order is never observed), so the cheap hasher cannot
+    /// affect decisions.
+    by_pos: Vec<FxHashMap<Term, Vec<usize>>>,
 }
 
 /// A clause indexed for use as the right-hand side (`D`) of subsumption
@@ -77,12 +144,12 @@ pub struct GroundClause {
     head: Literal,
     body: Vec<Literal>,
     /// Candidate index keyed by `(RelId, arity)`.
-    buckets: HashMap<(RelId, usize), RelBucket>,
+    buckets: FxHashMap<(RelId, usize), RelBucket>,
     /// Candidate counts per relation name regardless of arity; used only for
     /// the literal-ordering heuristic (kept name-keyed for parity with the
     /// pre-interning matcher, so search order — and therefore which witness
     /// substitution is found first — is unchanged).
-    rel_counts: HashMap<RelId, usize>,
+    rel_counts: FxHashMap<RelId, usize>,
     similar_pairs: BTreeSet<(Term, Term)>,
     equal_pairs: BTreeSet<(Term, Term)>,
     /// Flattened repair literals: `(origin, replaced variable as a term,
@@ -96,8 +163,8 @@ static EMPTY_IDS: [usize; 0] = [];
 impl GroundClause {
     /// Index a clause for repeated subsumption testing.
     pub fn new(clause: &Clause) -> Self {
-        let mut buckets: HashMap<(RelId, usize), RelBucket> = HashMap::new();
-        let mut rel_counts: HashMap<RelId, usize> = HashMap::new();
+        let mut buckets: FxHashMap<(RelId, usize), RelBucket> = FxHashMap::default();
+        let mut rel_counts: FxHashMap<RelId, usize> = FxHashMap::default();
         let mut similar_pairs = BTreeSet::new();
         let mut equal_pairs = BTreeSet::new();
         for (i, l) in clause.body.iter().enumerate() {
@@ -105,7 +172,7 @@ impl GroundClause {
                 Literal::Relation { relation, args } => {
                     let bucket = buckets.entry((*relation, args.len())).or_default();
                     if bucket.by_pos.len() < args.len() {
-                        bucket.by_pos.resize_with(args.len(), HashMap::new);
+                        bucket.by_pos.resize_with(args.len(), FxHashMap::default);
                     }
                     bucket.lits.push(i);
                     for (p, t) in args.iter().enumerate() {
@@ -181,7 +248,7 @@ impl GroundClause {
     /// through the per-position value indexes for every argument that is
     /// already determined (a constant, or a θ-bound variable). Every literal
     /// skipped by the pruning could not have matched.
-    fn candidates_pruned(&self, relation: RelId, args: &[Term], theta: &Substitution) -> &[usize] {
+    fn candidates_pruned<T: Theta>(&self, relation: RelId, args: &[Term], theta: &T) -> &[usize] {
         let Some(bucket) = self.buckets.get(&(relation, args.len())) else {
             return &EMPTY_IDS;
         };
@@ -189,7 +256,7 @@ impl GroundClause {
         for (p, arg) in args.iter().enumerate() {
             let determined = match arg {
                 Term::Const(_) => Some(*arg),
-                Term::Var(v) => theta.get(*v).copied(),
+                Term::Var(v) => theta.binding(*v).copied(),
             };
             if let Some(term) = determined {
                 match bucket.by_pos[p].get(&term) {
@@ -208,10 +275,10 @@ impl GroundClause {
 
 /// Try to unify (match) a literal of `C` against a concrete literal of `D`,
 /// extending the substitution and recording fresh bindings on `trail`.
-fn match_literal(
+fn match_literal<T: Theta>(
     c_lit: &Literal,
     d_lit: &Literal,
-    theta: &mut Substitution,
+    theta: &mut T,
     trail: &mut Vec<Var>,
 ) -> bool {
     match (c_lit, d_lit) {
@@ -241,18 +308,13 @@ fn match_literal(
 
 /// Match a term of `C` against a term of `D` under the current substitution,
 /// recording any fresh binding on `trail`.
-fn match_term(
-    c_term: &Term,
-    d_term: &Term,
-    theta: &mut Substitution,
-    trail: &mut Vec<Var>,
-) -> bool {
+fn match_term<T: Theta>(c_term: &Term, d_term: &Term, theta: &mut T, trail: &mut Vec<Var>) -> bool {
     match c_term {
         Term::Const(v) => match d_term {
             Term::Const(w) => v == w,
             Term::Var(_) => false,
         },
-        Term::Var(v) => match theta.get(*v) {
+        Term::Var(v) => match theta.binding(*v) {
             Some(existing) => existing == d_term,
             None => {
                 theta.bind(*v, *d_term);
@@ -264,48 +326,85 @@ fn match_term(
 }
 
 /// Undo every binding recorded past `mark`.
-fn unwind(theta: &mut Substitution, trail: &mut Vec<Var>, mark: usize) {
+fn unwind<T: Theta>(theta: &mut T, trail: &mut Vec<Var>, mark: usize) {
     for var in trail.drain(mark..) {
-        theta.remove(var);
+        theta.unbind(var);
     }
 }
 
-/// Mutable state of the matching search.
+/// Mutable state of the matching search. θ is a flat substitution over the
+/// candidate clause's dense numbering; `used_repair_groups` is a dense mask
+/// over `d`'s repair groups for the same reason.
 struct SearchState {
-    theta: Substitution,
+    theta: FlatSubstitution,
     trail: Vec<Var>,
-    used_repair_groups: HashSet<usize>,
+    used_repair_groups: Vec<bool>,
     steps: usize,
 }
 
 /// Test whether `c` θ-subsumes the indexed clause `d`.
 ///
-/// Returns the witnessing substitution when it does.
+/// Returns the witnessing substitution (over `c`'s original variables) when
+/// it does. This renumbers `c` on every call; callers testing one clause
+/// against many ground clauses should renumber once and use
+/// [`subsumes_numbered`] / [`subsumes_numbered_decision`].
 pub fn subsumes(c: &Clause, d: &GroundClause, config: &SubsumptionConfig) -> Option<Substitution> {
+    subsumes_numbered(&NumberedClause::new(c), d, config)
+}
+
+/// [`subsumes`] over a clause whose variable numbering was prepared once.
+pub fn subsumes_numbered(
+    c: &NumberedClause,
+    d: &GroundClause,
+    config: &SubsumptionConfig,
+) -> Option<Substitution> {
+    search_subsumption(c, d, config).map(|flat| c.to_original(&flat))
+}
+
+/// Decision-only variant of [`subsumes_numbered`]: skips translating the
+/// witness back to the original variable space. This is what coverage
+/// testing calls in the covering loop.
+pub fn subsumes_numbered_decision(
+    c: &NumberedClause,
+    d: &GroundClause,
+    config: &SubsumptionConfig,
+) -> bool {
+    search_subsumption(c, d, config).is_some()
+}
+
+/// The backtracking search over the renumbered candidate clause, with θ as a
+/// flat substitution.
+fn search_subsumption(
+    c: &NumberedClause,
+    d: &GroundClause,
+    config: &SubsumptionConfig,
+) -> Option<FlatSubstitution> {
+    let clause = c.clause();
+
     // 1. Heads must unify.
-    let mut theta = Substitution::new();
+    let mut theta = c.fresh_substitution();
     let mut head_trail = Vec::new();
-    if !match_literal(&c.head, d.head(), &mut theta, &mut head_trail) {
+    if !match_literal(&clause.head, d.head(), &mut theta, &mut head_trail) {
         return None;
     }
 
     // 2. Order C's relation literals: fewest candidates first, which both
     // fails fast and keeps the branching factor low.
-    let mut relation_lits: Vec<&Literal> = c.body.iter().filter(|l| l.is_relation()).collect();
+    let mut relation_lits: Vec<&Literal> = clause.body.iter().filter(|l| l.is_relation()).collect();
     relation_lits.sort_by_key(|l| l.relation_id().map(|r| d.relation_count(r)).unwrap_or(0));
 
-    let constraint_lits: Vec<&Literal> = c.body.iter().filter(|l| !l.is_relation()).collect();
+    let constraint_lits: Vec<&Literal> = clause.body.iter().filter(|l| !l.is_relation()).collect();
 
     let mut state = SearchState {
         theta,
         trail: Vec::new(),
-        used_repair_groups: HashSet::new(),
+        used_repair_groups: vec![false; d.repairs().len()],
         steps: 0,
     };
 
     if search_relations(&relation_lits, 0, d, &mut state, config)
         && check_constraints(&constraint_lits, &mut state.theta, d)
-        && match_repairs(&c.repairs, 0, d, &mut state, config)
+        && match_repairs(&clause.repairs, 0, d, &mut state, config)
         && (!config.strict_repair_mapping || strict_repairs_ok(&state, d))
     {
         Some(state.theta)
@@ -346,7 +445,7 @@ fn search_relations(
 }
 
 /// Verify (and where necessary bind) the non-relation literals of `C`.
-fn check_constraints(lits: &[&Literal], theta: &mut Substitution, d: &GroundClause) -> bool {
+fn check_constraints<T: Theta>(lits: &[&Literal], theta: &mut T, d: &GroundClause) -> bool {
     for lit in lits {
         match lit {
             Literal::Similar(a, b) => {
@@ -380,8 +479,8 @@ enum PairKind {
     Equal,
 }
 
-fn check_pair(
-    theta: &mut Substitution,
+fn check_pair<T: Theta>(
+    theta: &mut T,
     d: &GroundClause,
     a: &Term,
     b: &Term,
@@ -393,8 +492,14 @@ fn check_pair(
     };
     let ta = theta.apply(a);
     let tb = theta.apply(b);
-    let a_bound = ta.is_const() || a.as_var().map(|v| theta.get(v).is_some()).unwrap_or(true);
-    let b_bound = tb.is_const() || b.as_var().map(|v| theta.get(v).is_some()).unwrap_or(true);
+    let a_bound = ta.is_const()
+        || a.as_var()
+            .map(|v| theta.binding(v).is_some())
+            .unwrap_or(true);
+    let b_bound = tb.is_const()
+        || b.as_var()
+            .map(|v| theta.binding(v).is_some())
+            .unwrap_or(true);
     match (a_bound, b_bound) {
         (true, true) => ta == tb || pairs.contains(&(ta, tb)),
         (true, false) => {
@@ -475,14 +580,15 @@ fn match_group_replacements(
         if match_term(&x_term, dx, &mut state.theta, &mut state.trail)
             && match_term(t, dt, &mut state.theta, &mut state.trail)
         {
-            let newly_used = state.used_repair_groups.insert(*gi);
+            let newly_used = !state.used_repair_groups[*gi];
+            state.used_repair_groups[*gi] = true;
             if match_group_replacements(group, ri + 1, d, state, config) {
                 return true;
             }
             // Roll the mark back with the bindings: a group used only on an
             // abandoned branch must not satisfy the strict repair check.
             if newly_used {
-                state.used_repair_groups.remove(gi);
+                state.used_repair_groups[*gi] = false;
             }
         }
         unwind(&mut state.theta, &mut state.trail, mark);
@@ -494,10 +600,10 @@ fn match_group_replacements(
 /// replaced variables appear in the image of the mapping must have been used
 /// to match some repair group of `C`.
 fn strict_repairs_ok(state: &SearchState, d: &GroundClause) -> bool {
-    let image: HashSet<Term> = state.theta.range().cloned().collect();
+    let image: HashSet<Term> = state.theta.range().copied().collect();
     for (gi, g) in d.repairs().iter().enumerate() {
         let touched = g.targets().iter().any(|v| image.contains(&Term::Var(*v)));
-        if touched && !state.used_repair_groups.contains(&gi) {
+        if touched && !state.used_repair_groups[gi] {
             return false;
         }
     }
@@ -516,6 +622,18 @@ pub fn head_bindings(head: &Literal, d: &GroundClause) -> Option<Substitution> {
     }
 }
 
+/// Flat-substitution counterpart of [`head_bindings`], over a renumbered
+/// candidate clause.
+pub fn head_bindings_numbered(c: &NumberedClause, d: &GroundClause) -> Option<FlatSubstitution> {
+    let mut theta = c.fresh_substitution();
+    let mut trail = Vec::new();
+    if match_literal(&c.clause().head, d.head(), &mut theta, &mut trail) {
+        Some(theta)
+    } else {
+        None
+    }
+}
+
 /// Extend a set of partial substitutions with one more literal of the
 /// candidate clause, against the ground clause `d`. Used by the
 /// generalization algorithm to detect blocking literals incrementally.
@@ -528,7 +646,27 @@ pub fn extend_bindings(
     d: &GroundClause,
     cap: usize,
 ) -> Vec<Substitution> {
-    let mut out: Vec<Substitution> = Vec::new();
+    extend_bindings_impl(lit, bindings, d, cap)
+}
+
+/// Flat-substitution counterpart of [`extend_bindings`]. `lit` must be a
+/// literal of the renumbered clause the bindings were created for.
+pub fn extend_bindings_flat(
+    lit: &Literal,
+    bindings: &[FlatSubstitution],
+    d: &GroundClause,
+    cap: usize,
+) -> Vec<FlatSubstitution> {
+    extend_bindings_impl(lit, bindings, d, cap)
+}
+
+fn extend_bindings_impl<T: Theta + Clone>(
+    lit: &Literal,
+    bindings: &[T],
+    d: &GroundClause,
+    cap: usize,
+) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
     let mut trail: Vec<Var> = Vec::new();
     for theta in bindings {
         match lit {

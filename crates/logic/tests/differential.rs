@@ -12,8 +12,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dlearn_logic::{
-    subsumes, Clause, CondAtom, GroundClause, Literal, RepairGroup, RepairOrigin, Substitution,
-    SubsumptionConfig, Term, Var,
+    subsumes, subsumes_numbered, subsumes_numbered_decision, Clause, CondAtom, GroundClause,
+    Literal, NumberedClause, RepairGroup, RepairOrigin, Substitution, SubsumptionConfig, Term, Var,
 };
 
 #[path = "support/reference_impl.rs"]
@@ -141,6 +141,19 @@ fn interned_path_matches_string_reference_on_random_clauses() {
         assert_eq!(
             new_decision, old_decision,
             "divergence on case {case}:\n  C = {c}\n  D = {d}"
+        );
+        // The prepared-numbering entry points (what the covering loop uses)
+        // must agree with the renumber-per-call wrapper.
+        let numbered = NumberedClause::new(&c);
+        assert_eq!(
+            subsumes_numbered_decision(&numbered, &ground, &config),
+            new_decision,
+            "numbered decision diverged on case {case}:\n  C = {c}\n  D = {d}"
+        );
+        assert_eq!(
+            subsumes_numbered(&numbered, &ground, &config),
+            subsumes(&c, &ground, &config),
+            "numbered witness diverged on case {case}:\n  C = {c}\n  D = {d}"
         );
         positives += new_decision as usize;
     }

@@ -9,11 +9,15 @@
 //!
 //! Design notes:
 //!
-//! * The interner is a process-global dedup table behind an `RwLock`, taken
-//!   **only when interning**. Interned strings are leaked (`Box::leak`) and
-//!   the handle *is* the `&'static str`, so resolution ([`Sym::as_str`]),
-//!   equality, hashing and ordering never touch the lock — coverage worker
-//!   threads comparing and sorting symbols share nothing.
+//! * The interner is a process-global dedup table **sharded by string hash**
+//!   (16 shards, each behind its own `RwLock`), taken **only when
+//!   interning**. Interned strings are leaked (`Box::leak`) and the handle
+//!   *is* the `&'static str`, so resolution ([`Sym::as_str`]), equality,
+//!   hashing and ordering never touch any lock — coverage worker threads
+//!   comparing and sorting symbols share nothing. Sharding keeps
+//!   high-parallelism ingest and scoring from serializing on one lock:
+//!   threads interning different strings almost always hit different
+//!   shards.
 //! * Because each distinct string is leaked exactly once, pointer equality
 //!   coincides with content equality; `Eq`/`Hash` use the pointer (O(1)),
 //!   while `Ord` compares the *resolved strings*, so every `BTreeMap`/sort
@@ -27,41 +31,65 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
 use std::sync::{OnceLock, RwLock};
 
-/// The process-wide string interner backing [`Sym`] and [`RelId`].
-#[derive(Debug, Default)]
+/// Number of dedup-table shards. A power of two so the shard index is a
+/// mask of the string hash.
+const SHARDS: usize = 16;
+
+/// The process-wide string interner backing [`Sym`] and [`RelId`]: a dedup
+/// table sharded by string hash so concurrent interning rarely contends.
+#[derive(Debug)]
 pub struct Interner {
-    strings: HashSet<&'static str>,
+    shards: [RwLock<HashSet<&'static str>>; SHARDS],
+    hasher: RandomState,
 }
 
-static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+static GLOBAL: OnceLock<Interner> = OnceLock::new();
 
-fn global() -> &'static RwLock<Interner> {
-    GLOBAL.get_or_init(|| RwLock::new(Interner::default()))
+fn global() -> &'static Interner {
+    GLOBAL.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| RwLock::new(HashSet::new())),
+        hasher: RandomState::new(),
+    })
 }
 
 impl Interner {
     /// Number of distinct strings interned so far in this process.
     pub fn len() -> usize {
-        global().read().expect("interner poisoned").strings.len()
+        global()
+            .shards
+            .iter()
+            .map(|shard| shard.read().expect("interner poisoned").len())
+            .sum()
+    }
+
+    fn shard(&self, s: &str) -> &RwLock<HashSet<&'static str>> {
+        &self.shards[self.hasher.hash_one(s) as usize & (SHARDS - 1)]
     }
 
     fn intern(s: &str) -> &'static str {
+        let shard = global().shard(s);
         {
-            let inner = global().read().expect("interner poisoned");
-            if let Some(&existing) = inner.strings.get(s) {
+            let inner = shard.read().expect("interner poisoned");
+            if let Some(&existing) = inner.get(s) {
                 return existing;
             }
         }
-        let mut inner = global().write().expect("interner poisoned");
-        if let Some(&existing) = inner.strings.get(s) {
+        let mut inner = shard.write().expect("interner poisoned");
+        if let Some(&existing) = inner.get(s) {
             return existing;
         }
         let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        inner.strings.insert(leaked);
+        inner.insert(leaked);
         leaked
+    }
+
+    fn lookup(s: &str) -> Option<&'static str> {
+        let shard = global().shard(s);
+        let inner = shard.read().expect("interner poisoned");
+        inner.get(s).copied()
     }
 }
 
@@ -81,8 +109,7 @@ impl Sym {
     /// indexes with arbitrary strings: a string nobody interned cannot be a
     /// key in any such index.
     pub fn lookup(s: impl AsRef<str>) -> Option<Sym> {
-        let inner = global().read().expect("interner poisoned");
-        inner.strings.get(s.as_ref()).map(|&existing| Sym(existing))
+        Interner::lookup(s.as_ref()).map(Sym)
     }
 
     /// The interned string (no lock, no lookup: the handle is the string).
@@ -311,6 +338,34 @@ mod tests {
         assert!(Sym::lookup("never-interned-probe-string").is_none());
         let s = Sym::intern("interned-then-looked-up");
         assert_eq!(Sym::lookup("interned-then-looked-up"), Some(s));
+    }
+
+    #[test]
+    fn concurrent_interning_across_shards_is_consistent() {
+        // Hammer the sharded table from several threads with overlapping
+        // vocabularies; every thread must resolve each string to the same
+        // leaked allocation.
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| Sym::intern(format!("shard-test-{}", (i + t) % 64)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &results {
+            for s in row {
+                assert_eq!(Sym::lookup(s.as_str()), Some(*s));
+            }
+        }
+        // Same content interned from different threads is pointer-equal.
+        let a = Sym::intern("shard-test-0");
+        for row in &results {
+            let found = row.iter().find(|s| s.as_str() == "shard-test-0").unwrap();
+            assert_eq!(a.as_str().as_ptr(), found.as_str().as_ptr());
+        }
     }
 
     #[test]

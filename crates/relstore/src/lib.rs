@@ -26,6 +26,7 @@
 pub mod builder;
 pub mod database;
 pub mod error;
+pub mod fxhash;
 pub mod intern;
 pub mod relation;
 pub mod schema;
@@ -35,6 +36,7 @@ pub mod value;
 pub use builder::{DatabaseBuilder, RelationBuilder};
 pub use database::Database;
 pub use error::StoreError;
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, RelId, Sym};
 pub use relation::{Relation, TupleId};
 pub use schema::{Attribute, RelationSchema, Schema};

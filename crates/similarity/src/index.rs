@@ -101,11 +101,22 @@ impl SimilarityIndex {
         let left = dedup(left);
         let right = dedup(right);
 
-        // Inverted blocking index over the right column.
-        let mut block: HashMap<String, Vec<usize>> = HashMap::new();
+        // Inverted blocking index over the right column, keyed by *interned*
+        // blocking keys. `blocking_keys` still allocates its `String`s (the
+        // tokenizer's output type); what interning buys is the map itself:
+        // entries store an 8-byte `Sym` instead of a 24-byte owned `String`,
+        // map probes hash a pointer instead of re-hashing string bytes, and
+        // identical vocabularies across rebuilds (cross-validation folds,
+        // the eval harness re-indexing the same columns) share one stored
+        // copy of each key. Trade-off: interned keys live for the process
+        // lifetime, so the global table grows with each *new* vocabulary
+        // indexed — bounded by the token/trigram vocabulary of the input
+        // databases, the same process-lifetime argument the interner itself
+        // makes; the probe side pays one interner shard lookup per key.
+        let mut block: HashMap<Sym, Vec<usize>> = HashMap::new();
         for (j, r) in right.iter().enumerate() {
             for key in blocking_keys(r.as_str()) {
-                block.entry(key).or_default().push(j);
+                block.entry(Sym::intern(key)).or_default().push(j);
             }
         }
 
@@ -116,8 +127,12 @@ impl SimilarityIndex {
         let mut seen = vec![false; right.len()];
         for &l in &left {
             candidates.clear();
+            // Probe keys resolve through `Sym::lookup`, which never inserts:
+            // a left-only key was interned by no right value, so it cannot
+            // be in the block map — skipping it neither loses candidates nor
+            // leaks probe-side strings into the intern table.
             for key in blocking_keys(l.as_str()) {
-                if let Some(ids) = block.get(&key) {
+                if let Some(ids) = Sym::lookup(&key).and_then(|k| block.get(&k)) {
                     for &j in ids {
                         if !seen[j] {
                             seen[j] = true;

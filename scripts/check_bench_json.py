@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Structural check for the committed bench baseline.
+
+Non-regression *smoke*, not a perf gate: CI fails when
+``BENCH_subsumption.json`` is malformed, an expected bench entry is missing,
+or a median/sample count is not a positive number — the situations where the
+baseline silently stops meaning anything. Timing values themselves are not
+compared (they are machine-dependent).
+
+Usage: check_bench_json.py [path-to-BENCH_subsumption.json]
+"""
+
+import json
+import numbers
+import sys
+
+EXPECTED_BENCHES = [
+    "subsumption/ground_clause_new",
+    "subsumption/subsumes",
+    "subsumption/coverage_engine_counts",
+    "subsumption/bottom_clause_build",
+    "subsumption/generalization_round",
+]
+
+EXPECTED_TOP_LEVEL = ["workload", "unit", "benches"]
+
+
+def fail(message: str) -> None:
+    print(f"BENCH check FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_subsumption.json"
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        fail(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        fail(f"{path} is not valid JSON: {exc}")
+
+    if not isinstance(data, dict):
+        fail("top level must be an object")
+    for key in EXPECTED_TOP_LEVEL:
+        if key not in data:
+            fail(f"missing top-level key {key!r}")
+
+    benches = data["benches"]
+    if not isinstance(benches, dict):
+        fail("'benches' must be an object")
+
+    for name in EXPECTED_BENCHES:
+        entry = benches.get(name)
+        if entry is None:
+            fail(f"missing bench entry {name!r}")
+        if not isinstance(entry, dict):
+            fail(f"bench entry {name!r} must be an object")
+        median = entry.get("median_ns")
+        samples = entry.get("samples")
+        if not isinstance(median, numbers.Real) or isinstance(median, bool) or median <= 0:
+            fail(f"bench entry {name!r}: median_ns must be a positive number, got {median!r}")
+        if not isinstance(samples, int) or isinstance(samples, bool) or samples <= 0:
+            fail(f"bench entry {name!r}: samples must be a positive integer, got {samples!r}")
+
+    unexpected = sorted(set(benches) - set(EXPECTED_BENCHES))
+    if unexpected:
+        # New entries are fine to *add*, but they must be added to this list
+        # so later removals are caught; treat unknown names as drift.
+        fail(f"unknown bench entries {unexpected}; update scripts/check_bench_json.py")
+
+    print(f"BENCH check OK: {len(EXPECTED_BENCHES)} entries present and well-formed in {path}")
+
+
+if __name__ == "__main__":
+    main()

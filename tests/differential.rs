@@ -8,7 +8,7 @@ use rand::SeedableRng;
 
 use dlearn::core::{BottomClauseBuilder, CoverageEngine, DLearn, LearnerConfig, PreparedClause};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
-use dlearn::logic::{subsumes, Clause, GroundClause, SubsumptionConfig};
+use dlearn::logic::{subsumes_numbered_decision, Clause, GroundClause, SubsumptionConfig};
 use dlearn_constraints::MdCatalog;
 use dlearn_similarity::{IndexConfig, SimilarityOperator};
 
@@ -50,8 +50,10 @@ fn reference_covers(
     }
 }
 
-/// Interned-path coverage decision from raw clauses (mirrors the engine's
-/// covers_* methods, so both paths see exactly the same clause inputs).
+/// Flat-substitution coverage decision from prepared clauses (mirrors the
+/// engine's covers_* methods exactly: prepared-once variable numbering and
+/// the decision-only subsumption entry point, so both paths see exactly the
+/// same clause inputs).
 fn interned_covers(
     prepared: &PreparedClause,
     ground: &GroundClause,
@@ -59,21 +61,21 @@ fn interned_covers(
     positive_semantics: bool,
     sub: &SubsumptionConfig,
 ) -> bool {
-    if subsumes(&prepared.clause, ground, sub).is_some() {
+    if subsumes_numbered_decision(prepared.numbered(), ground, sub) {
         return true;
     }
     if prepared.repaired.is_empty() {
         return false;
     }
-    let one = |cr: &Clause| {
+    let one = |cr: &dlearn::logic::NumberedClause| {
         repaired_grounds
             .iter()
-            .any(|gr| subsumes(cr, gr, sub).is_some())
+            .any(|gr| subsumes_numbered_decision(cr, gr, sub))
     };
     if positive_semantics {
-        prepared.repaired.iter().all(one)
+        prepared.numbered_repaired().iter().all(one)
     } else {
-        prepared.repaired.iter().any(one)
+        prepared.numbered_repaired().iter().any(one)
     }
 }
 

@@ -1,0 +1,48 @@
+//! Determinism of the parallel covering loop: the generalization-scoring
+//! fan-out reduces with "best score, ties broken by sample order", so the
+//! learned definition must be bit-identical at every thread count — and the
+//! parallel coverage masks must equal the serial ones clause for clause.
+
+use dlearn::core::{DLearn, LearnerConfig};
+use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
+
+fn config(seed: u64, generalization_threads: usize, coverage_threads: usize) -> LearnerConfig {
+    LearnerConfig {
+        generalization_threads,
+        coverage_threads,
+        seed,
+        ..LearnerConfig::fast().with_iterations(4)
+    }
+}
+
+#[test]
+fn parallel_and_serial_generalization_learn_identical_definitions() {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    for seed in [7u64, 21, 42] {
+        let serial = DLearn::new(config(seed, 1, 1)).learn(&dataset.task);
+        let parallel = DLearn::new(config(seed, 4, 1)).learn(&dataset.task);
+        assert_eq!(
+            serial.definition(),
+            parallel.definition(),
+            "seed {seed}: parallel generalization diverged from serial\n\
+             serial:\n{}\nparallel:\n{}",
+            serial.render(),
+            parallel.render()
+        );
+    }
+}
+
+#[test]
+fn parallel_coverage_masks_do_not_change_the_learned_model() {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let serial = DLearn::new(config(7, 1, 1)).learn(&dataset.task);
+    let threaded = DLearn::new(config(7, 4, 4)).learn(&dataset.task);
+    assert_eq!(
+        serial.definition(),
+        threaded.definition(),
+        "coverage/generalization threads changed the learned definition\n\
+         serial:\n{}\nthreaded:\n{}",
+        serial.render(),
+        threaded.render()
+    );
+}
