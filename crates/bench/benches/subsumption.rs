@@ -7,8 +7,13 @@
 //! substitution matcher over a prepared-once numbering — the covering
 //! loop's hot-path shape), full coverage counting, bottom-clause
 //! construction and one generalization round on bottom clauses of the
-//! synthetic IMDB+OMDB task. Later performance work diffs against this file
-//! to prove a trajectory; CI parses it for structural integrity (see
+//! synthetic IMDB+OMDB task — plus the `backtracking_heavy` adversarial
+//! workload (an unsatisfiable chain over two disconnected graph
+//! components, scrambled body order) measured under both adaptive and
+//! static literal ordering, so the ordering win shows up in the committed
+//! trajectory as a machine-independent ratio. Later performance work diffs
+//! against this file to prove a trajectory; CI parses it for structural
+//! integrity and runs a same-machine regression gate (see
 //! `scripts/check_bench_json.py`).
 
 use std::time::Duration;
@@ -26,6 +31,7 @@ use dlearn_logic::{
     subsumes_numbered_decision, Clause, GroundClause, NumberedClause, SubsumptionConfig,
 };
 use dlearn_similarity::{IndexConfig, SimilarityOperator};
+use dlearn_test_support::backtracking_heavy_pair;
 
 fn bench_subsumption(c: &mut Criterion) {
     let dataset = generate_movie_dataset(&MovieConfig::tiny().with_violation_rate(0.1), 42);
@@ -80,6 +86,35 @@ fn bench_subsumption(c: &mut Criterion) {
     let prepared = PreparedClause::prepare(bottom.clone(), &config);
     group.bench_function("coverage_engine_counts", |b| {
         b.iter(|| criterion::black_box(engine.counts(&prepared)))
+    });
+    // Adversarial many-same-relation workload: the matcher must exhaust an
+    // unsatisfiable search space. Adaptive ordering follows the bindings
+    // through the chain and fail-fasts; the static twin pins the cost of
+    // the order the pre-adaptive matcher would have used.
+    let (heavy_c, heavy_d) = backtracking_heavy_pair();
+    let heavy_ground = GroundClause::new(&heavy_d);
+    let heavy_numbered = NumberedClause::new(&heavy_c);
+    group.bench_function("backtracking_heavy", |b| {
+        b.iter(|| {
+            criterion::black_box(subsumes_numbered_decision(
+                &heavy_numbered,
+                &heavy_ground,
+                &sub_config,
+            ))
+        })
+    });
+    let static_config = SubsumptionConfig {
+        adaptive_ordering: false,
+        ..sub_config
+    };
+    group.bench_function("backtracking_heavy_static", |b| {
+        b.iter(|| {
+            criterion::black_box(subsumes_numbered_decision(
+                &heavy_numbered,
+                &heavy_ground,
+                &static_config,
+            ))
+        })
     });
     group.bench_function("bottom_clause_build", |b| {
         b.iter(|| {

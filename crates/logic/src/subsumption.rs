@@ -7,11 +7,31 @@
 //! repair literal of `D` connected to a mapped literal must itself be mapped.
 //!
 //! θ-subsumption is NP-hard, so the matcher is a backtracking search over the
-//! relation literals of `C`, ordered by how many candidate literals of `D`
-//! they can map to (fewest first), with a global step budget. Similarity,
-//! equality and inequality literals are checked as constraints once their
-//! variables are bound; repair groups are matched against `D`'s repair facts
-//! at the end of the search.
+//! relation literals of `C` with a global step budget. Literal order is
+//! chosen **dynamically**: at every search node the matcher picks the
+//! still-unmatched literal with the fewest candidate literals of `D` *after
+//! pruning under the current θ* (most-constrained-literal-first), and fails
+//! the node immediately when any unmatched literal has no candidate left.
+//! Bindings made early therefore shrink the branching factor of every later
+//! choice, which is where the remaining backtracking in the covering loop
+//! goes. Setting [`SubsumptionConfig::adaptive_ordering`] to `false` falls
+//! back to a static fewest-candidates-first order fixed before the search
+//! (one pruning pass under the head bindings); as long as the search
+//! completes within [`SubsumptionConfig::max_steps`], the *decision* is
+//! identical either way — ordering only affects which witness is found
+//! first and how much of the step budget a search consumes. (When the
+//! budget binds, the cheaper adaptive search may answer "yes" where the
+//! static order exhausts its steps first.)
+//!
+//! Similarity, equality and inequality literals are checked as constraints
+//! once a full relation mapping is found, and repair groups are matched
+//! against `D`'s repair facts after that; when the constraint or repair
+//! phase rejects a mapping, the search resumes and tries the next relation
+//! mapping rather than giving up. Decisions are therefore independent of
+//! the literal order for clauses whose constraint variables all occur in
+//! the head or a relation literal (the shape bottom-clause construction
+//! produces), which is exactly the property the brute-force enumeration
+//! oracle in `test-support` pins.
 //!
 //! ## Indexing
 //!
@@ -111,6 +131,14 @@ pub struct SubsumptionConfig {
     /// routinely carry alternative-match repair literals that a learned
     /// clause has no reason to mention.
     pub strict_repair_mapping: bool,
+    /// Re-select the most constrained literal (fewest pruned candidates
+    /// under the current θ) at every search node instead of fixing a
+    /// fewest-candidates-first order up front. On by default; within the
+    /// step budget the decision is the same either way — only search
+    /// effort and the identity of the first-found witness differ (a
+    /// budget-bound search can say "no" under the costlier static order
+    /// where the adaptive one still finds a witness).
+    pub adaptive_ordering: bool,
 }
 
 impl Default for SubsumptionConfig {
@@ -118,6 +146,7 @@ impl Default for SubsumptionConfig {
         SubsumptionConfig {
             max_steps: 200_000,
             strict_repair_mapping: false,
+            adaptive_ordering: true,
         }
     }
 }
@@ -143,13 +172,12 @@ struct RelBucket {
 pub struct GroundClause {
     head: Literal,
     body: Vec<Literal>,
-    /// Candidate index keyed by `(RelId, arity)`.
+    /// Candidate index keyed by `(RelId, arity)`. This is also what the
+    /// literal-ordering heuristic reads (via [`Self::candidates_pruned`]):
+    /// the last name-keyed remnant of the pre-interning matcher is gone now
+    /// that parity with it is established by the enumeration oracle instead
+    /// of by replaying its search order.
     buckets: FxHashMap<(RelId, usize), RelBucket>,
-    /// Candidate counts per relation name regardless of arity; used only for
-    /// the literal-ordering heuristic (kept name-keyed for parity with the
-    /// pre-interning matcher, so search order — and therefore which witness
-    /// substitution is found first — is unchanged).
-    rel_counts: FxHashMap<RelId, usize>,
     similar_pairs: BTreeSet<(Term, Term)>,
     equal_pairs: BTreeSet<(Term, Term)>,
     /// Flattened repair literals: `(origin, replaced variable as a term,
@@ -164,7 +192,6 @@ impl GroundClause {
     /// Index a clause for repeated subsumption testing.
     pub fn new(clause: &Clause) -> Self {
         let mut buckets: FxHashMap<(RelId, usize), RelBucket> = FxHashMap::default();
-        let mut rel_counts: FxHashMap<RelId, usize> = FxHashMap::default();
         let mut similar_pairs = BTreeSet::new();
         let mut equal_pairs = BTreeSet::new();
         for (i, l) in clause.body.iter().enumerate() {
@@ -178,7 +205,6 @@ impl GroundClause {
                     for (p, t) in args.iter().enumerate() {
                         bucket.by_pos[p].entry(*t).or_default().push(i);
                     }
-                    *rel_counts.entry(*relation).or_default() += 1;
                 }
                 Literal::Similar(a, b) => {
                     similar_pairs.insert((*a, *b));
@@ -204,7 +230,6 @@ impl GroundClause {
             head: clause.head.clone(),
             body: clause.body.clone(),
             buckets,
-            rel_counts,
             similar_pairs,
             equal_pairs,
             repair_facts,
@@ -235,12 +260,6 @@ impl GroundClause {
     /// `true` when the body is empty.
     pub fn is_empty(&self) -> bool {
         self.body.is_empty()
-    }
-
-    /// Total number of body literals with this relation name (any arity).
-    /// This is the branching estimate used to order `C`'s literals.
-    fn relation_count(&self, relation: RelId) -> usize {
-        self.rel_counts.get(&relation).copied().unwrap_or(0)
     }
 
     /// The smallest candidate list for a literal of `C` under the current
@@ -372,6 +391,23 @@ pub fn subsumes_numbered_decision(
     search_subsumption(c, d, config).is_some()
 }
 
+/// A relation literal of the candidate clause, destructured once so the
+/// search never re-matches the enum inside the hot loop.
+struct RelLit<'a> {
+    lit: &'a Literal,
+    relation: RelId,
+    args: &'a [Term],
+}
+
+/// Everything immutable the relation search threads through its recursion.
+struct SearchCtx<'a> {
+    relations: Vec<RelLit<'a>>,
+    constraints: Vec<&'a Literal>,
+    repairs: &'a [RepairGroup],
+    d: &'a GroundClause,
+    config: &'a SubsumptionConfig,
+}
+
 /// The backtracking search over the renumbered candidate clause, with θ as a
 /// flat substitution.
 fn search_subsumption(
@@ -388,60 +424,139 @@ fn search_subsumption(
         return None;
     }
 
-    // 2. Order C's relation literals: fewest candidates first, which both
-    // fails fast and keeps the branching factor low.
-    let mut relation_lits: Vec<&Literal> = clause.body.iter().filter(|l| l.is_relation()).collect();
-    relation_lits.sort_by_key(|l| l.relation_id().map(|r| d.relation_count(r)).unwrap_or(0));
+    // 2. Collect C's relation literals. Under adaptive ordering the search
+    // re-selects the most constrained one at every node, so the initial
+    // order is irrelevant; the static fallback fixes a fewest-candidates-
+    // first order here, pruned once under the head bindings.
+    let mut relations: Vec<RelLit> = clause
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Relation { relation, args } => Some(RelLit {
+                lit: l,
+                relation: *relation,
+                args,
+            }),
+            _ => None,
+        })
+        .collect();
+    if !config.adaptive_ordering {
+        relations.sort_by_key(|r| d.candidates_pruned(r.relation, r.args, &theta).len());
+    }
 
     let constraint_lits: Vec<&Literal> = clause.body.iter().filter(|l| !l.is_relation()).collect();
 
+    let ctx = SearchCtx {
+        relations,
+        constraints: constraint_lits,
+        repairs: &clause.repairs,
+        d,
+        config,
+    };
     let mut state = SearchState {
         theta,
         trail: Vec::new(),
         used_repair_groups: vec![false; d.repairs().len()],
         steps: 0,
     };
+    let mut matched = vec![false; ctx.relations.len()];
 
-    if search_relations(&relation_lits, 0, d, &mut state, config)
-        && check_constraints(&constraint_lits, &mut state.theta, d)
-        && match_repairs(&clause.repairs, 0, d, &mut state, config)
-        && (!config.strict_repair_mapping || strict_repairs_ok(&state, d))
-    {
+    if search_relations(&ctx, &mut matched, 0, &mut state) {
         Some(state.theta)
     } else {
         None
     }
 }
 
+/// Match the remaining relation literals, then hand the complete mapping to
+/// [`finish_mapping`]. A mapping rejected by the constraint or repair phase
+/// does not end the search: the relation search backtracks and offers the
+/// next mapping, so the decision never depends on which mapping is
+/// enumerated first.
 fn search_relations(
-    lits: &[&Literal],
-    depth: usize,
-    d: &GroundClause,
+    ctx: &SearchCtx,
+    matched: &mut [bool],
+    n_matched: usize,
     state: &mut SearchState,
-    config: &SubsumptionConfig,
 ) -> bool {
-    if depth == lits.len() {
-        return true;
+    if n_matched == ctx.relations.len() {
+        return finish_mapping(ctx, state);
     }
-    let lit = lits[depth];
-    let Literal::Relation { relation, args } = lit else {
-        return false;
+
+    // Select the next literal: under adaptive ordering, the unmatched
+    // literal with the fewest candidates after pruning under the current θ,
+    // failing the node outright when any unmatched literal has none (cheap
+    // fail-fast — that literal could never be matched on this branch).
+    // Under static ordering, position `n_matched` of the presorted order.
+    let (pick, candidates) = if ctx.config.adaptive_ordering {
+        let mut best: Option<(usize, &[usize])> = None;
+        for (i, rel) in ctx.relations.iter().enumerate() {
+            if matched[i] {
+                continue;
+            }
+            let cands = ctx
+                .d
+                .candidates_pruned(rel.relation, rel.args, &state.theta);
+            if cands.is_empty() {
+                return false;
+            }
+            if best.is_none_or(|(_, b)| cands.len() < b.len()) {
+                best = Some((i, cands));
+            }
+        }
+        best.expect("n_matched < relations.len() implies an unmatched literal")
+    } else {
+        let rel = &ctx.relations[n_matched];
+        let cands = ctx
+            .d
+            .candidates_pruned(rel.relation, rel.args, &state.theta);
+        (n_matched, cands)
     };
-    let candidates = d.candidates_pruned(*relation, args, &state.theta);
+
+    let lit = ctx.relations[pick].lit;
+    matched[pick] = true;
     for &idx in candidates {
         state.steps += 1;
-        if state.steps > config.max_steps {
+        if state.steps > ctx.config.max_steps {
+            matched[pick] = false;
             return false;
         }
         let mark = state.trail.len();
-        if match_literal(lit, &d.body()[idx], &mut state.theta, &mut state.trail)
-            && search_relations(lits, depth + 1, d, state, config)
+        if match_literal(lit, &ctx.d.body()[idx], &mut state.theta, &mut state.trail)
+            && search_relations(ctx, matched, n_matched + 1, state)
         {
             return true;
         }
         unwind(&mut state.theta, &mut state.trail, mark);
     }
+    matched[pick] = false;
     false
+}
+
+/// Check the constraint literals and repair groups against a complete
+/// relation mapping. On rejection every side effect is rolled back — the
+/// pair checker binds constraint-only variables without trailing them and
+/// repair matching marks used groups, so θ and the used-group mask are
+/// restored from snapshots taken at entry — leaving the relation search free
+/// to continue with the next mapping.
+fn finish_mapping(ctx: &SearchCtx, state: &mut SearchState) -> bool {
+    // Pure-relation clauses (the common coverage-testing shape) have
+    // nothing to check and nothing to roll back: skip the snapshots.
+    if ctx.constraints.is_empty() && ctx.repairs.is_empty() && !ctx.config.strict_repair_mapping {
+        return true;
+    }
+    let mark = state.trail.len();
+    let theta_snapshot = state.theta.clone();
+    let used_snapshot = state.used_repair_groups.clone();
+    let ok = check_constraints(&ctx.constraints, &mut state.theta, ctx.d)
+        && match_repairs(ctx.repairs, 0, ctx.d, state, ctx.config)
+        && (!ctx.config.strict_repair_mapping || strict_repairs_ok(state, ctx.d));
+    if !ok {
+        state.trail.truncate(mark);
+        state.theta = theta_snapshot;
+        state.used_repair_groups = used_snapshot;
+    }
+    ok
 }
 
 /// Verify (and where necessary bind) the non-relation literals of `C`.

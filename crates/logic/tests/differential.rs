@@ -1,219 +1,173 @@
-//! Differential test: the interned, position-indexed subsumption engine
-//! against a reference re-implementation of the **pre-refactor string-based
-//! matcher** (see `support/reference_impl.rs`).
+//! Differential tests of the θ-subsumption engine against two independent
+//! references, under the soundness/decision contract that replaced the old
+//! decision-parity pin:
 //!
-//! The reference preserves the old path's semantics — same literal ordering
-//! heuristic (candidate count per relation *name*), same first-found-mapping
-//! constraint checking, same repair-group matching — so any decision
-//! difference on randomized clauses (including clauses with repair literals)
-//! is a bug in the new index or trail logic.
+//! * **Soundness** — any witness substitution the production matcher
+//!   returns must *verify*: applying it to `C` really lands inside `D`
+//!   (head, relation literals, constraints and repair replacements), as
+//!   checked by `dlearn_test_support::OracleGround::verify_witness`.
+//! * **Decision agreement** — the boolean decision must agree with both the
+//!   string-keyed reference matcher (`dlearn_test_support::string_reference`)
+//!   and the brute-force enumeration oracle
+//!   (`dlearn_test_support::OracleGround::enumerate`), on ≥ 500 seeded
+//!   random cases.
+//! * **Ordering invariance** — adaptive and static literal ordering, and
+//!   the renumber-per-call vs prepared-numbering entry points, must all
+//!   decide identically (which witness is found first may differ; each must
+//!   verify).
+//!
+//! The generated candidates are *oracle-safe* (see
+//! `dlearn_test_support::gen`): every constraint/repair variable occurs in
+//! the head or a relation literal, the shape bottom-clause construction
+//! emits. This is what makes the greedy constraint phase complete, so the
+//! three matchers are deciding the same ∃-question.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use dlearn_logic::{
-    subsumes, subsumes_numbered, subsumes_numbered_decision, Clause, CondAtom, GroundClause,
-    Literal, NumberedClause, RepairGroup, RepairOrigin, Substitution, SubsumptionConfig, Term, Var,
+    subsumes, subsumes_numbered, subsumes_numbered_decision, Clause, GroundClause, Literal,
+    NumberedClause, SubsumptionConfig, Term, Var,
+};
+use dlearn_test_support::{
+    backtracking_heavy_pair, derived_candidate, random_candidate, random_ground, string_reference,
+    GenConfig, OracleGround, StringGround,
 };
 
-#[path = "support/reference_impl.rs"]
-mod reference;
-
-// ---------------------------------------------------------------------------
-// Randomized clause generation
-// ---------------------------------------------------------------------------
-
-const RELATIONS: [&str; 4] = ["r0", "r1", "r2", "r3"];
-const CONSTANTS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
-
-fn random_term(rng: &mut StdRng, max_var: u32) -> Term {
-    if rng.gen_bool(0.3) {
-        Term::constant(CONSTANTS[rng.gen_range(0..CONSTANTS.len())])
-    } else {
-        Term::var(rng.gen_range(0..max_var))
-    }
-}
-
-/// A random "ground bottom" style clause: relation literals (mixing vars and
-/// constants), similarity literals, and MD repair groups over them.
-fn random_d(rng: &mut StdRng) -> Clause {
-    let mut d = Clause::new(Literal::relation("t", vec![Term::var(0)]));
-    let n_lits = rng.gen_range(2..8usize);
-    for _ in 0..n_lits {
-        let name = RELATIONS[rng.gen_range(0..RELATIONS.len())];
-        let arity = rng.gen_range(1..4usize);
-        let args: Vec<Term> = (0..arity).map(|_| random_term(rng, 8)).collect();
-        d.push_unique(Literal::relation(name, args));
-    }
-    for _ in 0..rng.gen_range(0..3usize) {
-        let a = Term::var(rng.gen_range(0..8u32));
-        let b = Term::var(rng.gen_range(0..8u32));
-        if a != b {
-            d.push_unique(Literal::Similar(a, b));
-        }
-    }
-    // Repair groups over existing similarity literals.
-    let sims: Vec<(Term, Term)> = d
-        .body
-        .iter()
-        .filter_map(|l| match l {
-            Literal::Similar(a, b) => Some((*a, *b)),
-            _ => None,
-        })
-        .collect();
-    for (gi, (a, b)) in sims.iter().enumerate().take(2) {
-        let fresh = Term::var(20 + gi as u32);
-        let (Some(va), Some(vb)) = (a.as_var(), b.as_var()) else {
-            continue;
-        };
-        d.push_repair(RepairGroup::new(
-            RepairOrigin::Md(gi),
-            vec![CondAtom::Sim(*a, *b)],
-            vec![(va, fresh), (vb, fresh)],
-            vec![Literal::Similar(*a, *b)],
-        ));
-    }
-    d
-}
-
-/// Derive a candidate `C` from `D`: keep a random subset of literals and
-/// repair groups, then rename variables. By construction these frequently
-/// (but not always — repair groups may lose their consumed literals)
-/// subsume `D`, giving the differential both positive and negative cases.
-fn derived_c(rng: &mut StdRng, d: &Clause) -> Clause {
-    let mut c = Clause::new(d.head.clone());
-    for l in &d.body {
-        if rng.gen_bool(0.6) {
-            c.push_unique(l.clone());
-        }
-    }
-    for g in &d.repairs {
-        if rng.gen_bool(0.4) {
-            c.push_repair(g.clone());
-        }
-    }
-    let renaming: Substitution = c
-        .variables()
-        .into_iter()
-        .map(|v| (v, Term::var(v.0 + 40)))
-        .collect();
-    c.apply(&renaming)
-}
-
-/// A fully random candidate (mostly negative cases).
-fn random_c(rng: &mut StdRng) -> Clause {
-    let c = random_d(rng);
-    let renaming: Substitution = c
-        .variables()
-        .into_iter()
-        .map(|v| (v, Term::var(v.0 + 60)))
-        .collect();
-    c.apply(&renaming)
-}
-
-// ---------------------------------------------------------------------------
-// The differential properties
-// ---------------------------------------------------------------------------
-
-/// Interned decisions match the string-based reference on randomized clause
-/// pairs, including clauses with repair literals.
-#[test]
-fn interned_path_matches_string_reference_on_random_clauses() {
-    let mut rng = StdRng::seed_from_u64(0xd1ff);
-    // Effectively unbounded: the reference has no budget, so give the new
-    // path one it cannot hit at this clause size.
-    let config = SubsumptionConfig {
+fn unbounded() -> SubsumptionConfig {
+    SubsumptionConfig {
+        // The references have no budget; give the production matcher one it
+        // cannot hit at these clause sizes.
         max_steps: usize::MAX,
         ..SubsumptionConfig::default()
-    };
+    }
+}
+
+fn static_order() -> SubsumptionConfig {
+    SubsumptionConfig {
+        adaptive_ordering: false,
+        ..unbounded()
+    }
+}
+
+/// The main contract: 600 seeded random cases (≥ 500 required), half
+/// derived from `D` (positive-leaning), half independent (negative-leaning).
+#[test]
+fn decisions_agree_with_both_references_and_witnesses_verify() {
+    let cfg = GenConfig::default();
+    let mut rng = StdRng::seed_from_u64(0xd1ff);
     let mut positives = 0usize;
-    for case in 0..400 {
-        let d = random_d(&mut rng);
+    for case in 0..600 {
+        let d = random_ground(&mut rng, &cfg);
         let c = if case % 2 == 0 {
-            derived_c(&mut rng, &d)
+            derived_candidate(&mut rng, &d, &cfg)
         } else {
-            random_c(&mut rng)
+            random_candidate(&mut rng, &cfg)
         };
         let ground = GroundClause::new(&d);
-        let string_ground = reference::StringGround::new(&d);
-        let new_decision = subsumes(&c, &ground, &config).is_some();
-        let old_decision = reference::subsumes(&c, &string_ground);
+        let oracle = OracleGround::new(&d);
+        let string_ground = StringGround::new(&d);
+
+        let witness = subsumes(&c, &ground, &unbounded());
+        let decision = witness.is_some();
+
+        // Soundness: the returned θ embeds C into D.
+        if let Some(theta) = &witness {
+            assert!(
+                oracle.verify_witness(&c, theta),
+                "unsound witness on case {case}:\n  C = {c}\n  D = {d}\n  θ does not embed"
+            );
+        }
+
+        // Decision agreement with the string-keyed reference.
         assert_eq!(
-            new_decision, old_decision,
-            "divergence on case {case}:\n  C = {c}\n  D = {d}"
+            decision,
+            string_reference::subsumes(&c, &string_ground),
+            "string-reference divergence on case {case}:\n  C = {c}\n  D = {d}"
         );
-        // The prepared-numbering entry points (what the covering loop uses)
-        // must agree with the renumber-per-call wrapper.
+
+        // Decision agreement with the enumeration oracle, and the oracle's
+        // own assignment must verify (self-consistency).
+        let enumerated = oracle.enumerate(&c);
+        assert_eq!(
+            decision,
+            enumerated.is_some(),
+            "oracle divergence on case {case}:\n  C = {c}\n  D = {d}"
+        );
+        if let Some(sigma) = &enumerated {
+            assert!(oracle.verify_witness(&c, sigma));
+        }
+
+        // Ordering invariance: static ordering and the prepared-numbering
+        // entry points decide identically, and their witnesses verify.
         let numbered = NumberedClause::new(&c);
         assert_eq!(
-            subsumes_numbered_decision(&numbered, &ground, &config),
-            new_decision,
+            subsumes_numbered_decision(&numbered, &ground, &unbounded()),
+            decision,
             "numbered decision diverged on case {case}:\n  C = {c}\n  D = {d}"
         );
+        if let Some(theta) = subsumes_numbered(&numbered, &ground, &unbounded()) {
+            assert!(
+                oracle.verify_witness(&c, &theta),
+                "unsound numbered witness on case {case}:\n  C = {c}\n  D = {d}"
+            );
+        }
+        let static_witness = subsumes(&c, &ground, &static_order());
         assert_eq!(
-            subsumes_numbered(&numbered, &ground, &config),
-            subsumes(&c, &ground, &config),
-            "numbered witness diverged on case {case}:\n  C = {c}\n  D = {d}"
+            static_witness.is_some(),
+            decision,
+            "static-ordering divergence on case {case}:\n  C = {c}\n  D = {d}"
         );
-        positives += new_decision as usize;
+        if let Some(theta) = &static_witness {
+            assert!(oracle.verify_witness(&c, theta));
+        }
+
+        positives += decision as usize;
     }
-    // The generator must exercise both outcomes or the test is vacuous.
-    assert!(positives > 50, "too few positive cases: {positives}");
+    // The generator must exercise both outcomes or the suite is vacuous.
+    assert!(positives > 75, "too few positive cases: {positives}");
     assert!(
-        positives < 350,
+        positives < 525,
         "too few negative cases: {}",
-        400 - positives
+        600 - positives
     );
 }
 
-/// The witness substitution returned by the interned path is a real witness:
-/// applying it to C's relation literals lands inside D's body.
+/// The adversarial bench workload is a *hard negative*: every matcher must
+/// reject it, however its literals are ordered.
 #[test]
-fn witness_substitutions_are_sound() {
-    let mut rng = StdRng::seed_from_u64(0x50d4);
-    let config = SubsumptionConfig {
-        max_steps: usize::MAX,
-        ..SubsumptionConfig::default()
-    };
-    for _ in 0..200 {
-        let d = random_d(&mut rng);
-        let c = derived_c(&mut rng, &d);
-        let ground = GroundClause::new(&d);
-        if let Some(theta) = subsumes(&c, &ground, &config) {
-            for lit in c.body.iter().filter(|l| l.is_relation()) {
-                let mapped = lit.apply(&theta);
-                assert!(
-                    d.body.contains(&mapped),
-                    "mapped literal {mapped} not in D = {d}"
-                );
-            }
-        }
-    }
+fn backtracking_heavy_pair_is_rejected_by_everyone() {
+    let (c, d) = backtracking_heavy_pair();
+    let ground = GroundClause::new(&d);
+    assert!(subsumes(&c, &ground, &unbounded()).is_none());
+    assert!(subsumes(&c, &ground, &static_order()).is_none());
+    assert!(!string_reference::subsumes(&c, &StringGround::new(&d)));
+    assert!(OracleGround::new(&d).enumerate(&c).is_none());
 }
 
 /// Budget exhaustion must report "does not subsume" (never panic), at every
-/// budget size, and a positive answer under a small budget must agree with
-/// the unbounded decision.
+/// budget size, and a positive answer under a small budget must be sound —
+/// it agrees with the unbounded decision and its witness verifies.
 #[test]
 fn budget_exhaustion_is_a_clean_no() {
+    let cfg = GenConfig::default();
     let mut rng = StdRng::seed_from_u64(0xb4d9);
-    let unbounded = SubsumptionConfig {
-        max_steps: usize::MAX,
-        ..SubsumptionConfig::default()
-    };
     for _ in 0..50 {
-        let d = random_d(&mut rng);
-        let c = derived_c(&mut rng, &d);
+        let d = random_ground(&mut rng, &cfg);
+        let c = derived_candidate(&mut rng, &d, &cfg);
         let ground = GroundClause::new(&d);
-        let full = subsumes(&c, &ground, &unbounded).is_some();
+        let oracle = OracleGround::new(&d);
+        let full = subsumes(&c, &ground, &unbounded()).is_some();
         for budget in [0usize, 1, 2, 5, 20] {
             let tiny = SubsumptionConfig {
                 max_steps: budget,
                 ..SubsumptionConfig::default()
             };
-            let decision = subsumes(&c, &ground, &tiny).is_some();
-            // A budgeted yes must be a real yes; a budgeted no is allowed.
-            assert!(!decision || full, "budget {budget} invented a subsumption");
+            if let Some(theta) = subsumes(&c, &ground, &tiny) {
+                // A budgeted yes must be a real yes; a budgeted no is allowed.
+                assert!(full, "budget {budget} invented a subsumption");
+                assert!(oracle.verify_witness(&c, &theta));
+            }
         }
     }
 }

@@ -364,4 +364,92 @@ mod tests {
         assert_eq!(idx.matched_left_count(), 0);
         assert_eq!(idx.pair_count(), 0);
     }
+
+    #[test]
+    fn values_without_blocking_keys_are_never_matched() {
+        // The empty string and pure punctuation normalize to nothing, so
+        // they produce zero blocking keys on either side: they must land in
+        // no block (not even a shared "empty" block) and never reach the
+        // aligner — on both the build side and the probe side.
+        let left = syms(&["", "?!|", "Star Wars"]);
+        let right = syms(&["", "---", "Star Wars: Episode IV - 1977"]);
+        let idx = SimilarityIndex::build(
+            &left,
+            &right,
+            &IndexConfig {
+                top_k: 5,
+                operator: SimilarityOperator::with_threshold(0.0),
+            },
+        );
+        assert!(idx.matches_left("").is_empty());
+        assert!(idx.matches_left("?!|").is_empty());
+        assert!(idx.matches_right("").is_empty());
+        assert!(idx.matches_right("---").is_empty());
+        // The keyed value still matches normally next to the keyless ones.
+        assert!(!idx.matches_left("Star Wars").is_empty());
+        assert_eq!(idx.matched_left_count(), 1);
+    }
+
+    #[test]
+    fn single_value_blocks_match_their_only_candidate() {
+        // Each blocking key maps to exactly one right value; the alignment
+        // loop must handle one-element candidate lists (no pair is skipped
+        // and no out-of-bounds dedup happens).
+        let left = syms(&["Superbad"]);
+        let right = syms(&["Superbad (2007)"]);
+        let idx = SimilarityIndex::build(
+            &left,
+            &right,
+            &IndexConfig {
+                top_k: 5,
+                operator: SimilarityOperator::with_threshold(0.6),
+            },
+        );
+        let ms = idx.matches_left("Superbad");
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].value, "Superbad (2007)");
+        assert_eq!(idx.pair_count(), 1);
+        assert!(idx.are_matched("Superbad", "Superbad (2007)"));
+    }
+
+    #[test]
+    fn left_only_blocking_keys_stay_out_of_the_intern_table() {
+        // A blocking key produced only by a *left* value must resolve
+        // through the non-inserting `Sym::lookup` during the probe: it can
+        // match nothing (no right value interned it into the block map) and
+        // it must not leak into the process-global intern table.
+        let marker = "xqleftonlytokenzq";
+        assert!(
+            Sym::lookup(marker).is_none(),
+            "marker token unexpectedly interned by an earlier test"
+        );
+        let left = syms(&[
+            // normalizes to tokens ["xqleftonlytokenzq", "movie"]
+            "xqLeftOnlyTokenZq movie",
+        ]);
+        let right = syms(&["totally different film"]);
+        let idx = SimilarityIndex::build(&left, &right, &IndexConfig::default());
+        assert!(idx.matches_left("xqLeftOnlyTokenZq movie").is_empty());
+        assert!(
+            Sym::lookup(marker).is_none(),
+            "probe-side blocking key leaked into the intern table"
+        );
+    }
+
+    #[test]
+    fn probes_absent_from_the_intern_table_return_empty_without_interning() {
+        let idx = SimilarityIndex::build(&movies_left(), &movies_right(), &IndexConfig::default());
+        let probe = "xqneverinternedprobezq";
+        assert!(Sym::lookup(probe).is_none());
+        assert!(idx.matches_left(probe).is_empty());
+        assert!(idx.matches_right(probe).is_empty());
+        assert!(idx.best_match_left(probe).is_none());
+        assert!(!idx.are_matched(probe, "Superbad (2007)"));
+        assert!(!idx.are_matched("Superbad", probe));
+        // The probe path is `Sym::lookup`-only: nothing was interned.
+        assert!(
+            Sym::lookup(probe).is_none(),
+            "a read-only probe interned its key"
+        );
+    }
 }

@@ -1,0 +1,35 @@
+//! # dlearn-test-support — differential-testing machinery
+//!
+//! This crate is the testing contract of the θ-subsumption engine, shared by
+//! the `dlearn-logic` randomized differential suite, the workspace-level
+//! end-to-end differential suite and the benches. It provides:
+//!
+//! * [`gen`] — seeded random clause / ground-clause generators producing
+//!   *oracle-safe* candidate clauses (every constraint and repair variable
+//!   occurs in the head or a relation literal — the shape bottom-clause
+//!   construction emits), plus the deterministic `backtracking_heavy`
+//!   adversarial pair used by the benches.
+//! * [`oracle`] — a brute-force reference matcher that enumerates **all**
+//!   variable→term assignments of a small candidate clause (over the terms
+//!   of `D` plus canonical fresh terms) and a witness verifier checking that
+//!   a returned θ really embeds `C` into `D`.
+//! * [`string_reference`] — the string-keyed, allocation-heavy matcher the
+//!   interning refactor replaced, kept as a second, structurally different
+//!   reference implementation.
+//!
+//! The differential tests assert *soundness* (any θ the production matcher
+//! returns verifies as an embedding) and *decision agreement* with both
+//! references, instead of pinning the exact search order — which is what
+//! frees the production matcher to re-order literals adaptively.
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod oracle;
+pub mod string_reference;
+
+pub use gen::{
+    backtracking_heavy_pair, derived_candidate, random_candidate, random_ground, GenConfig,
+};
+pub use oracle::OracleGround;
+pub use string_reference::StringGround;

@@ -1,14 +1,19 @@
-//! Reference re-implementation of the **pre-refactor string-based
+//! Reference re-implementation of the **pre-interning string-based
 //! subsumption matcher**: relation literals keyed by name `String`s,
 //! candidate lists scanned linearly, θ cloned at every backtracking point,
 //! no `(RelId, arity)` buckets and no per-position value indexes.
 //!
-//! Shared (via `#[path]` inclusion) by the `dlearn-logic` randomized
-//! differential test and the workspace-level movie-task differential test.
 //! Deliberately kept allocation-heavy and string-keyed: it documents the
-//! representation the interning refactor replaced and pins its semantics.
+//! representation the interning refactor replaced. One semantic update rode
+//! along with the adaptive-ordering refactor: like the production matcher,
+//! the reference now treats a relation mapping rejected by the constraint /
+//! repair phase as a dead end to backtrack past, not as the end of the
+//! search. That makes its boolean decision independent of literal order, so
+//! it can stand next to the enumeration oracle ([`crate::OracleGround`]) as
+//! a structurally different second reference — the exact-search-order
+//! parity the old decision-parity tests pinned is retired.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
 
 use dlearn_logic::{Clause, Literal, RepairGroup, RepairOrigin, Substitution, Term};
 
@@ -19,10 +24,11 @@ pub struct StringGround {
     by_relation: HashMap<String, Vec<usize>>,
     similar_pairs: BTreeSet<(Term, Term)>,
     equal_pairs: BTreeSet<(Term, Term)>,
-    repair_facts: Vec<(RepairOrigin, Term, Term, usize)>,
+    repair_facts: Vec<(RepairOrigin, Term, Term)>,
 }
 
 impl StringGround {
+    /// Index a clause for repeated subsumption testing.
     pub fn new(clause: &Clause) -> Self {
         let mut by_relation: HashMap<String, Vec<usize>> = HashMap::new();
         let mut similar_pairs = BTreeSet::new();
@@ -47,9 +53,9 @@ impl StringGround {
             }
         }
         let mut repair_facts = Vec::new();
-        for (gi, g) in clause.repairs.iter().enumerate() {
+        for g in &clause.repairs {
             for (v, t) in &g.replacements {
-                repair_facts.push((g.origin, Term::Var(*v), *t, gi));
+                repair_facts.push((g.origin, Term::Var(*v), *t));
             }
         }
         StringGround {
@@ -99,12 +105,13 @@ fn match_term(c_term: &Term, d_term: &Term, theta: &mut Substitution) -> bool {
     }
 }
 
-struct State {
+struct State<'a> {
     theta: Substitution,
-    used_repair_groups: HashSet<usize>,
+    constraint_lits: Vec<&'a Literal>,
+    repairs: &'a [RepairGroup],
 }
 
-/// The old decision procedure (unbounded budget).
+/// The string-keyed decision procedure (unbounded budget).
 pub fn subsumes(c: &Clause, d: &StringGround) -> bool {
     let mut theta = Substitution::new();
     if !match_literal(&c.head, &d.head, &mut theta) {
@@ -120,16 +127,27 @@ pub fn subsumes(c: &Clause, d: &StringGround) -> bool {
 
     let mut state = State {
         theta,
-        used_repair_groups: HashSet::new(),
+        constraint_lits,
+        repairs: &c.repairs,
     };
     search(&relation_lits, 0, d, &mut state)
-        && check_constraints(&constraint_lits, &mut state.theta, d)
-        && match_repairs(&c.repairs, 0, d, &mut state)
 }
 
 fn search(lits: &[&Literal], depth: usize, d: &StringGround, state: &mut State) -> bool {
     if depth == lits.len() {
-        return true;
+        // A complete relation mapping: accept it only if the constraint and
+        // repair phase does; otherwise roll θ back and let the caller try
+        // the next mapping.
+        let saved_theta = state.theta.clone();
+        let constraint_lits = state.constraint_lits.clone();
+        let repairs = state.repairs;
+        if check_constraints(&constraint_lits, &mut state.theta, d)
+            && match_repairs(repairs, 0, d, state)
+        {
+            return true;
+        }
+        state.theta = saved_theta;
+        return false;
     }
     let lit = lits[depth];
     let Some(name) = lit.relation_name() else {
@@ -237,16 +255,16 @@ fn match_group(group: &RepairGroup, ri: usize, d: &StringGround, state: &mut Sta
     }
     let (x, t) = &group.replacements[ri];
     let x_term = Term::Var(*x);
-    for (origin, dx, dt, gi) in &d.repair_facts {
+    for (origin, dx, dt) in &d.repair_facts {
         if *origin != group.origin {
             continue;
         }
         let saved = state.theta.clone();
-        if match_term(&x_term, dx, &mut state.theta) && match_term(t, dt, &mut state.theta) {
-            state.used_repair_groups.insert(*gi);
-            if match_group(group, ri + 1, d, state) {
-                return true;
-            }
+        if match_term(&x_term, dx, &mut state.theta)
+            && match_term(t, dt, &mut state.theta)
+            && match_group(group, ri + 1, d, state)
+        {
+            return true;
         }
         state.theta = saved;
     }

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
-"""Structural check for the committed bench baseline.
+"""Structural check and same-machine regression gate for the bench baseline.
 
-Non-regression *smoke*, not a perf gate: CI fails when
-``BENCH_subsumption.json`` is malformed, an expected bench entry is missing,
-or a median/sample count is not a positive number — the situations where the
-baseline silently stops meaning anything. Timing values themselves are not
-compared (they are machine-dependent).
+Two modes:
 
-Usage: check_bench_json.py [path-to-BENCH_subsumption.json]
+``check_bench_json.py [path]``
+    Structural smoke over a committed ``BENCH_subsumption.json``: fail when
+    the file is malformed, an expected bench entry is missing, or a
+    median/sample count is not a positive number — the situations where the
+    baseline silently stops meaning anything. Timing values themselves are
+    not compared (they are machine-dependent).
+
+``check_bench_json.py --gate BASELINE.json CURRENT.json``
+    Same-machine regression gate: both files must come from bench runs on
+    the *same* machine (CI runs the bench at the merge-base and at HEAD on
+    one runner, or twice at HEAD when no base is resolvable). Fails when the
+    median of a gated bench regresses by more than the committed tolerance.
+    Benches present in only one of the two runs are skipped (a new bench
+    has no baseline yet), but at least one gated bench must be comparable.
 """
 
 import json
@@ -18,11 +27,29 @@ EXPECTED_BENCHES = [
     "subsumption/ground_clause_new",
     "subsumption/subsumes",
     "subsumption/coverage_engine_counts",
+    "subsumption/backtracking_heavy",
+    "subsumption/backtracking_heavy_static",
     "subsumption/bottom_clause_build",
     "subsumption/generalization_round",
 ]
 
 EXPECTED_TOP_LEVEL = ["workload", "unit", "benches"]
+
+# The committed regression tolerance of the same-machine gate: a gated
+# bench's median may grow by at most this factor between the baseline run
+# and the current run. 20% comfortably clears the observed run-to-run noise
+# of the hot-path benches while catching real regressions (the PR 2/PR 3
+# wins were 40-70%).
+GATE_TOLERANCE = 0.20
+
+# The hot-path benches the gate protects. The adversarial backtracking
+# benches are deliberately not gated: `backtracking_heavy_static` measures
+# an ordering mode nothing ships with, and `backtracking_heavy` is tracked
+# through the committed trajectory instead.
+GATED_BENCHES = [
+    "subsumption/subsumes",
+    "subsumption/coverage_engine_counts",
+]
 
 
 def fail(message: str) -> None:
@@ -30,8 +57,7 @@ def fail(message: str) -> None:
     sys.exit(1)
 
 
-def main() -> None:
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_subsumption.json"
+def load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as handle:
             data = json.load(handle)
@@ -39,27 +65,35 @@ def main() -> None:
         fail(f"cannot read {path}: {exc}")
     except json.JSONDecodeError as exc:
         fail(f"{path} is not valid JSON: {exc}")
-
     if not isinstance(data, dict):
-        fail("top level must be an object")
+        fail(f"{path}: top level must be an object")
+    benches = data.get("benches")
+    if not isinstance(benches, dict):
+        fail(f"{path}: 'benches' must be an object")
+    return data
+
+
+def well_formed_median(path: str, benches: dict, name: str) -> float:
+    entry = benches.get(name)
+    if not isinstance(entry, dict):
+        fail(f"{path}: bench entry {name!r} must be an object")
+    median = entry.get("median_ns")
+    if not isinstance(median, numbers.Real) or isinstance(median, bool) or median <= 0:
+        fail(f"{path}: bench entry {name!r}: median_ns must be a positive number, got {median!r}")
+    return float(median)
+
+
+def structural_check(path: str) -> None:
+    data = load(path)
     for key in EXPECTED_TOP_LEVEL:
         if key not in data:
             fail(f"missing top-level key {key!r}")
-
     benches = data["benches"]
-    if not isinstance(benches, dict):
-        fail("'benches' must be an object")
-
     for name in EXPECTED_BENCHES:
-        entry = benches.get(name)
-        if entry is None:
+        if benches.get(name) is None:
             fail(f"missing bench entry {name!r}")
-        if not isinstance(entry, dict):
-            fail(f"bench entry {name!r} must be an object")
-        median = entry.get("median_ns")
-        samples = entry.get("samples")
-        if not isinstance(median, numbers.Real) or isinstance(median, bool) or median <= 0:
-            fail(f"bench entry {name!r}: median_ns must be a positive number, got {median!r}")
+        well_formed_median(path, benches, name)
+        samples = benches[name].get("samples")
         if not isinstance(samples, int) or isinstance(samples, bool) or samples <= 0:
             fail(f"bench entry {name!r}: samples must be a positive integer, got {samples!r}")
 
@@ -70,6 +104,48 @@ def main() -> None:
         fail(f"unknown bench entries {unexpected}; update scripts/check_bench_json.py")
 
     print(f"BENCH check OK: {len(EXPECTED_BENCHES)} entries present and well-formed in {path}")
+
+
+def regression_gate(baseline_path: str, current_path: str) -> None:
+    baseline = load(baseline_path)["benches"]
+    current = load(current_path)["benches"]
+    compared = 0
+    regressed = []
+    for name in GATED_BENCHES:
+        if name not in baseline or name not in current:
+            print(f"gate: skipping {name} (not present in both runs)")
+            continue
+        base = well_formed_median(baseline_path, baseline, name)
+        head = well_formed_median(current_path, current, name)
+        ratio = head / base
+        verdict = "REGRESSED" if ratio > 1.0 + GATE_TOLERANCE else "ok"
+        print(f"gate: {name}: {base:.0f} ns -> {head:.0f} ns (x{ratio:.2f}) {verdict}")
+        compared += 1
+        if ratio > 1.0 + GATE_TOLERANCE:
+            regressed.append((name, base, head, ratio))
+    if compared == 0:
+        fail("regression gate compared no benches; baseline and current runs share no gated entry")
+    if regressed:
+        lines = ", ".join(
+            f"{name} {base:.0f}->{head:.0f} ns (x{ratio:.2f})"
+            for name, base, head, ratio in regressed
+        )
+        fail(f"median regression beyond {GATE_TOLERANCE:.0%} on the same machine: {lines}")
+    print(
+        f"BENCH gate OK: {compared} gated benches within {GATE_TOLERANCE:.0%} "
+        f"of the same-machine baseline"
+    )
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    if args and args[0] == "--gate":
+        if len(args) != 3:
+            fail("usage: check_bench_json.py --gate BASELINE.json CURRENT.json")
+        regression_gate(args[1], args[2])
+        return
+    path = args[0] if args else "BENCH_subsumption.json"
+    structural_check(path)
 
 
 if __name__ == "__main__":

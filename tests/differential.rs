@@ -1,19 +1,27 @@
-//! End-to-end differential test on the movie workload (acceptance criterion
-//! of the interning refactor): every coverage decision the learner makes —
-//! candidate clause × ground bottom clause, across direct and repaired-
-//! clause subsumption — must be identical between the interned,
-//! position-indexed engine and the string-based reference matcher.
+//! End-to-end differential test on the movie workload: every coverage
+//! decision the learner makes — candidate clause × ground bottom clause,
+//! across direct and repaired-clause subsumption — must be identical
+//! between the interned, adaptively-ordered engine and the string-keyed
+//! reference matcher, and every witness substitution the engine can be
+//! asked for must *verify* as a real embedding (the θ-verification
+//! contract; see `dlearn_test_support`).
+//!
+//! Brute-force enumeration is not run here — movie bottom clauses are far
+//! beyond its feasible size; the enumeration oracle pins the semantics on
+//! the randomized suite in `crates/logic/tests/differential.rs`, while this
+//! test pins the two production-shaped implementations against each other
+//! on realistic clauses.
 
 use rand::SeedableRng;
 
 use dlearn::core::{BottomClauseBuilder, CoverageEngine, DLearn, LearnerConfig, PreparedClause};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
-use dlearn::logic::{subsumes_numbered_decision, Clause, GroundClause, SubsumptionConfig};
+use dlearn::logic::{
+    subsumes_numbered, subsumes_numbered_decision, Clause, GroundClause, SubsumptionConfig,
+};
 use dlearn_constraints::MdCatalog;
 use dlearn_similarity::{IndexConfig, SimilarityOperator};
-
-#[path = "../crates/logic/tests/support/reference_impl.rs"]
-mod reference;
+use dlearn_test_support::{string_reference, OracleGround, StringGround};
 
 fn config() -> LearnerConfig {
     LearnerConfig {
@@ -31,18 +39,19 @@ fn reference_covers(
     repaired_grounds: &[Clause],
     positive_semantics: bool,
 ) -> bool {
-    let direct = reference::StringGround::new(ground);
-    if reference::subsumes(&prepared.clause, &direct) {
+    let direct = StringGround::new(ground);
+    if string_reference::subsumes(&prepared.clause, &direct) {
         return true;
     }
     if prepared.repaired.is_empty() {
         return false;
     }
-    let repaired_refs: Vec<reference::StringGround> = repaired_grounds
-        .iter()
-        .map(reference::StringGround::new)
-        .collect();
-    let one = |cr: &Clause| repaired_refs.iter().any(|gr| reference::subsumes(cr, gr));
+    let repaired_refs: Vec<StringGround> = repaired_grounds.iter().map(StringGround::new).collect();
+    let one = |cr: &Clause| {
+        repaired_refs
+            .iter()
+            .any(|gr| string_reference::subsumes(cr, gr))
+    };
     if positive_semantics {
         prepared.repaired.iter().all(one)
     } else {
@@ -120,13 +129,19 @@ fn movie_task_coverage_decisions_match_string_reference() {
         max_steps: usize::MAX,
         ..config.subsumption
     };
+    let static_sub = SubsumptionConfig {
+        adaptive_ordering: false,
+        ..sub
+    };
     let mut compared = 0usize;
     let mut covered = 0usize;
+    let mut verified_witnesses = 0usize;
     for (examples, positive_semantics) in [(engine.positives(), true), (engine.negatives(), false)]
     {
         for ge in examples {
             let ground_clause = clause_of(&ge.ground);
             let repaired_clauses: Vec<Clause> = ge.repaired.iter().map(clause_of).collect();
+            let oracle = OracleGround::new(&ground_clause);
             for prepared in &candidates {
                 let new_decision =
                     interned_covers(prepared, &ge.ground, &ge.repaired, positive_semantics, &sub);
@@ -141,6 +156,31 @@ fn movie_task_coverage_decisions_match_string_reference() {
                     "coverage divergence for clause {} on example {}",
                     prepared.clause, ge.example
                 );
+                // Ordering must not change coverage decisions either.
+                let static_decision = interned_covers(
+                    prepared,
+                    &ge.ground,
+                    &ge.repaired,
+                    positive_semantics,
+                    &static_sub,
+                );
+                assert_eq!(
+                    new_decision, static_decision,
+                    "adaptive vs static coverage divergence for clause {} on example {}",
+                    prepared.clause, ge.example
+                );
+                // θ-verification on the direct subsumption leg: whenever the
+                // engine would return a witness, it must embed C into the
+                // ground bottom clause.
+                if let Some(theta) = subsumes_numbered(prepared.numbered(), &ge.ground, &sub) {
+                    assert!(
+                        oracle.verify_witness(&prepared.clause, &theta),
+                        "unsound witness for clause {} on example {}",
+                        prepared.clause,
+                        ge.example
+                    );
+                    verified_witnesses += 1;
+                }
                 compared += 1;
                 covered += new_decision as usize;
             }
@@ -151,6 +191,10 @@ fn movie_task_coverage_decisions_match_string_reference() {
     assert!(
         covered < compared,
         "differential is vacuous: everything was covered"
+    );
+    assert!(
+        verified_witnesses > 0,
+        "θ-verification is vacuous: no direct witness was ever produced"
     );
 }
 

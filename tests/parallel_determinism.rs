@@ -2,6 +2,13 @@
 //! fan-out reduces with "best score, ties broken by sample order", so the
 //! learned definition must be bit-identical at every thread count — and the
 //! parallel coverage masks must equal the serial ones clause for clause.
+//!
+//! The same holds across the subsumption matcher's literal-ordering modes:
+//! adaptive (most-constrained-first) ordering only changes how the search
+//! walks the space, never which coverage decisions come out while searches
+//! stay within the step budget (true on this workload by a wide margin),
+//! so switching it on or off must not move a single literal of the learned
+//! definition at any thread count.
 
 use dlearn::core::{DLearn, LearnerConfig};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
@@ -29,6 +36,26 @@ fn parallel_and_serial_generalization_learn_identical_definitions() {
             serial.render(),
             parallel.render()
         );
+    }
+}
+
+#[test]
+fn adaptive_ordering_learns_bit_identical_definitions_at_any_thread_count() {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let baseline = DLearn::new(config(7, 1, 1)).learn(&dataset.task);
+    for threads in [1usize, 2, 8] {
+        for adaptive in [true, false] {
+            let cfg = config(7, threads, threads).with_adaptive_ordering(adaptive);
+            let model = DLearn::new(cfg).learn(&dataset.task);
+            assert_eq!(
+                baseline.definition(),
+                model.definition(),
+                "adaptive={adaptive}, threads={threads}: learned definition diverged\n\
+                 baseline:\n{}\ngot:\n{}",
+                baseline.render(),
+                model.render()
+            );
+        }
     }
 }
 
