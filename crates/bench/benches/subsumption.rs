@@ -11,7 +11,9 @@
 //! workload (an unsatisfiable chain over two disconnected graph
 //! components, scrambled body order) measured under both adaptive and
 //! static literal ordering, so the ordering win shows up in the committed
-//! trajectory as a machine-independent ratio. Later performance work diffs
+//! trajectory as a machine-independent ratio — plus `index_build`, the
+//! similarity-index construction on a ~1k×1k dirty vocabulary (length
+//! filter + top-k early exit + parallel fan-out). Later performance work diffs
 //! against this file to prove a trajectory; CI parses it for structural
 //! integrity and runs a same-machine regression gate (see
 //! `scripts/check_bench_json.py`).
@@ -30,8 +32,9 @@ use dlearn_datagen::{generate_movie_dataset, MovieConfig};
 use dlearn_logic::{
     subsumes_numbered_decision, Clause, GroundClause, NumberedClause, SubsumptionConfig,
 };
-use dlearn_similarity::{IndexConfig, SimilarityOperator};
+use dlearn_similarity::{IndexConfig, SimilarityIndex, SimilarityOperator};
 use dlearn_test_support::backtracking_heavy_pair;
+use dlearn_test_support::vocab::{dirty_vocabulary, VocabConfig};
 
 fn bench_subsumption(c: &mut Criterion) {
     let dataset = generate_movie_dataset(&MovieConfig::tiny().with_violation_rate(0.1), 42);
@@ -40,6 +43,7 @@ fn bench_subsumption(c: &mut Criterion) {
     let index_config = IndexConfig {
         top_k: config.km,
         operator: SimilarityOperator::with_threshold(config.similarity_threshold),
+        ..IndexConfig::default()
     };
     let catalog = MdCatalog::build(
         &task.mds,
@@ -122,6 +126,25 @@ fn bench_subsumption(c: &mut Criterion) {
             criterion::black_box(builder.build(&task.positives[0], &mut rng))
         })
     });
+    // Similarity-index construction on a realistic dirty vocabulary
+    // (~1k×1k distinct values): the layer the eval harness rebuilds per
+    // cross-validation fold. Measures blocking + length filter + top-k
+    // early exit + parallel fan-out together, at default thread count.
+    let vocab = dirty_vocabulary(&VocabConfig::benchmark_1k(), 42);
+    let vocab_config = IndexConfig {
+        top_k: 5,
+        operator: SimilarityOperator::with_threshold(0.65),
+        ..IndexConfig::default()
+    };
+    group.bench_function("index_build", |b| {
+        b.iter(|| {
+            criterion::black_box(SimilarityIndex::build(
+                &vocab.left,
+                &vocab.right,
+                &vocab_config,
+            ))
+        })
+    });
     group.bench_function("generalization_round", |b| {
         // One covering-loop round: generalize the current clause toward a
         // few sampled positives, prepare each candidate and score it.
@@ -154,7 +177,9 @@ fn main() {
 
     // Machine-readable baseline at the workspace root.
     let results = criterion.take_results();
-    let mut json = String::from("{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1)\",\n");
+    let mut json = String::from(
+        "{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1); index_build on dirty-vocab ~1k x 1k\",\n",
+    );
     json.push_str("  \"unit\": \"ns (median per iteration)\",\n  \"benches\": {\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(

@@ -47,6 +47,12 @@ pub struct LearnerConfig {
     /// deterministic — best score, ties broken by sample order — so any
     /// thread count learns the identical definition.
     pub generalization_threads: usize,
+    /// Number of worker threads for similarity-index construction, passed
+    /// through verbatim to `IndexConfig::threads`, which owns the
+    /// resolution (0 = available cores). Construction merges per-left-value
+    /// chunks in left order, so the built index — and everything learned
+    /// from it — is bit-identical at any thread count.
+    pub index_threads: usize,
     /// RNG seed for sampling (bottom-clause sampling, example sampling).
     pub seed: u64,
 }
@@ -70,6 +76,7 @@ impl Default for LearnerConfig {
             use_cfd_repairs: true,
             coverage_threads: 0,
             generalization_threads: 0,
+            index_threads: 0,
             seed: 7,
         }
     }
@@ -140,6 +147,12 @@ impl LearnerConfig {
         Self::resolve_threads(self.generalization_threads)
     }
 
+    /// Set the similarity-index construction thread count (builder style).
+    pub fn with_index_threads(mut self, threads: usize) -> Self {
+        self.index_threads = threads;
+        self
+    }
+
     fn resolve_threads(requested: usize) -> usize {
         if requested > 0 {
             requested
@@ -192,5 +205,12 @@ mod tests {
             ..LearnerConfig::default()
         };
         assert_eq!(c.effective_threads(), 3);
+    }
+
+    #[test]
+    fn index_threads_pass_through_to_the_index_config() {
+        assert_eq!(LearnerConfig::default().index_threads, 0);
+        let c = LearnerConfig::fast().with_index_threads(5);
+        assert_eq!(c.index_threads, 5);
     }
 }

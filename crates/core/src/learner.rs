@@ -170,6 +170,7 @@ impl Learner {
                 let index_config = IndexConfig {
                     top_k: 1,
                     operator: SimilarityOperator::with_threshold(config.similarity_threshold),
+                    threads: config.index_threads,
                 };
                 for md in &task.mds {
                     let (next, _) = enforce_md_best_match(&cleaned, md, &index_config);
@@ -200,6 +201,7 @@ impl Learner {
             let index_config = IndexConfig {
                 top_k: config.km,
                 operator: SimilarityOperator::with_threshold(threshold),
+                threads: config.index_threads,
             };
             MdCatalog::build(&task.mds, &augment_with_target(&task), &index_config)
         } else {

@@ -7,7 +7,27 @@
 //! Building the index naively is `O(|L| · |R|)` alignment calls; we use
 //! token/trigram blocking: values are only aligned when they share at least
 //! one blocking key, which is how record-linkage systems keep this step
-//! tractable on large inputs.
+//! tractable on large inputs. On top of blocking, construction applies two
+//! lossless prunes and fans out across threads:
+//!
+//! * **Length/size filter** — each value is normalized once into a profile
+//!   (char vector + character histogram);
+//!   [`SimilarityOperator::max_score_bound_with_common`] then bounds the
+//!   combined score from the two normalized lengths and the character
+//!   multiset intersection alone (the SWG alignment cannot match more
+//!   characters than the two strings share), and a candidate whose bound
+//!   is below the operator threshold is skipped without an alignment call.
+//! * **Top-k early exit** — candidates are scored in descending bound order,
+//!   so once `top_k` matches are held and the next candidate's bound is
+//!   strictly below the running k-th score, no remaining candidate can
+//!   displace anything and the rest of the list is abandoned.
+//! * **Parallel construction** — left values are split into contiguous
+//!   chunks mapped on `std::thread::scope` workers and merged in chunk
+//!   order, so the built index is bit-identical at any thread count.
+//!
+//! All three are exercised against a brute-force all-pairs oracle (no
+//! blocking, no filter, no early exit) in
+//! `crates/similarity/tests/index_oracle.rs`.
 //!
 //! The index is keyed by interned [`Sym`] handles: probes coming from
 //! bottom-clause construction arrive as the `Sym` already stored in a
@@ -19,7 +39,8 @@ use std::collections::HashMap;
 use dlearn_relstore::Sym;
 
 use crate::combined::SimilarityOperator;
-use crate::tokenize::blocking_keys;
+use crate::length::{char_histogram, common_char_count, HIST_BINS};
+use crate::tokenize::{blocking_keys, normalize};
 
 /// A single similarity match.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,6 +58,11 @@ pub struct IndexConfig {
     pub top_k: usize,
     /// The similarity operator (score + threshold).
     pub operator: SimilarityOperator,
+    /// Worker threads for index construction (0 = available cores). The
+    /// built index is bit-identical at any thread count: left values are
+    /// processed in contiguous chunks whose per-value results do not depend
+    /// on the chunking, and chunk results merge in left order.
+    pub threads: usize,
 }
 
 impl Default for IndexConfig {
@@ -44,6 +70,7 @@ impl Default for IndexConfig {
         IndexConfig {
             top_k: 5,
             operator: SimilarityOperator::default(),
+            threads: 0,
         }
     }
 }
@@ -54,6 +81,24 @@ impl IndexConfig {
         IndexConfig {
             top_k,
             ..IndexConfig::default()
+        }
+    }
+
+    /// Set the construction thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Number of construction worker threads to actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16)
         }
     }
 }
@@ -88,7 +133,7 @@ impl QuerySym for &String {
 
 /// A bidirectional top-`km` similarity match index between two columns of
 /// string values (the two sides of a matching dependency).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimilarityIndex {
     left_to_right: HashMap<Sym, Vec<Match>>,
     right_to_left: HashMap<Sym, Vec<Match>>,
@@ -97,6 +142,14 @@ pub struct SimilarityIndex {
 impl SimilarityIndex {
     /// Build the index between the distinct values of the left and right
     /// columns.
+    ///
+    /// Candidate generation is blocking-based (values sharing no token or
+    /// trigram are never compared); within a candidate list the length
+    /// filter and top-k early exit skip alignment calls that provably
+    /// cannot contribute a stored match, and left values fan out across
+    /// `config.threads` scoped workers. None of the three changes the
+    /// result: the built index equals the one-thread, filter-free build
+    /// pair for pair.
     pub fn build(left: &[Sym], right: &[Sym], config: &IndexConfig) -> Self {
         let left = dedup(left);
         let right = dedup(right);
@@ -114,44 +167,69 @@ impl SimilarityIndex {
         // databases, the same process-lifetime argument the interner itself
         // makes; the probe side pays one interner shard lookup per key.
         let mut block: HashMap<Sym, Vec<usize>> = HashMap::new();
+        let mut right_profiles: Vec<ValueProfile> = Vec::with_capacity(right.len());
         for (j, r) in right.iter().enumerate() {
             for key in blocking_keys(r.as_str()) {
                 block.entry(Sym::intern(key)).or_default().push(j);
             }
+            right_profiles.push(ValueProfile::new(r.as_str()));
         }
 
+        // Per-left-value match lists are independent of each other, so left
+        // values fan out across scoped workers in contiguous chunks. Each
+        // worker owns its scratch buffers; results concatenate in chunk
+        // order, which is exactly the serial left order. Worker count is
+        // capped so every chunk carries at least `MIN_CHUNK_LEFT` left
+        // values: spawn/join costs real time, and the learner rebuilds many
+        // tiny per-MD indexes where a serial pass is cheaper than a single
+        // spawn (the thread-count determinism contract is unaffected — the
+        // cap depends only on the input, never on what the workers do).
+        const MIN_CHUNK_LEFT: usize = 8;
+        let threads = config
+            .effective_threads()
+            .min(left.len() / MIN_CHUNK_LEFT)
+            .max(1);
+        let per_left: Vec<Vec<Match>> = if threads <= 1 {
+            let mut scratch = Scratch::new(right.len());
+            left.iter()
+                .map(|&l| score_one_left(l, &right, &right_profiles, &block, config, &mut scratch))
+                .collect()
+        } else {
+            let chunk = left.len().div_ceil(threads);
+            let mut out: Vec<Vec<Vec<Match>>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for chunk_items in left.chunks(chunk) {
+                    let (right, right_profiles, block) = (&right, &right_profiles, &block);
+                    handles.push(scope.spawn(move || {
+                        let mut scratch = Scratch::new(right.len());
+                        chunk_items
+                            .iter()
+                            .map(|&l| {
+                                score_one_left(
+                                    l,
+                                    right,
+                                    right_profiles,
+                                    block,
+                                    config,
+                                    &mut scratch,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    out.push(h.join().expect("index-build worker panicked"));
+                }
+            });
+            out.into_iter().flatten().collect()
+        };
+
+        // Deterministic merge: left order drives both map fills, so the
+        // index contents never depend on the thread count.
         let mut left_to_right: HashMap<Sym, Vec<Match>> = HashMap::new();
         let mut right_to_left: HashMap<Sym, Vec<Match>> = HashMap::new();
-
-        let mut candidates: Vec<usize> = Vec::new();
-        let mut seen = vec![false; right.len()];
-        for &l in &left {
-            candidates.clear();
-            // Probe keys resolve through `Sym::lookup`, which never inserts:
-            // a left-only key was interned by no right value, so it cannot
-            // be in the block map — skipping it neither loses candidates nor
-            // leaks probe-side strings into the intern table.
-            for key in blocking_keys(l.as_str()) {
-                if let Some(ids) = Sym::lookup(&key).and_then(|k| block.get(&k)) {
-                    for &j in ids {
-                        if !seen[j] {
-                            seen[j] = true;
-                            candidates.push(j);
-                        }
-                    }
-                }
-            }
-            let mut matches: Vec<Match> = Vec::new();
-            for &j in &candidates {
-                seen[j] = false;
-                let r = right[j];
-                let score = config.operator.score(l.as_str(), r.as_str());
-                if score >= config.operator.threshold {
-                    matches.push(Match { value: r, score });
-                }
-            }
-            sort_matches(&mut matches);
-            matches.truncate(config.top_k);
+        for (&l, matches) in left.iter().zip(per_left) {
             for m in &matches {
                 let back = right_to_left.entry(m.value).or_default();
                 back.push(Match {
@@ -219,6 +297,165 @@ impl SimilarityIndex {
     pub fn pair_count(&self) -> usize {
         self.left_to_right.values().map(|v| v.len()).sum()
     }
+
+    /// All left-side entries as `(value, matches)` pairs, in unspecified
+    /// order. Used by differential tests comparing the built index against
+    /// a reference construction.
+    pub fn iter_left(&self) -> impl Iterator<Item = (Sym, &[Match])> {
+        self.left_to_right.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// All right-side entries as `(value, matches)` pairs, in unspecified
+    /// order.
+    pub fn iter_right(&self) -> impl Iterator<Item = (Sym, &[Match])> {
+        self.right_to_left.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+}
+
+/// A value's cached normalized form: the char vector the aligner consumes
+/// and the character histogram the size filter consumes. Computed once per
+/// value instead of once per scored pair.
+struct ValueProfile {
+    chars: Vec<char>,
+    hist: [u32; HIST_BINS],
+}
+
+impl ValueProfile {
+    fn new(raw: &str) -> Self {
+        let normalized = normalize(raw);
+        ValueProfile {
+            chars: normalized.chars().collect(),
+            hist: char_histogram(&normalized),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.chars.len()
+    }
+}
+
+/// Per-worker scratch buffers reused across the left values of one chunk.
+struct Scratch {
+    /// Candidate right indexes of the current left value, deduplicated.
+    candidates: Vec<(usize, f64)>,
+    /// Dedup bitmap over right indexes (cleared after each left value).
+    seen: Vec<bool>,
+}
+
+impl Scratch {
+    fn new(right_count: usize) -> Self {
+        Scratch {
+            candidates: Vec::new(),
+            seen: vec![false; right_count],
+        }
+    }
+}
+
+/// Compute one left value's stored match list: its blocking candidates,
+/// length-filtered, scored in descending bound order with top-k early exit.
+///
+/// The result is provably identical to "score every candidate, sort by
+/// (score desc, value asc), truncate to `top_k`":
+///
+/// * a candidate skipped by the **filter** has `score <= bound < threshold`,
+///   so the exhaustive loop would drop it too;
+/// * the **early exit** only fires when `top_k` matches are held and the
+///   next candidate's bound is *strictly* below the current k-th score;
+///   since candidates arrive in descending bound order and the k-th score
+///   only rises, every abandoned candidate has
+///   `score <= bound < final k-th score` and could not have displaced a
+///   kept match even on a score tie (ties break by value order, which
+///   requires score equality).
+fn score_one_left(
+    l: Sym,
+    right: &[Sym],
+    right_profiles: &[ValueProfile],
+    block: &HashMap<Sym, Vec<usize>>,
+    config: &IndexConfig,
+    scratch: &mut Scratch,
+) -> Vec<Match> {
+    let Scratch { candidates, seen } = scratch;
+    candidates.clear();
+    if config.top_k == 0 {
+        return Vec::new();
+    }
+    let left_profile = ValueProfile::new(l.as_str());
+    // Probe keys resolve through `Sym::lookup`, which never inserts: a
+    // left-only key was interned by no right value, so it cannot be in the
+    // block map — skipping it neither loses candidates nor leaks probe-side
+    // strings into the intern table.
+    for key in blocking_keys(l.as_str()) {
+        if let Some(ids) = Sym::lookup(&key).and_then(|k| block.get(&k)) {
+            for &j in ids {
+                if !seen[j] {
+                    seen[j] = true;
+                    candidates.push((j, 0.0));
+                }
+            }
+        }
+    }
+    // The length/size filter: drop candidates that provably cannot reach
+    // the threshold, before any alignment call.
+    for &(j, _) in candidates.iter() {
+        seen[j] = false;
+    }
+    candidates.retain_mut(|(j, bound)| {
+        let rp = &right_profiles[*j];
+        *bound = config.operator.max_score_bound_with_common(
+            left_profile.len(),
+            rp.len(),
+            common_char_count(&left_profile.hist, &rp.hist),
+        );
+        *bound >= config.operator.threshold
+    });
+    // Descending bound, ties by right position: deterministic, and it front-
+    // loads the candidates that can still displace a running top-k entry.
+    candidates.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+
+    // `matches` is kept sorted by (score desc, value asc) and capped at
+    // `top_k` — the same total order `sort_matches` applies, so the bounded
+    // insertion keeps exactly the sort-then-truncate prefix.
+    let mut matches: Vec<Match> = Vec::with_capacity(config.top_k.min(candidates.len()));
+    for &(j, bound) in candidates.iter() {
+        // A candidate only matters if it reaches the threshold and, once
+        // the list is full, the k-th score (a tie can still displace on
+        // the value order, so `required` is "reach", not "beat").
+        let required = if matches.len() == config.top_k {
+            let kth = matches[config.top_k - 1].score;
+            if bound < kth {
+                break; // top-k early exit: nothing further can displace.
+            }
+            kth.max(config.operator.threshold)
+        } else {
+            config.operator.threshold
+        };
+        let r = right[j];
+        let Some(score) = config.operator.score_normalized_chars_at_least(
+            &left_profile.chars,
+            &right_profiles[j].chars,
+            required,
+        ) else {
+            continue; // provably below `required`: cannot be stored.
+        };
+        if score < config.operator.threshold {
+            continue;
+        }
+        let m = Match { value: r, score };
+        let pos = matches.partition_point(|held| {
+            held.score > m.score || (held.score == m.score && held.value < m.value)
+        });
+        if pos < config.top_k {
+            if matches.len() == config.top_k {
+                matches.pop();
+            }
+            matches.insert(pos, m);
+        }
+    }
+    matches
 }
 
 /// Descending score, ties broken by the value's string order — the same
@@ -269,6 +506,7 @@ mod tests {
             &IndexConfig {
                 top_k: 5,
                 operator: SimilarityOperator::with_threshold(0.6),
+                ..IndexConfig::default()
             },
         );
         let superbad = idx.matches_left("Superbad");
@@ -290,6 +528,7 @@ mod tests {
             &IndexConfig {
                 top_k: 1,
                 operator: SimilarityOperator::with_threshold(0.6),
+                ..IndexConfig::default()
             },
         );
         assert!(idx.matches_left("Star Wars").len() <= 1);
@@ -303,6 +542,7 @@ mod tests {
             &IndexConfig {
                 top_k: 5,
                 operator: SimilarityOperator::with_threshold(0.6),
+                ..IndexConfig::default()
             },
         );
         let back = idx.matches_right("Superbad (2007)");
@@ -318,6 +558,7 @@ mod tests {
             &IndexConfig {
                 top_k: 5,
                 operator: SimilarityOperator::with_threshold(0.6),
+                ..IndexConfig::default()
             },
         );
         assert_eq!(
@@ -334,6 +575,7 @@ mod tests {
             &IndexConfig {
                 top_k: 5,
                 operator: SimilarityOperator::with_threshold(0.5),
+                ..IndexConfig::default()
             },
         );
         for v in movies_left() {
@@ -352,6 +594,7 @@ mod tests {
             &IndexConfig {
                 top_k: 5,
                 operator: SimilarityOperator::with_threshold(0.5),
+                ..IndexConfig::default()
             },
         );
         let best = idx.best_match_left("Zoolander").unwrap();
@@ -379,6 +622,7 @@ mod tests {
             &IndexConfig {
                 top_k: 5,
                 operator: SimilarityOperator::with_threshold(0.0),
+                ..IndexConfig::default()
             },
         );
         assert!(idx.matches_left("").is_empty());
@@ -403,6 +647,7 @@ mod tests {
             &IndexConfig {
                 top_k: 5,
                 operator: SimilarityOperator::with_threshold(0.6),
+                ..IndexConfig::default()
             },
         );
         let ms = idx.matches_left("Superbad");

@@ -1,6 +1,40 @@
-//! Length similarity: ratio of the shorter to the longer string length.
+//! Length similarity: ratio of the shorter to the longer string length —
+//! plus the character-histogram machinery of the index's size filter.
 
 use crate::tokenize::normalize;
+
+/// Number of bins of a [`char_histogram`]: `a`–`z`, `0`–`9`, space, other.
+pub const HIST_BINS: usize = 38;
+
+/// A character multiset histogram over a *normalized* string.
+///
+/// ASCII letters and digits and the space get their own bin; every other
+/// character (non-ASCII alphanumerics survive normalization) is lumped into
+/// one bin. Lumping can only *overcount* a multiset intersection, which
+/// keeps bounds derived from [`common_char_count`] sound.
+pub fn char_histogram(normalized: &str) -> [u32; HIST_BINS] {
+    let mut hist = [0u32; HIST_BINS];
+    for c in normalized.chars() {
+        hist[char_bin(c)] += 1;
+    }
+    hist
+}
+
+fn char_bin(c: char) -> usize {
+    match c {
+        'a'..='z' => c as usize - 'a' as usize,
+        '0'..='9' => 26 + (c as usize - '0' as usize),
+        ' ' => 36,
+        _ => 37,
+    }
+}
+
+/// Size of the character multiset intersection of two histograms: an upper
+/// bound on the number of equal-character matches any alignment of the two
+/// strings can contain.
+pub fn common_char_count(a: &[u32; HIST_BINS], b: &[u32; HIST_BINS]) -> u32 {
+    a.iter().zip(b).map(|(&x, &y)| x.min(y)).sum()
+}
 
 /// Length similarity of two raw strings in `[0, 1]`.
 ///
@@ -8,8 +42,17 @@ use crate::tokenize::normalize;
 /// length of the larger string; we compute it on normalized strings so that
 /// punctuation-only differences do not count.
 pub fn length_similarity(a: &str, b: &str) -> f64 {
-    let la = normalize(a).chars().count();
-    let lb = normalize(b).chars().count();
+    length_similarity_from_counts(normalize(a).chars().count(), normalize(b).chars().count())
+}
+
+/// Length similarity computed directly from two *normalized* char counts.
+///
+/// This is the exact computation [`length_similarity`] performs after
+/// normalizing — exposed separately so index construction can precompute each
+/// value's normalized length once and derive score bounds for whole candidate
+/// lists without re-normalizing (see
+/// [`crate::combined::SimilarityOperator::max_score_bound`]).
+pub fn length_similarity_from_counts(la: usize, lb: usize) -> f64 {
     if la == 0 && lb == 0 {
         return 1.0;
     }
@@ -45,5 +88,69 @@ mod tests {
     fn normalization_applies_before_measuring() {
         // "a--b" normalizes to "a b" (3 chars), same as "a b".
         assert_eq!(length_similarity("a--b", "a b"), 1.0);
+    }
+
+    #[test]
+    fn counts_form_agrees_with_string_form() {
+        use crate::tokenize::normalize;
+        let cases = [
+            ("", ""),
+            ("", "abc"),
+            ("ab", "abcd"),
+            ("Star Wars", "Star Wars: Episode IV - 1977"),
+            ("?!|", "a"),
+            ("ééé", "ee"),
+        ];
+        for (a, b) in cases {
+            let la = normalize(a).chars().count();
+            let lb = normalize(b).chars().count();
+            assert_eq!(
+                length_similarity(a, b),
+                length_similarity_from_counts(la, lb),
+                "({a:?}, {b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_counts_characters_with_multiplicity() {
+        let h = char_histogram("star wars 1977");
+        assert_eq!(h[char_bin('s')], 2);
+        assert_eq!(h[char_bin('a')], 2);
+        assert_eq!(h[char_bin('r')], 2);
+        assert_eq!(h[char_bin('9')], 1);
+        assert_eq!(h[char_bin('7')], 2);
+        assert_eq!(h[char_bin(' ')], 2);
+        assert_eq!(h.iter().sum::<u32>(), 14);
+    }
+
+    #[test]
+    fn common_count_is_the_multiset_intersection() {
+        let a = char_histogram("abca");
+        let b = char_histogram("aabd");
+        // common: a (min(2,2)=2), b (1); c, d don't overlap.
+        assert_eq!(common_char_count(&a, &b), 3);
+        assert_eq!(common_char_count(&a, &a), 4);
+        assert_eq!(common_char_count(&a, &char_histogram("")), 0);
+    }
+
+    #[test]
+    fn non_ascii_characters_share_the_lumped_bin() {
+        // Distinct non-ASCII chars lump together: the intersection may
+        // overcount (é vs ü), never undercount — the sound direction.
+        let a = char_histogram("é");
+        let b = char_histogram("ü");
+        assert_eq!(common_char_count(&a, &b), 1);
+    }
+
+    #[test]
+    fn counts_form_is_symmetric_and_bounded() {
+        for la in 0..20usize {
+            for lb in 0..20usize {
+                let s = length_similarity_from_counts(la, lb);
+                assert!((0.0..=1.0).contains(&s), "({la}, {lb}) = {s}");
+                assert_eq!(s, length_similarity_from_counts(lb, la));
+            }
+        }
     }
 }

@@ -21,8 +21,13 @@ pub mod tokenize;
 
 pub use combined::{combined_similarity, SimilarityOperator};
 pub use index::{IndexConfig, Match, QuerySym, SimilarityIndex};
-pub use length::length_similarity;
-pub use sw_gotoh::{swg_similarity, swg_similarity_with, SwgParams};
+pub use length::{
+    char_histogram, common_char_count, length_similarity, length_similarity_from_counts, HIST_BINS,
+};
+pub use sw_gotoh::{
+    swg_similarity, swg_similarity_normalized_chars, swg_similarity_normalized_chars_at_least,
+    swg_similarity_with, SwgParams,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -35,12 +35,30 @@ impl Default for SwgParams {
     }
 }
 
-/// Raw (un-normalized) best local alignment score between two char slices.
-fn best_local_score(a: &[char], b: &[char], p: &SwgParams) -> f64 {
+/// Raw (un-normalized) best local score, abandoning once it provably cannot
+/// reach `needed_raw` (returns `None` in that case, `Some(best)` otherwise).
+///
+/// The abandon test is row-wise: let `S_i` be the maximum over the live
+/// dynamic-program states of row `i` (`H` and the carried gap state `F`;
+/// the within-row state `E` restarts each row and derives from row-`i` `H`
+/// minus a non-negative gap cost). Every cell of a later row either starts
+/// a fresh alignment (value ≤ `match_score · remaining_rows`, and
+/// `S_i ≥ 0`) or extends a row-`i` state, gaining at most `match_score`
+/// per row — so the final best is at most
+/// `max(best_so_far, S_i + match_score · (n - i))`. When that bound falls
+/// below `needed_raw`, no later cell can matter. The test only compares —
+/// it never alters a computed cell — so a `Some` result is bit-identical
+/// to the exhaustive computation.
+fn best_local_score_at_least(
+    a: &[char],
+    b: &[char],
+    p: &SwgParams,
+    needed_raw: f64,
+) -> Option<f64> {
     let n = a.len();
     let m = b.len();
     if n == 0 || m == 0 {
-        return 0.0;
+        return Some(0.0);
     }
     // Rolling rows: H (best score ending at i,j), E (gap in a), F (gap in b).
     let mut h_prev = vec![0.0f64; m + 1];
@@ -49,8 +67,16 @@ fn best_local_score(a: &[char], b: &[char], p: &SwgParams) -> f64 {
     let mut f_curr = vec![f64::NEG_INFINITY; m + 1];
     let mut best = 0.0f64;
 
+    // The per-row gain bound (and therefore the abandon test) needs gap
+    // costs that never *add* score; with pathological negative gap costs
+    // the test is disabled and the program runs to completion.
+    let abandon_enabled =
+        needed_raw > f64::NEG_INFINITY && p.gap_open >= 0.0 && p.gap_extend >= 0.0;
+    let row_gain = p.match_score.max(p.mismatch_score).max(0.0);
+
     for i in 1..=n {
         let mut e = f64::NEG_INFINITY;
+        let mut row_max = 0.0f64;
         h_curr[0] = 0.0;
         for j in 1..=m {
             e = (e - p.gap_extend).max(h_curr[j - 1] - p.gap_open);
@@ -66,11 +92,18 @@ fn best_local_score(a: &[char], b: &[char], p: &SwgParams) -> f64 {
             if score > best {
                 best = score;
             }
+            row_max = row_max.max(score).max(f_curr[j]);
+        }
+        // Future gain is capped by the remaining rows and by the other
+        // string's total length (a path consumes each column at most once).
+        let future_bound = row_max + row_gain * (n - i).min(m) as f64;
+        if abandon_enabled && best < needed_raw && future_bound < needed_raw {
+            return None;
         }
         std::mem::swap(&mut h_prev, &mut h_curr);
         std::mem::swap(&mut f_prev, &mut f_curr);
     }
-    best
+    Some(best)
 }
 
 /// Normalized Smith-Waterman-Gotoh similarity of two raw strings in `[0, 1]`.
@@ -85,20 +118,55 @@ pub fn swg_similarity(a: &str, b: &str) -> f64 {
 pub fn swg_similarity_with(a: &str, b: &str, params: &SwgParams) -> f64 {
     let na = normalize(a);
     let nb = normalize(b);
-    if na.is_empty() && nb.is_empty() {
-        return 1.0;
-    }
-    if na.is_empty() || nb.is_empty() {
-        return 0.0;
-    }
     let ca: Vec<char> = na.chars().collect();
     let cb: Vec<char> = nb.chars().collect();
-    let best = best_local_score(&ca, &cb, params);
+    swg_similarity_normalized_chars(&ca, &cb, params)
+}
+
+/// Similarity of two **already-normalized** char slices. Bit-identical to
+/// [`swg_similarity_with`] on the normalized form of its inputs — the hot
+/// path for index construction, which normalizes every value exactly once
+/// and scores candidate pairs from the cached char vectors.
+pub fn swg_similarity_normalized_chars(ca: &[char], cb: &[char], params: &SwgParams) -> f64 {
+    swg_similarity_normalized_chars_at_least(ca, cb, params, f64::NEG_INFINITY)
+        .expect("no abandon threshold")
+}
+
+/// Safety slack of the early-abandon translation from a required
+/// *similarity* to a required *raw score*: the abandon test fires only when
+/// the final similarity is provably below `required` by more than this, so
+/// the handful of floating-point roundings between the two scales can never
+/// abandon a pair whose true score ties the requirement exactly.
+const ABANDON_SLACK: f64 = 1e-9;
+
+/// Like [`swg_similarity_normalized_chars`], but gives up as soon as the
+/// similarity provably cannot reach `required` (minus a tiny slack) and
+/// returns `None` — the caller learns "strictly below `required`" without
+/// paying for the full dynamic program. A `Some` result is bit-identical
+/// to the exhaustive function. Pass `f64::NEG_INFINITY` to never abandon.
+pub fn swg_similarity_normalized_chars_at_least(
+    ca: &[char],
+    cb: &[char],
+    params: &SwgParams,
+    required: f64,
+) -> Option<f64> {
+    if ca.is_empty() && cb.is_empty() {
+        return Some(1.0);
+    }
+    if ca.is_empty() || cb.is_empty() {
+        return Some(0.0);
+    }
     let denom = params.match_score * ca.len().min(cb.len()) as f64;
     if denom <= 0.0 {
-        return 0.0;
+        return Some(0.0);
     }
-    (best / denom).clamp(0.0, 1.0)
+    let needed_raw = if required > f64::NEG_INFINITY {
+        (required - ABANDON_SLACK) * denom
+    } else {
+        f64::NEG_INFINITY
+    };
+    let best = best_local_score_at_least(ca, cb, params, needed_raw)?;
+    Some((best / denom).clamp(0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -153,6 +221,55 @@ mod tests {
     fn small_typos_keep_similarity_high() {
         assert!(swg_similarity("Zoolander", "Zoolandr") > 0.8);
         assert!(swg_similarity("computers accessories", "computer accessories") > 0.9);
+    }
+
+    #[test]
+    fn char_path_is_bit_identical_to_the_string_path() {
+        let params = SwgParams::default();
+        for (a, b) in [
+            ("Superbad", "Superbad (2007)"),
+            ("Star Wars", "star-wars"),
+            ("", "abc"),
+            ("J. Smth", "Jon Smith"),
+        ] {
+            let ca: Vec<char> = normalize(a).chars().collect();
+            let cb: Vec<char> = normalize(b).chars().collect();
+            assert_eq!(
+                swg_similarity_with(a, b, &params),
+                swg_similarity_normalized_chars(&ca, &cb, &params),
+                "({a:?}, {b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn early_abandon_never_misreports_a_reachable_score() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xabdb);
+        let alphabet = "abcdef ";
+        let params = SwgParams::default();
+        for _ in 0..500 {
+            let mut s = |max_len: usize| -> Vec<char> {
+                let len = rng.gen_range(1..max_len + 1);
+                (0..len)
+                    .map(|_| alphabet.as_bytes()[rng.gen_range(0..alphabet.len())] as char)
+                    .collect()
+            };
+            let a = s(18);
+            let b = s(18);
+            let exact = swg_similarity_normalized_chars(&a, &b, &params);
+            let required = rng.gen_range(0.0..1.2);
+            match swg_similarity_normalized_chars_at_least(&a, &b, &params, required) {
+                // A completed run must be bit-identical to the exhaustive one.
+                Some(v) => assert_eq!(v, exact, "({a:?}, {b:?}, required {required})"),
+                // An abandon must only happen below the requirement.
+                None => assert!(
+                    exact < required,
+                    "abandoned ({a:?}, {b:?}) at required {required} but exact is {exact}"
+                ),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Differential suite: `SimilarityIndex::build` against the brute-force
+//! all-pairs reference index, on seeded dirty vocabularies.
+//!
+//! The oracle (`dlearn_test_support::index_oracle::ReferenceIndex`) scores
+//! every (left, right) pair — no blocking, no length filter, no top-k early
+//! exit, strictly serial. Equality with the production build therefore
+//! proves, per seeded case:
+//!
+//! * the **length filter** never skips a pair whose true score reaches the
+//!   threshold (the `max_score_bound` inequality holds in floating point);
+//! * the **top-k early exit** never abandons a candidate that belongs in
+//!   the final top-k under the (score desc, value asc) tie-break;
+//! * **blocking is complete on these vocabularies**: the generators corrupt
+//!   at most one token per variant and keep leading trigrams intact, so
+//!   every pair that can reach the threshold shares a blocking key (see
+//!   `dlearn_test_support::vocab`);
+//! * the **parallel merge** is deterministic — thread counts 1/2/8 build
+//!   the same index, which the dedicated sweep below pins case by case.
+//!
+//! This is the standing parity mechanism for index construction: future
+//! changes to the alignment loop only have to keep these properties, not
+//! reproduce any particular candidate order.
+
+use dlearn_similarity::{IndexConfig, SimilarityIndex, SimilarityOperator};
+use dlearn_test_support::index_oracle::ReferenceIndex;
+use dlearn_test_support::vocab::{dirty_vocabulary, DirtyVocabulary, VocabConfig};
+
+/// (threshold, top_k) grid crossed with the seeds below: thresholds span
+/// lenient to strict, top_k spans the paper's `km` sweep (2, 5, 10) plus
+/// the best-match case `km = 1`.
+const OPERATOR_GRID: &[(f64, usize)] = &[(0.65, 5), (0.7, 2), (0.75, 1), (0.8, 10)];
+
+fn check_case(vocab: &DirtyVocabulary, seed: u64, threshold: f64, top_k: usize) {
+    let index_config = IndexConfig {
+        top_k,
+        operator: SimilarityOperator::with_threshold(threshold),
+        threads: 1,
+    };
+    let oracle = ReferenceIndex::build(&vocab.left, &vocab.right, &index_config);
+    let built = SimilarityIndex::build(&vocab.left, &vocab.right, &index_config);
+    let built_view = ReferenceIndex::view_of(&built);
+    assert_eq!(
+        oracle, built_view,
+        "seed {seed}, threshold {threshold}, top_k {top_k}: \
+         built index diverged from the all-pairs oracle"
+    );
+}
+
+/// ~300 seeded vocabularies: 75 seeds × the 4-point operator grid, plus a
+/// smaller-vocabulary sweep (more noise relative to signal) below. The
+/// vocabulary depends only on (config, seed), so it is generated once per
+/// seed and shared across the operator grid.
+#[test]
+fn built_index_equals_all_pairs_oracle_on_seeded_vocabularies() {
+    let config = VocabConfig::default();
+    for seed in 0..75u64 {
+        let vocab = dirty_vocabulary(&config, seed);
+        for &(threshold, top_k) in OPERATOR_GRID {
+            check_case(&vocab, seed, threshold, top_k);
+        }
+    }
+}
+
+#[test]
+fn built_index_equals_oracle_on_small_noisy_vocabularies() {
+    // Small vocabularies surface edge cases the big sweep averages away:
+    // single-value blocks, left values with no candidates at all, sides
+    // that dedup to near-nothing.
+    let config = VocabConfig {
+        bases: 5,
+        left_variants: 1,
+        right_variants: 2,
+        noise_per_side: 4,
+        ..VocabConfig::default()
+    };
+    for seed in 1000..1050u64 {
+        let vocab = dirty_vocabulary(&config, seed);
+        for &(threshold, top_k) in &[(0.65, 2), (0.75, 5)] {
+            check_case(&vocab, seed, threshold, top_k);
+        }
+    }
+}
+
+#[test]
+fn zero_top_k_stores_nothing_and_matches_the_oracle() {
+    let vocab = dirty_vocabulary(&VocabConfig::default(), 9);
+    let index_config = IndexConfig {
+        top_k: 0,
+        operator: SimilarityOperator::with_threshold(0.65),
+        threads: 1,
+    };
+    let oracle = ReferenceIndex::build(&vocab.left, &vocab.right, &index_config);
+    let built = SimilarityIndex::build(&vocab.left, &vocab.right, &index_config);
+    assert_eq!(oracle.pair_count(), 0);
+    assert_eq!(built.pair_count(), 0);
+    assert_eq!(oracle, ReferenceIndex::view_of(&built));
+}
+
+/// The parallel merge is deterministic: 1/2/8 construction threads build
+/// bit-identical indexes (and all of them equal the oracle).
+#[test]
+fn thread_counts_build_identical_indexes() {
+    let config = VocabConfig::default();
+    for seed in [3u64, 17] {
+        let vocab = dirty_vocabulary(&config, seed);
+        let base_config = IndexConfig {
+            top_k: 5,
+            operator: SimilarityOperator::with_threshold(0.7),
+            threads: 1,
+        };
+        let oracle = ReferenceIndex::build(&vocab.left, &vocab.right, &base_config);
+        let serial = SimilarityIndex::build(&vocab.left, &vocab.right, &base_config);
+        assert_eq!(oracle, ReferenceIndex::view_of(&serial), "seed {seed}");
+        for threads in [2usize, 8] {
+            let threaded = SimilarityIndex::build(
+                &vocab.left,
+                &vocab.right,
+                &base_config.clone().with_threads(threads),
+            );
+            assert_eq!(
+                serial, threaded,
+                "seed {seed}: {threads}-thread build diverged from serial"
+            );
+        }
+    }
+}

@@ -16,6 +16,13 @@
 //! * [`string_reference`] — the string-keyed, allocation-heavy matcher the
 //!   interning refactor replaced, kept as a second, structurally different
 //!   reference implementation.
+//! * [`vocab`] — seeded dirty-string vocabulary generators (typos, token
+//!   swaps, decorations) whose corruptions always leave the two sides of a
+//!   shared base in a common blocking block.
+//! * [`index_oracle`] — a brute-force all-pairs reference similarity index
+//!   (no blocking, no length filter, no early exit) that the similarity
+//!   crate's differential suite compares the production
+//!   `SimilarityIndex::build` against.
 //!
 //! The differential tests assert *soundness* (any θ the production matcher
 //! returns verifies as an embedding) and *decision agreement* with both
@@ -25,11 +32,15 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod index_oracle;
 pub mod oracle;
 pub mod string_reference;
+pub mod vocab;
 
 pub use gen::{
     backtracking_heavy_pair, derived_candidate, random_candidate, random_ground, GenConfig,
 };
+pub use index_oracle::ReferenceIndex;
 pub use oracle::OracleGround;
 pub use string_reference::StringGround;
+pub use vocab::{dirty_vocabulary, DirtyVocabulary, VocabConfig};

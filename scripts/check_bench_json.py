@@ -30,6 +30,7 @@ EXPECTED_BENCHES = [
     "subsumption/backtracking_heavy",
     "subsumption/backtracking_heavy_static",
     "subsumption/bottom_clause_build",
+    "subsumption/index_build",
     "subsumption/generalization_round",
 ]
 
@@ -49,6 +50,7 @@ GATE_TOLERANCE = 0.20
 GATED_BENCHES = [
     "subsumption/subsumes",
     "subsumption/coverage_engine_counts",
+    "subsumption/index_build",
 ]
 
 

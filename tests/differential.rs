@@ -102,6 +102,7 @@ fn movie_task_coverage_decisions_match_string_reference() {
     let index_config = IndexConfig {
         top_k: config.km,
         operator: SimilarityOperator::with_threshold(config.similarity_threshold),
+        ..IndexConfig::default()
     };
     let catalog = MdCatalog::build(
         &task.mds,

@@ -9,9 +9,16 @@
 //! stay within the step budget (true on this workload by a wide margin),
 //! so switching it on or off must not move a single literal of the learned
 //! definition at any thread count.
+//!
+//! Similarity-index construction carries the same contract: left-value
+//! chunks merge in left order, so the built [`SimilarityIndex`] — and every
+//! definition learned through it — is bit-identical across index-build
+//! thread counts.
 
 use dlearn::core::{DLearn, LearnerConfig};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
+use dlearn::similarity::{IndexConfig, SimilarityIndex, SimilarityOperator};
+use dlearn_test_support::vocab::{dirty_vocabulary, VocabConfig};
 
 fn config(seed: u64, generalization_threads: usize, coverage_threads: usize) -> LearnerConfig {
     LearnerConfig {
@@ -51,6 +58,59 @@ fn adaptive_ordering_learns_bit_identical_definitions_at_any_thread_count() {
                 baseline.definition(),
                 model.definition(),
                 "adaptive={adaptive}, threads={threads}: learned definition diverged\n\
+                 baseline:\n{}\ngot:\n{}",
+                baseline.render(),
+                model.render()
+            );
+        }
+    }
+}
+
+#[test]
+fn index_build_threads_produce_bit_identical_indexes() {
+    // The index itself, on realistic dirty vocabularies: 1/2/8 construction
+    // threads × 2 seeds must agree entry for entry (SimilarityIndex derives
+    // PartialEq over its two match maps).
+    for seed in [5u64, 23] {
+        let vocab = dirty_vocabulary(&VocabConfig::default(), seed);
+        let config = IndexConfig {
+            top_k: 5,
+            operator: SimilarityOperator::with_threshold(0.7),
+            threads: 1,
+        };
+        let serial = SimilarityIndex::build(&vocab.left, &vocab.right, &config);
+        assert!(
+            serial.pair_count() > 0,
+            "seed {seed}: vocabulary produced no matches; the test is vacuous"
+        );
+        for threads in [2usize, 8] {
+            let threaded = SimilarityIndex::build(
+                &vocab.left,
+                &vocab.right,
+                &config.clone().with_threads(threads),
+            );
+            assert_eq!(
+                serial, threaded,
+                "seed {seed}: index built with {threads} threads diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_build_threads_do_not_change_the_learned_model() {
+    // Downstream of the index: the learned definition must be bit-identical
+    // across index-build thread counts 1/2/8 × 2 seeds.
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    for seed in [7u64, 21] {
+        let baseline = DLearn::new(config(seed, 1, 1).with_index_threads(1)).learn(&dataset.task);
+        for threads in [2usize, 8] {
+            let model =
+                DLearn::new(config(seed, 1, 1).with_index_threads(threads)).learn(&dataset.task);
+            assert_eq!(
+                baseline.definition(),
+                model.definition(),
+                "seed {seed}, index_threads={threads}: learned definition diverged\n\
                  baseline:\n{}\ngot:\n{}",
                 baseline.render(),
                 model.render()
