@@ -13,7 +13,9 @@
 //! static literal ordering, so the ordering win shows up in the committed
 //! trajectory as a machine-independent ratio — plus `index_build`, the
 //! similarity-index construction on a ~1k×1k dirty vocabulary (length
-//! filter + top-k early exit + parallel fan-out). Later performance work diffs
+//! filter + top-k early exit + parallel fan-out) — plus the serving pair
+//! `predict_loop`/`predict_batch`, per-example prediction vs the batched
+//! `Predictor` entry point on a repetition-heavy trace. Later performance work diffs
 //! against this file to prove a trajectory; CI parses it for structural
 //! integrity and runs a same-machine regression gate (see
 //! `scripts/check_bench_json.py`).
@@ -145,6 +147,34 @@ fn bench_subsumption(c: &mut Criterion) {
             ))
         })
     });
+    // Serving-shaped prediction on the movie workload: a trace of the
+    // task's training tuples repeated 4x (serving traffic repeats queries).
+    // `predict_loop` is the per-example baseline — one `Predictor::predict`
+    // call per trace entry; `predict_batch` is the batched entry point,
+    // which grounds each *distinct* tuple once behind one shared
+    // bottom-clause builder and fans out across `coverage_threads` (a
+    // single thread here; the fan-out multiplies on multicore).
+    let serve_engine =
+        dlearn_core::Engine::prepare(task.clone(), config.clone()).expect("valid task");
+    let learned = serve_engine
+        .learn(dlearn_core::Strategy::DLearn)
+        .expect("learn");
+    let predictor = serve_engine.predictor(&learned);
+    let trace: Vec<dlearn_relstore::Tuple> = (0..4)
+        .flat_map(|_| task.positives.iter().chain(task.negatives.iter()).cloned())
+        .collect();
+    group.bench_function("predict_loop", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for e in &trace {
+                hits += predictor.predict(e).expect("predict") as usize;
+            }
+            criterion::black_box(hits)
+        })
+    });
+    group.bench_function("predict_batch", |b| {
+        b.iter(|| criterion::black_box(predictor.predict_batch(&trace).expect("predict")))
+    });
     group.bench_function("generalization_round", |b| {
         // One covering-loop round: generalize the current clause toward a
         // few sampled positives, prepare each candidate and score it.
@@ -178,7 +208,7 @@ fn main() {
     // Machine-readable baseline at the workspace root.
     let results = criterion.take_results();
     let mut json = String::from(
-        "{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1); index_build on dirty-vocab ~1k x 1k\",\n",
+        "{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1); index_build on dirty-vocab ~1k x 1k; predict_* on a 4x-repeated training trace\",\n",
     );
     json.push_str("  \"unit\": \"ns (median per iteration)\",\n  \"benches\": {\n");
     for (i, r) in results.iter().enumerate() {

@@ -31,7 +31,10 @@ pub use cfd::{Cfd, PatternValue};
 pub use consistency::{find_inconsistencies, is_consistent, Inconsistency};
 pub use md::{MatchingDependency, SimilarityPair};
 pub use md_index::{MdCatalog, MdIndex};
-pub use repair::{all_cfds_satisfied, enforce_md_best_match, minimal_cfd_repair, RepairStats};
+pub use repair::{
+    all_cfds_satisfied, enforce_md_best_match, enforce_md_best_match_with_index,
+    minimal_cfd_repair, RepairStats,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -255,6 +255,54 @@ pub fn enforce_md_best_match(
     (db, replacements)
 }
 
+/// [`enforce_md_best_match`] driven by a *prebuilt* MD index instead of a
+/// fresh per-call similarity build: every value of the MD's right-hand
+/// identified attribute is replaced by its best match recorded in the index
+/// (the first entry of its right-to-left match list). Prepared sessions use
+/// this so Castor-Clean preprocessing reuses the index built once at
+/// `Engine::prepare` time.
+///
+/// Not pair-for-pair identical to [`enforce_md_best_match`]: the prebuilt
+/// index's right-to-left lists are derived from the pairs that survived
+/// each *left* value's top-k truncation, so a right value whose true best
+/// left match was truncated out unifies with its best *stored* partner
+/// (or stays unchanged when no pair survived). The dedicated build in
+/// [`enforce_md_best_match`] probes from the right side and always finds
+/// the true best left match.
+pub fn enforce_md_best_match_with_index(
+    database: &Database,
+    md_index: &crate::md_index::MdIndex,
+) -> (Database, usize) {
+    let md = &md_index.md;
+    let mut db = database.clone();
+    let Some(right_rel) = database.relation(md.right_relation) else {
+        return (db, 0);
+    };
+    let Some(right_idx) = right_rel.schema().attribute_pos(md.identify_right) else {
+        return (db, 0);
+    };
+    let updates: Vec<(usize, Value)> = right_rel
+        .iter()
+        .filter_map(|(id, tuple)| {
+            let current = tuple.value(right_idx)?.as_sym()?;
+            let best = md_index.matches_from_right(current).first()?;
+            if best.value != current {
+                Some((id, Value::Str(best.value)))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let replacements = updates.len();
+    let right_mut = db.relation_mut(md.right_relation).expect("relation exists");
+    for (id, value) in updates {
+        right_mut
+            .update_value(id, right_idx, value)
+            .expect("validated update");
+    }
+    (db, replacements)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

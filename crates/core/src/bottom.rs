@@ -147,12 +147,18 @@ impl<'a> BottomClauseBuilder<'a> {
         let mut ordered: Vec<(RelId, usize)> = state.collected.iter().copied().collect();
         ordered.sort(); // RelId orders by name: same order as the String era
         for (rel_id, id) in ordered {
+            // Invariant: every (rel_id, id) in `collected` came out of a
+            // select over this database earlier in the walk. Task-shape
+            // errors (unknown relations in MDs/CFDs, bad example arity) are
+            // rejected at `Engine::prepare` time and never reach here.
             let relation = self
                 .task
                 .database
                 .relation(rel_id)
-                .expect("collected relation");
-            let tuple = relation.tuple(id).expect("collected tuple");
+                .expect("collected (relation, id) pairs come from this database");
+            let tuple = relation
+                .tuple(id)
+                .expect("collected (relation, id) pairs come from this database");
             let args: Vec<Term> = tuple
                 .values()
                 .iter()

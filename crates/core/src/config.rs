@@ -153,6 +153,48 @@ impl LearnerConfig {
         self
     }
 
+    /// Validate the configuration for use by a prepared [`crate::Engine`]
+    /// session: zero-valued caps that would make the learner a silent no-op
+    /// and out-of-range thresholds are rejected up front.
+    pub fn validate(&self) -> Result<(), crate::error::DlearnError> {
+        use crate::error::DlearnError;
+        let nonzero: [(&'static str, usize); 6] = [
+            ("iterations", self.iterations),
+            ("sample_size", self.sample_size),
+            ("max_clauses", self.max_clauses),
+            ("max_repaired_clauses", self.max_repaired_clauses),
+            ("binding_cap", self.binding_cap),
+            ("sample_positives", self.sample_positives),
+        ];
+        for (field, value) in nonzero {
+            if value == 0 {
+                return Err(DlearnError::InvalidConfig {
+                    field,
+                    reason: "must be at least 1".into(),
+                });
+            }
+        }
+        if self.use_mds && self.km == 0 {
+            return Err(DlearnError::InvalidConfig {
+                field: "km",
+                reason: "must be at least 1 when matching dependencies are used".into(),
+            });
+        }
+        if !self.similarity_threshold.is_finite()
+            || self.similarity_threshold <= 0.0
+            || self.similarity_threshold > 1.0
+        {
+            return Err(DlearnError::InvalidConfig {
+                field: "similarity_threshold",
+                reason: format!(
+                    "must be a finite value in (0, 1], got {}",
+                    self.similarity_threshold
+                ),
+            });
+        }
+        Ok(())
+    }
+
     fn resolve_threads(requested: usize) -> usize {
         if requested > 0 {
             requested

@@ -116,6 +116,30 @@ impl PreparedClause {
     pub fn numbered_repaired(&self) -> &[NumberedClause] {
         &self.numbered_repaired
     }
+
+    /// Positive-coverage test (Definition 3.4) against a ground example: the
+    /// clause covers it iff it θ-subsumes the ground clause directly, or
+    /// every repaired clause subsumes some repaired version of the ground
+    /// clause. This is the single decision path shared by the coverage
+    /// engine's positive masks and [`crate::Predictor`].
+    pub fn covers_ground(
+        &self,
+        example: &GroundExample,
+        config: &dlearn_logic::SubsumptionConfig,
+    ) -> bool {
+        if subsumes_numbered_decision(self.numbered(), &example.ground, config) {
+            return true;
+        }
+        if self.repaired.is_empty() {
+            return false;
+        }
+        self.numbered_repaired().iter().all(|cr| {
+            example
+                .repaired
+                .iter()
+                .any(|gr| subsumes_numbered_decision(cr, gr, config))
+        })
+    }
 }
 
 /// Coverage statistics of a clause over a set of examples.
@@ -188,22 +212,7 @@ impl CoverageEngine {
     /// θ-subsumes the ground clause directly, or every one of its repaired
     /// clauses subsumes some repaired version of the ground clause.
     pub fn covers_positive(&self, prepared: &PreparedClause, example: &GroundExample) -> bool {
-        if subsumes_numbered_decision(
-            prepared.numbered(),
-            &example.ground,
-            &self.config.subsumption,
-        ) {
-            return true;
-        }
-        if prepared.repaired.is_empty() {
-            return false;
-        }
-        prepared.numbered_repaired().iter().all(|cr| {
-            example
-                .repaired
-                .iter()
-                .any(|gr| subsumes_numbered_decision(cr, gr, &self.config.subsumption))
-        })
+        prepared.covers_ground(example, &self.config.subsumption)
     }
 
     /// Negative coverage (Definition 3.6): the clause covers `example` iff

@@ -1,0 +1,135 @@
+//! The fallible public surface: every error a prepared [`crate::Engine`]
+//! session or a bound [`crate::Predictor`] can report.
+//!
+//! The paper's pipeline has plenty of places where a malformed task used to
+//! surface as a panic deep inside bottom-clause construction (an MD naming a
+//! relation that does not exist, an example tuple of the wrong arity, …).
+//! [`DlearnError`] moves all of those to `Engine::prepare`/`predict` time as
+//! typed variants, so serving callers can reject bad input without tearing
+//! down the process.
+
+use std::fmt;
+
+use dlearn_relstore::StoreError;
+
+/// Errors of the public learning/serving API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DlearnError {
+    /// A schema-level reference error: the task's database, constraints or
+    /// declarations reference an unknown relation/attribute, or a tuple does
+    /// not fit its schema. Wraps the store's own error, usually inside a
+    /// [`StoreError::InContext`] naming the offending declaration.
+    Store(StoreError),
+    /// An example tuple's arity does not match the target relation's.
+    ExampleArity {
+        /// Arity declared by the task's [`crate::TargetSpec`].
+        expected: usize,
+        /// Arity of the offending example tuple.
+        actual: usize,
+        /// Position of the tuple in the example list.
+        index: usize,
+        /// `true` when the tuple is a positive example.
+        positive: bool,
+    },
+    /// The task has no positive examples; a covering learner cannot learn a
+    /// definition from negatives alone.
+    EmptyPositives,
+    /// A tuple handed to [`crate::Predictor::predict`] /
+    /// [`crate::Predictor::predict_batch`] does not have the target
+    /// relation's arity.
+    PredictArity {
+        /// Arity of the target relation the model was learned for.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+        /// Position of the tuple in the batch (0 for single predictions).
+        index: usize,
+    },
+    /// A configuration field holds a value the learner cannot run with.
+    InvalidConfig {
+        /// The offending [`crate::LearnerConfig`] field.
+        field: &'static str,
+        /// Why the value is rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DlearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlearnError::Store(e) => write!(f, "invalid task: {e}"),
+            DlearnError::ExampleArity {
+                expected,
+                actual,
+                index,
+                positive,
+            } => write!(
+                f,
+                "{} example #{index} has arity {actual}, target expects {expected}",
+                if *positive { "positive" } else { "negative" }
+            ),
+            DlearnError::EmptyPositives => {
+                write!(f, "task has no positive examples to learn from")
+            }
+            DlearnError::PredictArity {
+                expected,
+                actual,
+                index,
+            } => write!(
+                f,
+                "prediction tuple #{index} has arity {actual}, target expects {expected}"
+            ),
+            DlearnError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field `{field}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DlearnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DlearnError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for DlearnError {
+    fn from(e: StoreError) -> Self {
+        DlearnError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_actionable_messages() {
+        let e = DlearnError::from(
+            StoreError::UnknownRelation("omdb_movies".into()).in_context("MD 'titles'"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("MD 'titles'"), "{msg}");
+        assert!(msg.contains("omdb_movies"), "{msg}");
+
+        let e = DlearnError::ExampleArity {
+            expected: 1,
+            actual: 3,
+            index: 4,
+            positive: false,
+        };
+        assert!(e.to_string().contains("negative example #4"), "{e}");
+        assert!(DlearnError::EmptyPositives.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn store_errors_keep_their_source_chain() {
+        use std::error::Error;
+        let e = DlearnError::from(StoreError::UnknownRelation("x".into()));
+        assert!(e.source().is_some());
+        assert!(DlearnError::EmptyPositives.source().is_none());
+    }
+}

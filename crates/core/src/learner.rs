@@ -1,25 +1,22 @@
-//! The learner: strategy-specific preprocessing, the covering loop
-//! (Algorithm 1) and the baseline systems of the paper's evaluation.
+//! Strategies, the legacy one-shot learner entry points, and the shared
+//! target-augmentation helper.
+//!
+//! The covering loop (Algorithm 1) and the strategy preprocessing live in
+//! [`crate::engine`] since the API moved to prepared sessions;
+//! [`Learner`]/[`DLearn`] remain as thin deprecated shims that prepare an
+//! [`Engine`] per call and delegate, so existing one-shot callers keep
+//! working while new code prepares once and learns/serves many times.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
-use dlearn_constraints::{enforce_md_best_match, minimal_cfd_repair, MdCatalog};
-use dlearn_logic::{Clause, Definition, NumberedClause};
 use dlearn_relstore::{Attribute, Database, RelationSchema, ValueType};
-use dlearn_similarity::{IndexConfig, SimilarityOperator};
 
-use crate::bottom::BottomClauseBuilder;
 use crate::config::LearnerConfig;
-use crate::coverage::{CoverageEngine, PreparedClause};
-use crate::generalize::generalize_prepared;
-use crate::model::{ClauseStats, LearnedModel};
+use crate::engine::Engine;
+use crate::model::LearnedModel;
 use crate::task::LearningTask;
 
 /// Which system to run. `DLearn` is the paper's contribution; the others are
 /// the baselines of Section 6.1.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// DLearn with MD and CFD repair support (DLearn-CFD in Table 5; plain
     /// DLearn in Table 4 where no CFD violations are injected).
@@ -97,36 +94,23 @@ pub fn augment_with_target(task: &LearningTask) -> Database {
     db
 }
 
-/// Copy a database, omitting one relation (used to strip an augmented target
-/// relation again after Castor-Clean preprocessing).
-fn copy_without(db: &Database, skip: &str) -> Database {
-    let mut out = Database::new();
-    for rel in db.relations() {
-        if rel.name() == skip {
-            continue;
-        }
-        out.create_relation(rel.schema().clone())
-            .expect("fresh database");
-        for (_, t) in rel.iter() {
-            out.insert(rel.name(), t.clone())
-                .expect("copied tuple is valid");
-        }
-    }
-    out
-}
-
 /// Outcome of a learning run: the model plus basic run statistics.
 #[derive(Debug)]
 pub struct LearnOutcome {
     /// The learned model.
     pub model: LearnedModel,
-    /// Wall-clock learning time in seconds.
+    /// Wall-clock learning time in seconds (including, for the one-shot
+    /// entry points, the session preparation an [`Engine`] amortizes).
     pub seconds: f64,
     /// Number of bottom clauses constructed.
     pub bottom_clauses_built: usize,
 }
 
 /// A configurable learner running one of the [`Strategy`] variants.
+///
+/// Deprecated one-shot shim: every `learn` call prepares a fresh
+/// [`Engine`] — rebuilding the similarity index and re-grounding every
+/// training example. Prefer [`Engine::prepare`] + [`Engine::learn`].
 #[derive(Debug, Clone)]
 pub struct Learner {
     strategy: Strategy,
@@ -145,209 +129,32 @@ impl Learner {
     }
 
     /// Learn a definition for the task's target relation.
+    #[deprecated(
+        since = "0.1.0",
+        note = "prepare an `Engine` once and call `Engine::learn`; this shim rebuilds the session per call"
+    )]
     pub fn learn(&self, task: &LearningTask) -> LearnOutcome {
         let start = std::time::Instant::now();
-
-        // 1. Strategy-specific preprocessing of the database and config.
-        let mut config = self.config.clone();
-        let mut task = task.clone();
-        match self.strategy {
-            Strategy::DLearn => {}
-            Strategy::CastorNoMd => {
-                config.use_mds = false;
-                config.use_cfd_repairs = false;
-            }
-            Strategy::CastorExact => {
-                config.exact_md_joins = true;
-                config.use_cfd_repairs = false;
-            }
-            Strategy::CastorClean => {
-                // Resolve heterogeneity up front: unify each value with its
-                // single most similar counterpart, then learn with exact
-                // joins only.
-                let augmented = augment_with_target(&task);
-                let mut cleaned = augmented;
-                let index_config = IndexConfig {
-                    top_k: 1,
-                    operator: SimilarityOperator::with_threshold(config.similarity_threshold),
-                    threads: config.index_threads,
-                };
-                for md in &task.mds {
-                    let (next, _) = enforce_md_best_match(&cleaned, md, &index_config);
-                    cleaned = next;
-                }
-                task.database = copy_without(&cleaned, &task.target.name);
-                // After unification the MD attributes hold identical strings,
-                // so Castor learns over the "clean" database with exact joins
-                // along the (now resolved) MD attributes.
-                config.exact_md_joins = true;
-                config.use_cfd_repairs = false;
-            }
-            Strategy::DLearnRepaired => {
-                let (repaired, _) = minimal_cfd_repair(&task.database, &task.cfds);
-                task.database = repaired;
-                config.use_cfd_repairs = false;
-            }
-        }
-
-        // 2. Precompute similarity matches for the MDs (Section 5).
-        let catalog = if config.use_mds && !task.mds.is_empty() {
-            let threshold = if config.exact_md_joins {
-                // Exact joins: only identical normalized strings match.
-                0.9999
-            } else {
-                config.similarity_threshold
-            };
-            let index_config = IndexConfig {
-                top_k: config.km,
-                operator: SimilarityOperator::with_threshold(threshold),
-                threads: config.index_threads,
-            };
-            MdCatalog::build(&task.mds, &augment_with_target(&task), &index_config)
-        } else {
-            MdCatalog::default()
-        };
-
-        // 3. Ground bottom clauses for all training examples.
-        let builder = BottomClauseBuilder::new(&task, &catalog, &config);
-        let engine = CoverageEngine::build(&task, &builder, &config);
-        let mut bottom_clauses_built = task.positives.len() + task.negatives.len();
-
-        // 4. Covering loop (Algorithm 1).
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut uncovered: Vec<usize> = (0..task.positives.len()).collect();
-        let mut definition = Definition::new();
-        let mut stats: Vec<ClauseStats> = Vec::new();
-
-        while !uncovered.is_empty() && definition.len() < config.max_clauses {
-            let seed_example = uncovered[0];
-            let bottom = builder.build(&task.positives[seed_example], &mut rng);
-            bottom_clauses_built += 1;
-            if bottom.body.is_empty() {
-                uncovered.remove(0);
-                continue;
-            }
-
-            // LearnClause: generalize the bottom clause against sampled
-            // uncovered positives, hill-climbing on the clause score.
-            let mut current = bottom;
-            let mut current_prepared = PreparedClause::prepare(current.clone(), &config);
-            let mut current_score = engine.score(&current_prepared);
-            for _round in 0..config.max_generalization_rounds {
-                let mut sample: Vec<usize> = uncovered
-                    .iter()
-                    .copied()
-                    .filter(|&i| i != seed_example)
-                    .collect();
-                sample.shuffle(&mut rng);
-                sample.truncate(config.sample_positives);
-                if sample.is_empty() {
-                    break;
-                }
-                let best = best_generalization(
-                    &engine,
-                    &current,
-                    current_prepared.numbered(),
-                    &sample,
-                    &config,
-                );
-                match best {
-                    Some((score, prepared)) if score > current_score => {
-                        current = prepared.clause.clone();
-                        current_prepared = prepared;
-                        current_score = score;
-                    }
-                    _ => break,
-                }
-            }
-
-            // Minimum criterion: the clause must cover enough positives and
-            // more positives than negatives.
-            let positive_mask = engine.positive_mask(&current_prepared);
-            let positives_covered = positive_mask.iter().filter(|&&b| b).count();
-            let negatives_covered = engine
-                .negative_mask(&current_prepared)
-                .iter()
-                .filter(|&&b| b)
-                .count();
-            let accept = positives_covered >= config.min_positive_coverage.min(uncovered.len())
-                && positives_covered > negatives_covered;
-            if accept {
-                definition.push(current);
-                stats.push(ClauseStats {
-                    positives_covered,
-                    negatives_covered,
-                });
-                uncovered.retain(|&i| !positive_mask[i]);
-                if uncovered.first() == Some(&seed_example) {
-                    // Defensive: never loop forever on an uncoverable seed.
-                    uncovered.remove(0);
-                }
-            } else {
-                uncovered.remove(0);
-            }
-        }
-
-        let model = LearnedModel::new(definition, stats, task, catalog, config);
+        // The legacy entry points accepted any task: skip validation so a
+        // malformed task fails (or quietly learns nothing) exactly where it
+        // used to, and an empty-positives task still yields an empty model.
+        let engine = Engine::prepare_unchecked(task.clone(), self.config.clone());
+        let learned = engine
+            .learn(self.strategy)
+            .expect("learning over a prepared session is infallible");
+        let model = LearnedModel::from_predictor(engine.predictor(&learned));
         LearnOutcome {
             model,
             seconds: start.elapsed().as_secs_f64(),
-            bottom_clauses_built,
+            bottom_clauses_built: learned.bottom_clauses_built(),
         }
     }
-}
-
-/// Score every sampled generalization candidate and return the best one.
-///
-/// The per-candidate work — generalize `current` toward the sampled
-/// positive's ground bottom clause, expand/renumber the result, score it
-/// against the full training set — is independent across samples, so it fans
-/// out across `std::thread::scope` workers in contiguous chunks (the same
-/// order-preserving [`crate::par::chunked_map`] the coverage masks use).
-/// Workers score with [`CoverageEngine::score_serial`] so the per-mask
-/// coverage threads do not multiply underneath the fan-out (cores², with
-/// both knobs defaulting to available cores). The reduction is deterministic
-/// and matches the serial loop exactly: highest score wins, ties broken by
-/// the earliest sample position, so learned definitions are bit-identical at
-/// any thread count.
-fn best_generalization(
-    engine: &CoverageEngine,
-    current: &Clause,
-    current_numbered: &NumberedClause,
-    sample: &[usize],
-    config: &LearnerConfig,
-) -> Option<(i64, PreparedClause)> {
-    let threads = config.effective_generalization_threads();
-    let fanned_out = threads > 1 && sample.len() >= 2;
-    let scored = crate::par::chunked_map(sample, threads, 2, |_, &ei| {
-        let target_ground = &engine.positive(ei).ground;
-        let candidate =
-            generalize_prepared(current, current_numbered, target_ground, config.binding_cap)?;
-        if candidate.body.is_empty() {
-            return None;
-        }
-        let prepared = PreparedClause::prepare(candidate, config);
-        let score = if fanned_out {
-            engine.score_serial(&prepared)
-        } else {
-            engine.score(&prepared)
-        };
-        Some((score, prepared))
-    });
-
-    // First strict maximum in sample order — identical to the serial loop.
-    let mut best: Option<(i64, PreparedClause)> = None;
-    for entry in scored.into_iter().flatten() {
-        if best.as_ref().map(|(s, _)| entry.0 > *s).unwrap_or(true) {
-            best = Some(entry);
-        }
-    }
-    best
 }
 
 /// The DLearn system with its default strategy (learning directly over the
-/// dirty database with MD and CFD repair literals). This is the main entry
-/// point of the library.
+/// dirty database with MD and CFD repair literals).
+///
+/// Deprecated one-shot shim over [`Engine`]; see [`Learner`].
 #[derive(Debug, Clone)]
 pub struct DLearn {
     learner: Learner,
@@ -362,12 +169,22 @@ impl DLearn {
     }
 
     /// Learn a definition, returning just the model.
+    #[deprecated(
+        since = "0.1.0",
+        note = "prepare an `Engine` once and call `Engine::learn`; this shim rebuilds the session per call"
+    )]
     pub fn learn(&mut self, task: &LearningTask) -> LearnedModel {
+        #[allow(deprecated)]
         self.learner.learn(task).model
     }
 
     /// Learn a definition, returning the model together with run statistics.
+    #[deprecated(
+        since = "0.1.0",
+        note = "prepare an `Engine` once and call `Engine::learn`; this shim rebuilds the session per call"
+    )]
     pub fn learn_with_stats(&mut self, task: &LearningTask) -> LearnOutcome {
+        #[allow(deprecated)]
         self.learner.learn(task)
     }
 }
@@ -497,6 +314,8 @@ pub(crate) mod test_fixtures {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)]
+
     use super::test_fixtures::two_source_task;
     use super::*;
 
@@ -590,5 +409,18 @@ mod tests {
         let outcome = baselines::castor_clean(config()).learn(&task);
         // The model must still be usable for prediction.
         let _ = outcome.model.predict(&task.positives[0]);
+    }
+
+    #[test]
+    fn legacy_shim_learns_the_same_definition_as_the_engine() {
+        let task = two_source_task();
+        let outcome = Learner::new(Strategy::DLearn, config()).learn(&task);
+        let engine = Engine::prepare(task, config()).expect("valid task");
+        let learned = engine.learn(Strategy::DLearn).expect("learn");
+        assert_eq!(
+            outcome.model.definition(),
+            learned.definition(),
+            "legacy shim diverged from the session API"
+        );
     }
 }

@@ -17,14 +17,17 @@
 //! 3. [`coverage::CoverageEngine`] scores candidate clauses with
 //!    θ-subsumption-based coverage tests under the repair semantics of
 //!    Definitions 3.4 / 3.6 (Section 4.3).
-//! 4. [`learner::Learner`] wraps everything in the covering loop
-//!    (Algorithm 1) and implements the paper's baselines (Castor-NoMD,
-//!    Castor-Exact, Castor-Clean, DLearn-Repaired) as strategies.
+//! 4. [`engine::Engine`] prepares the expensive per-database artifacts (the
+//!    MD similarity index, the ground bottom clauses of the training
+//!    examples) **once**, runs any of the paper's five strategies against
+//!    them, and binds learned definitions to [`engine::Predictor`]s for
+//!    batched serving.
 //!
-//! The main entry point is [`DLearn`]:
+//! The main entry point is [`Engine`]: prepare once, learn and serve many
+//! times.
 //!
 //! ```
-//! use dlearn_core::{DLearn, LearnerConfig, LearningTask, TargetSpec};
+//! use dlearn_core::{Engine, LearnerConfig, LearningTask, Strategy, TargetSpec};
 //! use dlearn_relstore::{tuple, DatabaseBuilder, RelationBuilder, Value};
 //!
 //! let db = DatabaseBuilder::new()
@@ -36,9 +39,22 @@
 //! let mut task = LearningTask::new(db, TargetSpec::new("hit", 1));
 //! task.add_constant_attribute("genres", "genre");
 //! task.positives.push(tuple(vec![Value::int(1)]));
-//! let mut learner = DLearn::new(LearnerConfig::fast());
-//! let model = learner.learn(&task);
-//! assert!(model.clauses().len() <= 4);
+//!
+//! // Prepare the session once: validates the task and builds the shared
+//! // similarity index and ground examples. Malformed tasks are typed
+//! // `DlearnError`s here, not panics later.
+//! let engine = Engine::prepare(task, LearnerConfig::fast())?;
+//!
+//! // Learn with any strategy against the shared prepared state.
+//! let learned = engine.learn(Strategy::DLearn)?;
+//! assert!(learned.clauses().len() <= 4);
+//!
+//! // Bind the definition for serving: `predict_batch` grounds and tests
+//! // examples in parallel, deterministically.
+//! let predictor = engine.predictor(&learned);
+//! let verdicts = predictor.predict_batch(&[tuple(vec![Value::int(1)])])?;
+//! assert_eq!(verdicts.len(), 1);
+//! # Ok::<(), dlearn_core::DlearnError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -46,6 +62,8 @@
 pub mod bottom;
 pub mod config;
 pub mod coverage;
+pub mod engine;
+pub mod error;
 pub mod generalize;
 pub mod learner;
 pub mod model;
@@ -55,6 +73,8 @@ pub mod task;
 pub use bottom::BottomClauseBuilder;
 pub use config::LearnerConfig;
 pub use coverage::{CoverageCounts, CoverageEngine, GroundExample, PreparedClause};
+pub use engine::{Engine, Learned, Predictor};
+pub use error::DlearnError;
 pub use generalize::{generalize, generalize_prepared};
 pub use learner::{augment_with_target, baselines, DLearn, LearnOutcome, Learner, Strategy};
 pub use model::{ClauseStats, LearnedModel};

@@ -1,17 +1,18 @@
-//! Learned models: the definition plus everything needed to apply it to new
-//! examples.
+//! The legacy learned-model type, now a thin wrapper over an engine-bound
+//! [`Predictor`].
+//!
+//! [`LearnedModel`] predates the session API: it bundled the definition with
+//! a private copy of the task, catalog and config so it could predict. It
+//! survives as a compatibility facade over [`Predictor`] — same method
+//! surface, same deterministic predictions — for callers of the deprecated
+//! one-shot entry points. New code should hold a [`crate::Learned`] value
+//! and bind it with [`crate::Engine::predictor`].
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use dlearn_constraints::MdCatalog;
 use dlearn_logic::{Clause, Definition};
 use dlearn_relstore::Tuple;
 
-use crate::bottom::BottomClauseBuilder;
 use crate::config::LearnerConfig;
-use crate::coverage::{GroundExample, PreparedClause};
-use crate::task::LearningTask;
+use crate::engine::Predictor;
 
 /// Per-clause training coverage statistics, mirroring the annotations the
 /// paper prints next to each learned clause ("positive covered=…, negative
@@ -26,129 +27,72 @@ pub struct ClauseStats {
 
 /// A learned Horn definition bound to the (possibly preprocessed) database
 /// and constraint catalogs it was trained over, so it can be applied to new
-/// examples.
+/// examples. Compatibility facade over [`Predictor`].
 pub struct LearnedModel {
-    definition: Definition,
-    stats: Vec<ClauseStats>,
-    task: LearningTask,
-    catalog: MdCatalog,
-    config: LearnerConfig,
-    prepared: Vec<PreparedClause>,
+    predictor: Predictor,
 }
 
 impl LearnedModel {
-    /// Assemble a model (used by the learner).
-    pub(crate) fn new(
-        definition: Definition,
-        stats: Vec<ClauseStats>,
-        task: LearningTask,
-        catalog: MdCatalog,
-        config: LearnerConfig,
-    ) -> Self {
-        let prepared = definition
-            .clauses()
-            .iter()
-            .map(|c| PreparedClause::prepare(c.clone(), &config))
-            .collect();
-        LearnedModel {
-            definition,
-            stats,
-            task,
-            catalog,
-            config,
-            prepared,
-        }
+    /// Wrap an engine-bound predictor (used by the deprecated one-shot
+    /// entry points).
+    pub(crate) fn from_predictor(predictor: Predictor) -> Self {
+        LearnedModel { predictor }
     }
 
     /// The learned Horn definition.
     pub fn definition(&self) -> &Definition {
-        &self.definition
+        self.predictor.definition()
     }
 
     /// The learned clauses.
     pub fn clauses(&self) -> &[Clause] {
-        self.definition.clauses()
+        self.predictor.definition().clauses()
     }
 
     /// Per-clause coverage statistics over the training data.
     pub fn stats(&self) -> &[ClauseStats] {
-        &self.stats
+        self.predictor.stats()
     }
 
     /// The configuration the model was trained with.
     pub fn config(&self) -> &LearnerConfig {
-        &self.config
+        self.predictor.config()
     }
 
     /// Predict whether a (new) example tuple belongs to the target relation:
     /// the definition covers the example iff at least one clause covers it
     /// (Section 2.1), using the positive-coverage semantics of Definition 3.4
     /// over the example's ground bottom clause.
+    ///
+    /// Legacy infallible surface: a tuple of the wrong arity yields `false`
+    /// (it cannot be covered). [`Predictor::predict`] reports it as a typed
+    /// error instead.
     pub fn predict(&self, example: &Tuple) -> bool {
-        if self.definition.is_empty() {
-            return false;
-        }
-        let builder = BottomClauseBuilder::new(&self.task, &self.catalog, &self.config);
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xdead_beef);
-        let ground_clause = builder.build(example, &mut rng);
-        let ground = GroundExample::from_clause(example.clone(), &ground_clause, &self.config);
-        self.prepared
-            .iter()
-            .any(|prepared| self.covers(prepared, &ground))
+        self.predictor.predict(example).unwrap_or(false)
     }
 
-    /// Predict a batch of examples.
+    /// Predict a batch of examples (parallel over the configured coverage
+    /// threads, deterministic and index-aligned with the input).
     pub fn predict_all(&self, examples: &[Tuple]) -> Vec<bool> {
-        examples.iter().map(|e| self.predict(e)).collect()
-    }
-
-    /// Positive-coverage test over the prepared clause's once-assigned
-    /// variable numbering (the same flat-substitution decision path
-    /// `CoverageEngine::covers_positive` uses).
-    fn covers(&self, prepared: &PreparedClause, ground: &GroundExample) -> bool {
-        use dlearn_logic::subsumes_numbered_decision;
-        if subsumes_numbered_decision(
-            prepared.numbered(),
-            &ground.ground,
-            &self.config.subsumption,
-        ) {
-            return true;
+        match self.predictor.predict_batch(examples) {
+            Ok(verdicts) => verdicts,
+            // Some tuple has the wrong arity: fall back to per-example
+            // prediction so well-formed tuples still get real verdicts.
+            Err(_) => examples.iter().map(|e| self.predict(e)).collect(),
         }
-        if prepared.repaired.is_empty() {
-            return false;
-        }
-        prepared.numbered_repaired().iter().all(|cr| {
-            ground
-                .repaired
-                .iter()
-                .any(|gr| subsumes_numbered_decision(cr, gr, &self.config.subsumption))
-        })
     }
 
     /// Render the definition with its per-clause coverage annotations.
     pub fn render(&self) -> String {
-        let mut out = String::new();
-        for (i, clause) in self.definition.clauses().iter().enumerate() {
-            if i > 0 {
-                out.push('\n');
-            }
-            out.push_str(&clause.to_string());
-            if let Some(s) = self.stats.get(i) {
-                out.push_str(&format!(
-                    "\n  (positive covered={}, negative covered={})",
-                    s.positives_covered, s.negatives_covered
-                ));
-            }
-        }
-        out
+        crate::engine::render_definition(self.definition(), self.stats())
     }
 }
 
 impl std::fmt::Debug for LearnedModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LearnedModel")
-            .field("clauses", &self.definition.len())
-            .field("stats", &self.stats)
+            .field("clauses", &self.definition().len())
+            .field("stats", &self.stats())
             .finish()
     }
 }

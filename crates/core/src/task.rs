@@ -124,14 +124,34 @@ impl LearningTask {
         self.constant_attributes.contains(&(id, attr.name))
     }
 
-    /// Validate the task: constraints must reference existing relations and
-    /// attributes, and examples must have the target arity.
+    /// Validate the task: constraints and declarations must reference
+    /// existing relations and attributes, and examples must have the target
+    /// arity.
+    ///
+    /// References to the *target* relation are resolved against the task's
+    /// [`TargetSpec`] (the target is added to the database by
+    /// `augment_with_target` before learning, so an MD whose left-hand side
+    /// is the target is valid even though the relation holds no stored
+    /// tuples yet). Errors carry the offending declaration's name via
+    /// [`StoreError::InContext`].
     pub fn validate(&self) -> Result<(), StoreError> {
+        let schema = self.schema_with_target();
         for md in &self.mds {
-            md.validate(self.database.schema())?;
+            md.validate(&schema)
+                .map_err(|e| e.in_context(format!("MD '{}'", md.name)))?;
         }
         for cfd in &self.cfds {
-            cfd.validate(self.database.schema())?;
+            cfd.validate(&schema)
+                .map_err(|e| e.in_context(format!("CFD '{}'", cfd.name)))?;
+        }
+        for &(rel, attr) in &self.constant_attributes {
+            let context = "constant-attribute declaration";
+            let relation = schema
+                .require_relation(rel)
+                .map_err(|e| e.in_context(context))?;
+            relation
+                .require_attribute_index(attr.as_str())
+                .map_err(|e| e.in_context(context))?;
         }
         for e in self.positives.iter().chain(self.negatives.iter()) {
             if e.arity() != self.target.arity() {
@@ -143,6 +163,26 @@ impl LearningTask {
             }
         }
         Ok(())
+    }
+
+    /// The database schema extended with the target relation (string-typed
+    /// attributes) when the database does not already hold it — the schema
+    /// constraints are validated against.
+    fn schema_with_target(&self) -> dlearn_relstore::Schema {
+        let mut schema = self.database.schema().clone();
+        if !schema.contains(&self.target.name) {
+            let attrs = self
+                .target
+                .attributes
+                .iter()
+                .map(dlearn_relstore::Attribute::str)
+                .collect();
+            let _ = schema.add_relation(dlearn_relstore::RelationSchema::new(
+                self.target.name.clone(),
+                attrs,
+            ));
+        }
+        schema
     }
 
     /// A copy of this task with different example sets (used by

@@ -1,6 +1,11 @@
-//! Cross-validated evaluation of a learner on a dataset.
+//! Cross-validated evaluation of learning strategies on a dataset.
+//!
+//! Evaluation runs through prepared [`Engine`] sessions: one engine per
+//! training fold, shared by every strategy evaluated on that fold — so the
+//! MD similarity index and the ground bottom clauses of the fold's training
+//! examples are built once, not once per strategy.
 
-use dlearn_core::{Learner, LearnerConfig, Strategy};
+use dlearn_core::{Engine, LearnerConfig, Strategy};
 use dlearn_datagen::Dataset;
 
 use crate::metrics::{mean, Confusion};
@@ -18,7 +23,8 @@ pub struct EvalResult {
     pub precision: f64,
     /// Mean recall across folds.
     pub recall: f64,
-    /// Mean learning time per fold, in seconds.
+    /// Mean learning time per fold, in seconds (the covering loop's wall
+    /// clock; session preparation is amortized across strategies).
     pub learn_seconds: f64,
     /// Number of folds evaluated.
     pub folds: usize,
@@ -34,36 +40,65 @@ pub fn cross_validate(
     k: usize,
     seed: u64,
 ) -> EvalResult {
+    cross_validate_strategies(dataset, &[strategy], config, k, seed)
+        .pop()
+        .expect("one result per strategy")
+}
+
+/// Evaluate several strategies on the *same* folds, preparing one
+/// [`Engine`] per fold and running every strategy against it. With `n`
+/// strategies this builds each fold's similarity index and ground examples
+/// once instead of `n` times. Results are in `strategies` order.
+pub fn cross_validate_strategies(
+    dataset: &Dataset,
+    strategies: &[Strategy],
+    config: &LearnerConfig,
+    k: usize,
+    seed: u64,
+) -> Vec<EvalResult> {
     let folds = dataset.cross_validation_folds(k, seed);
-    let learner = Learner::new(strategy, config.clone());
-    let mut f1s = Vec::new();
-    let mut precisions = Vec::new();
-    let mut recalls = Vec::new();
-    let mut times = Vec::new();
-    let mut clause_counts = Vec::new();
+    let mut f1s = vec![Vec::new(); strategies.len()];
+    let mut precisions = vec![Vec::new(); strategies.len()];
+    let mut recalls = vec![Vec::new(); strategies.len()];
+    let mut times = vec![Vec::new(); strategies.len()];
+    let mut clause_counts = vec![Vec::new(); strategies.len()];
 
     for fold in &folds {
-        let outcome = learner.learn(&fold.train);
-        let positive_predictions = outcome.model.predict_all(&fold.test_positives);
-        let negative_predictions = outcome.model.predict_all(&fold.test_negatives);
-        let confusion = Confusion::from_predictions(&positive_predictions, &negative_predictions);
-        f1s.push(confusion.f1());
-        precisions.push(confusion.precision());
-        recalls.push(confusion.recall());
-        times.push(outcome.seconds);
-        clause_counts.push(outcome.model.clauses().len() as f64);
+        let engine =
+            Engine::prepare(fold.train.clone(), config.clone()).expect("generated fold is valid");
+        for (si, &strategy) in strategies.iter().enumerate() {
+            let learned = engine.learn(strategy).expect("prepared session learns");
+            let predictor = engine.predictor(&learned);
+            let positive_predictions = predictor
+                .predict_batch(&fold.test_positives)
+                .expect("test tuples have target arity");
+            let negative_predictions = predictor
+                .predict_batch(&fold.test_negatives)
+                .expect("test tuples have target arity");
+            let confusion =
+                Confusion::from_predictions(&positive_predictions, &negative_predictions);
+            f1s[si].push(confusion.f1());
+            precisions[si].push(confusion.precision());
+            recalls[si].push(confusion.recall());
+            times[si].push(learned.seconds());
+            clause_counts[si].push(learned.clauses().len() as f64);
+        }
     }
 
-    EvalResult {
-        dataset: dataset.name.clone(),
-        system: strategy.name().to_string(),
-        f1: mean(&f1s),
-        precision: mean(&precisions),
-        recall: mean(&recalls),
-        learn_seconds: mean(&times),
-        folds: folds.len(),
-        clauses: mean(&clause_counts),
-    }
+    strategies
+        .iter()
+        .enumerate()
+        .map(|(si, strategy)| EvalResult {
+            dataset: dataset.name.clone(),
+            system: strategy.name().to_string(),
+            f1: mean(&f1s[si]),
+            precision: mean(&precisions[si]),
+            recall: mean(&recalls[si]),
+            learn_seconds: mean(&times[si]),
+            folds: folds.len(),
+            clauses: mean(&clause_counts[si]),
+        })
+        .collect()
 }
 
 /// Evaluate with a single train/test split (used by the scaling experiments
@@ -76,11 +111,17 @@ pub fn single_split(
     seed: u64,
 ) -> EvalResult {
     let fold = dataset.train_test_split(train_fraction, seed);
-    let learner = Learner::new(strategy, config.clone());
-    let outcome = learner.learn(&fold.train);
+    let engine =
+        Engine::prepare(fold.train.clone(), config.clone()).expect("generated split is valid");
+    let learned = engine.learn(strategy).expect("prepared session learns");
+    let predictor = engine.predictor(&learned);
     let confusion = Confusion::from_predictions(
-        &outcome.model.predict_all(&fold.test_positives),
-        &outcome.model.predict_all(&fold.test_negatives),
+        &predictor
+            .predict_batch(&fold.test_positives)
+            .expect("test tuples have target arity"),
+        &predictor
+            .predict_batch(&fold.test_negatives)
+            .expect("test tuples have target arity"),
     );
     EvalResult {
         dataset: dataset.name.clone(),
@@ -88,9 +129,9 @@ pub fn single_split(
         f1: confusion.f1(),
         precision: confusion.precision(),
         recall: confusion.recall(),
-        learn_seconds: outcome.seconds,
+        learn_seconds: learned.seconds(),
         folds: 1,
-        clauses: outcome.model.clauses().len() as f64,
+        clauses: learned.clauses().len() as f64,
     }
 }
 
@@ -137,6 +178,23 @@ mod tests {
             "DLearn should learn something useful: {}",
             dlearn.f1
         );
+    }
+
+    #[test]
+    fn shared_session_evaluation_equals_per_strategy_evaluation() {
+        // One engine per fold shared by all strategies must produce the
+        // same metrics as preparing per strategy: strategy plans are
+        // independent of each other.
+        let ds = generate_movie_dataset(&MovieConfig::tiny(), 33);
+        let strategies = [Strategy::CastorNoMd, Strategy::DLearn];
+        let shared = cross_validate_strategies(&ds, &strategies, &fast_config(), 2, 3);
+        for (result, &strategy) in shared.iter().zip(&strategies) {
+            let solo = cross_validate(&ds, strategy, &fast_config(), 2, 3);
+            assert_eq!(result.f1, solo.f1, "{}", strategy.name());
+            assert_eq!(result.precision, solo.precision, "{}", strategy.name());
+            assert_eq!(result.recall, solo.recall, "{}", strategy.name());
+            assert_eq!(result.clauses, solo.clauses, "{}", strategy.name());
+        }
     }
 
     #[test]

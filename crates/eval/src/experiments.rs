@@ -9,7 +9,7 @@ use dlearn_datagen::{
     Dataset, MovieConfig, ProductConfig,
 };
 
-use crate::cv::{cross_validate, EvalResult};
+use crate::cv::{cross_validate, cross_validate_strategies, EvalResult};
 
 /// How large the synthetic datasets and parameter sweeps are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,13 +144,18 @@ pub fn table4(scale: Scale) -> Vec<Table4Row> {
     let mut rows = Vec::new();
     for dataset in datasets(scale, 0.0, true) {
         let depth = iterations_for(&dataset.name);
-        for strategy in [
+        // The three Castor baselines share one configuration, so they run
+        // against one prepared session per fold (index built once).
+        let castor = [
             Strategy::CastorNoMd,
             Strategy::CastorExact,
             Strategy::CastorClean,
-        ] {
-            let config = base_config(11).with_iterations(depth);
-            let r = cross_validate(&dataset, strategy, &config, scale.folds(), 7);
+        ];
+        let config = base_config(11).with_iterations(depth);
+        for (r, strategy) in cross_validate_strategies(&dataset, &castor, &config, scale.folds(), 7)
+            .into_iter()
+            .zip(castor)
+        {
             rows.push(to_table4_row(&dataset, strategy.name().to_string(), &r));
         }
         for km in scale.km_values() {
@@ -197,12 +202,21 @@ pub fn table5(scale: Scale) -> Vec<Table5Row> {
     for &p in rates {
         for dataset in datasets(scale, p, false) {
             let depth = iterations_for(&dataset.name);
-            for (system, strategy) in [
+            // DLearn-CFD and DLearn-Repaired share a configuration: one
+            // prepared session per fold serves both (DLearn-Repaired reuses
+            // the fold's similarity index outright when the CFD repairs
+            // cannot touch MD-identified columns).
+            let systems = [
                 ("DLearn-CFD", Strategy::DLearn),
                 ("DLearn-Repaired", Strategy::DLearnRepaired),
-            ] {
-                let config = base_config(13).with_iterations(depth);
-                let r = cross_validate(&dataset, strategy, &config, scale.folds(), 9);
+            ];
+            let strategies = systems.map(|(_, s)| s);
+            let config = base_config(13).with_iterations(depth);
+            for (r, (system, _)) in
+                cross_validate_strategies(&dataset, &strategies, &config, scale.folds(), 9)
+                    .into_iter()
+                    .zip(systems)
+            {
                 rows.push(Table5Row {
                     dataset: dataset.name.clone(),
                     system: system.to_string(),

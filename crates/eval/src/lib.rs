@@ -23,7 +23,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod report;
 
-pub use cv::{cross_validate, single_split, EvalResult};
+pub use cv::{cross_validate, cross_validate_strategies, single_split, EvalResult};
 pub use experiments::Scale;
 pub use metrics::{mean, Confusion};
 

@@ -32,6 +32,25 @@ pub enum StoreError {
         /// Offending attribute.
         attribute: String,
     },
+    /// An error raised while validating a named constraint or declaration
+    /// (e.g. "MD 'titles'"), wrapping the underlying reference error so
+    /// callers can report *which* declaration is broken.
+    InContext {
+        /// What was being validated.
+        context: String,
+        /// The underlying error.
+        source: Box<StoreError>,
+    },
+}
+
+impl StoreError {
+    /// Wrap this error with the name of the declaration being validated.
+    pub fn in_context(self, context: impl Into<String>) -> StoreError {
+        StoreError::InContext {
+            context: context.into(),
+            source: Box::new(self),
+        }
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -67,11 +86,21 @@ impl fmt::Display for StoreError {
                     "type mismatch for attribute '{attribute}' of relation '{relation}'"
                 )
             }
+            StoreError::InContext { context, source } => {
+                write!(f, "in {context}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for StoreError {}
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::InContext { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -35,12 +35,21 @@
 //! re-hashing the raw string on every probe.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dlearn_relstore::Sym;
 
 use crate::combined::SimilarityOperator;
 use crate::length::{char_histogram, common_char_count, HIST_BINS};
 use crate::tokenize::{blocking_keys, normalize};
+
+/// Process-wide count of alignment-based index constructions (calls to
+/// [`SimilarityIndex::build`]). The derived constructors
+/// ([`SimilarityIndex::filter_min_score`],
+/// [`SimilarityIndex::exact_normalized`]) do not count: they run no
+/// alignment. Used by tests asserting that a prepared `Engine` builds its
+/// similarity index exactly once no matter how many strategies run over it.
+static BUILD_COUNT: AtomicUsize = AtomicUsize::new(0);
 
 /// A single similarity match.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -151,6 +160,7 @@ impl SimilarityIndex {
     /// result: the built index equals the one-thread, filter-free build
     /// pair for pair.
     pub fn build(left: &[Sym], right: &[Sym], config: &IndexConfig) -> Self {
+        BUILD_COUNT.fetch_add(1, Ordering::Relaxed);
         let left = dedup(left);
         let right = dedup(right);
 
@@ -309,6 +319,102 @@ impl SimilarityIndex {
     /// order.
     pub fn iter_right(&self) -> impl Iterator<Item = (Sym, &[Match])> {
         self.right_to_left.iter().map(|(&k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of alignment-based [`SimilarityIndex::build`] calls performed
+    /// by this process so far. Derived constructions (score filters, exact
+    /// indexes) are not counted. Intended for tests asserting that prepared
+    /// sessions never rebuild their indexes.
+    pub fn build_count() -> usize {
+        BUILD_COUNT.load(Ordering::Relaxed)
+    }
+
+    /// Derive a stricter index by dropping every stored pair whose score is
+    /// below `min_score`, without re-running any alignment.
+    ///
+    /// Stored match lists are sorted by `(score desc, value asc)` and
+    /// truncated to `top_k`, so the pairs with `score >= min_score` are a
+    /// prefix of each list and the result equals a fresh
+    /// [`SimilarityIndex::build`] with the operator threshold raised to
+    /// `min_score` — as long as `min_score` is at least the original
+    /// threshold (a *lower* threshold cannot resurrect pairs the original
+    /// build never stored).
+    pub fn filter_min_score(&self, min_score: f64) -> Self {
+        let keep = |matches: &Vec<Match>| {
+            let kept: Vec<Match> = matches
+                .iter()
+                .take_while(|m| m.score >= min_score)
+                .copied()
+                .collect();
+            if kept.is_empty() {
+                None
+            } else {
+                Some(kept)
+            }
+        };
+        SimilarityIndex {
+            left_to_right: self
+                .left_to_right
+                .iter()
+                .filter_map(|(&k, v)| keep(v).map(|kept| (k, kept)))
+                .collect(),
+            right_to_left: self
+                .right_to_left
+                .iter()
+                .filter_map(|(&k, v)| keep(v).map(|kept| (k, kept)))
+                .collect(),
+        }
+    }
+
+    /// Build an *exact-join* index without any alignment: two values match
+    /// (with score 1.0) iff their normalized forms are equal. This is the
+    /// index shape the Castor-Exact/Castor-Clean baselines need after value
+    /// unification, where cross-source joins only connect identical strings.
+    pub fn exact_normalized(left: &[Sym], right: &[Sym], top_k: usize) -> Self {
+        let left = dedup(left);
+        let right = dedup(right);
+        if top_k == 0 {
+            return SimilarityIndex::default();
+        }
+        let mut by_normalized: HashMap<String, Vec<Sym>> = HashMap::new();
+        for &r in &right {
+            let n = normalize(r.as_str());
+            if !n.is_empty() {
+                by_normalized.entry(n).or_default().push(r);
+            }
+        }
+        let mut left_to_right: HashMap<Sym, Vec<Match>> = HashMap::new();
+        let mut right_to_left: HashMap<Sym, Vec<Match>> = HashMap::new();
+        for &l in &left {
+            let n = normalize(l.as_str());
+            let Some(rights) = (!n.is_empty()).then(|| by_normalized.get(&n)).flatten() else {
+                continue;
+            };
+            // `dedup` sorted both sides, so the per-value lists are already
+            // in the (score desc, value asc) order `build` stores.
+            let matches: Vec<Match> = rights
+                .iter()
+                .take(top_k)
+                .map(|&r| Match {
+                    value: r,
+                    score: 1.0,
+                })
+                .collect();
+            for m in &matches {
+                right_to_left.entry(m.value).or_default().push(Match {
+                    value: l,
+                    score: 1.0,
+                });
+            }
+            left_to_right.insert(l, matches);
+        }
+        for matches in right_to_left.values_mut() {
+            matches.truncate(top_k);
+        }
+        SimilarityIndex {
+            left_to_right,
+            right_to_left,
+        }
     }
 }
 
@@ -679,6 +785,73 @@ mod tests {
             Sym::lookup(marker).is_none(),
             "probe-side blocking key leaked into the intern table"
         );
+    }
+
+    #[test]
+    fn filter_min_score_equals_a_fresh_build_at_the_higher_threshold() {
+        // Stored lists are (score desc, value asc), so filtering at a
+        // raised threshold must equal rebuilding with that threshold —
+        // entry for entry, score bits included.
+        for top_k in [1usize, 2, 5] {
+            let base = SimilarityIndex::build(
+                &movies_left(),
+                &movies_right(),
+                &IndexConfig {
+                    top_k,
+                    operator: SimilarityOperator::with_threshold(0.5),
+                    ..IndexConfig::default()
+                },
+            );
+            for threshold in [0.6, 0.75, 0.9, 0.9999] {
+                let fresh = SimilarityIndex::build(
+                    &movies_left(),
+                    &movies_right(),
+                    &IndexConfig {
+                        top_k,
+                        operator: SimilarityOperator::with_threshold(threshold),
+                        ..IndexConfig::default()
+                    },
+                );
+                assert_eq!(
+                    base.filter_min_score(threshold),
+                    fresh,
+                    "top_k={top_k}, threshold={threshold}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_normalized_matches_equal_normalized_strings_only() {
+        let left = syms(&["Superbad", "Star Wars", "star  wars", "Unique Left"]);
+        let right = syms(&["Star Wars", "Superbad (2007)", "Something Else"]);
+        let idx = SimilarityIndex::exact_normalized(&left, &right, 5);
+        // Case/whitespace-insensitive equality matches...
+        assert_eq!(idx.matches_left("Star Wars").len(), 1);
+        assert_eq!(idx.matches_left("star  wars").len(), 1);
+        assert!(idx.are_matched("star  wars", "Star Wars"));
+        // ...but near-matches do not.
+        assert!(idx.matches_left("Superbad").is_empty());
+        assert!(idx.matches_left("Unique Left").is_empty());
+        // Scores are exactly 1.0 and the reverse direction is populated.
+        assert!(idx
+            .matches_right("Star Wars")
+            .iter()
+            .all(|m| m.score == 1.0));
+        assert_eq!(idx.matches_right("Star Wars").len(), 2);
+        // top_k caps both directions.
+        let capped = SimilarityIndex::exact_normalized(&left, &right, 1);
+        assert_eq!(capped.matches_right("Star Wars").len(), 1);
+    }
+
+    #[test]
+    fn build_count_increments_on_alignment_builds() {
+        // Unit tests share the process, so only monotonicity is asserted
+        // here; the "derived constructors don't count" half is pinned by the
+        // isolated `tests/index_build_count.rs` integration binary.
+        let before = SimilarityIndex::build_count();
+        let _ = SimilarityIndex::build(&movies_left(), &movies_right(), &IndexConfig::default());
+        assert!(SimilarityIndex::build_count() > before);
     }
 
     #[test]

@@ -124,3 +124,40 @@ fn thread_counts_build_identical_indexes() {
         }
     }
 }
+
+/// Derived indexes: filtering a built index at a raised threshold must
+/// equal a fresh build at that threshold — the property `Engine` relies on
+/// to hand Castor-Exact a derived catalog without re-aligning. Pinned on
+/// seeded dirty vocabularies across thresholds and top-k values.
+#[test]
+fn filter_min_score_equals_fresh_build_on_seeded_vocabularies() {
+    let config = VocabConfig::default();
+    for seed in [2u64, 13, 29] {
+        let vocab = dirty_vocabulary(&config, seed);
+        for top_k in [1usize, 2, 5] {
+            let base_config = IndexConfig {
+                top_k,
+                operator: SimilarityOperator::with_threshold(0.6),
+                threads: 1,
+            };
+            let base = SimilarityIndex::build(&vocab.left, &vocab.right, &base_config);
+            for threshold in [0.7, 0.8, 0.95, 0.9999] {
+                let fresh = SimilarityIndex::build(
+                    &vocab.left,
+                    &vocab.right,
+                    &IndexConfig {
+                        top_k,
+                        operator: SimilarityOperator::with_threshold(threshold),
+                        threads: 1,
+                    },
+                );
+                assert_eq!(
+                    base.filter_min_score(threshold),
+                    fresh,
+                    "seed {seed}, top_k {top_k}, threshold {threshold}: \
+                     filtered index diverged from a fresh build"
+                );
+            }
+        }
+    }
+}

@@ -2,35 +2,41 @@
 //! (the paper's Table 5 comparison), on the citation dataset with injected
 //! CFD violations.
 //!
+//! Both systems share one prepared engine session per violation rate —
+//! DLearn-Repaired reuses the session's similarity index because the CFD
+//! repairs cannot rewrite an MD-identified column on this schema.
+//!
 //! Run with: `cargo run --release --example dirty_vs_repaired`
 
-use dlearn::core::{Learner, LearnerConfig, Strategy};
+use dlearn::core::{Engine, LearnerConfig, Strategy};
 use dlearn::datagen::citations::{generate_citation_dataset, CitationConfig};
 use dlearn::eval::Confusion;
 
-fn main() {
+fn main() -> Result<(), dlearn::core::DlearnError> {
     println!("{:<18} {:>6} {:>8} {:>10}", "system", "p", "F1", "time(s)");
     for p in [0.05, 0.10, 0.20] {
         let dataset =
             generate_citation_dataset(&CitationConfig::small().with_violation_rate(p), 13);
         let fold = dataset.train_test_split(0.7, 2);
+        let engine = Engine::prepare(fold.train.clone(), LearnerConfig::fast().with_iterations(3))?;
         for (name, strategy) in [
             ("DLearn-CFD", Strategy::DLearn),
             ("DLearn-Repaired", Strategy::DLearnRepaired),
         ] {
-            let learner = Learner::new(strategy, LearnerConfig::fast().with_iterations(3));
-            let outcome = learner.learn(&fold.train);
+            let learned = engine.learn(strategy)?;
+            let predictor = engine.predictor(&learned);
             let confusion = Confusion::from_predictions(
-                &outcome.model.predict_all(&fold.test_positives),
-                &outcome.model.predict_all(&fold.test_negatives),
+                &predictor.predict_batch(&fold.test_positives)?,
+                &predictor.predict_batch(&fold.test_negatives)?,
             );
             println!(
                 "{:<18} {:>6.2} {:>8.2} {:>10.2}",
                 name,
                 p,
                 confusion.f1(),
-                outcome.seconds
+                learned.seconds()
             );
         }
     }
+    Ok(())
 }

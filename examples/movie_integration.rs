@@ -2,14 +2,16 @@
 //! DLearn against the Castor-style baselines on a database whose movie titles
 //! are spelled differently in the two sources.
 //!
-//! This is a single-run miniature of Table 4. Run with:
+//! All systems run against **one prepared engine session**, so the title
+//! similarity index is built once, not once per system. This is a single-run
+//! miniature of Table 4. Run with:
 //! `cargo run --release --example movie_integration`
 
-use dlearn::core::{Learner, LearnerConfig, Strategy};
+use dlearn::core::{Engine, LearnerConfig, Strategy};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
 use dlearn::eval::Confusion;
 
-fn main() {
+fn main() -> Result<(), dlearn::core::DlearnError> {
     let dataset = generate_movie_dataset(&MovieConfig::small().with_three_mds(), 42);
     let fold = dataset.train_test_split(0.7, 1);
     println!(
@@ -17,6 +19,9 @@ fn main() {
         dataset.name,
         dataset.task.database.total_tuples()
     );
+
+    let config = LearnerConfig::fast().with_iterations(4).with_km(2);
+    let engine = Engine::prepare(fold.train.clone(), config)?;
 
     println!(
         "{:<18} {:>6} {:>10} {:>10} {:>10}",
@@ -26,12 +31,11 @@ fn main() {
         if strategy == Strategy::DLearnRepaired {
             continue; // no CFD violations in this scenario
         }
-        let config = LearnerConfig::fast().with_iterations(4).with_km(2);
-        let learner = Learner::new(strategy, config);
-        let outcome = learner.learn(&fold.train);
+        let learned = engine.learn(strategy)?;
+        let predictor = engine.predictor(&learned);
         let confusion = Confusion::from_predictions(
-            &outcome.model.predict_all(&fold.test_positives),
-            &outcome.model.predict_all(&fold.test_negatives),
+            &predictor.predict_batch(&fold.test_positives)?,
+            &predictor.predict_batch(&fold.test_negatives)?,
         );
         println!(
             "{:<18} {:>6.2} {:>10.2} {:>10.2} {:>10.2}",
@@ -39,7 +43,8 @@ fn main() {
             confusion.f1(),
             confusion.precision(),
             confusion.recall(),
-            outcome.seconds
+            learned.seconds()
         );
     }
+    Ok(())
 }

@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release --example product_matching`
 
-use dlearn::core::{DLearn, LearnerConfig};
+use dlearn::core::{Engine, LearnerConfig, Strategy};
 use dlearn::datagen::products::{generate_product_dataset, ProductConfig};
 use dlearn::eval::Confusion;
 
-fn main() {
+fn main() -> Result<(), dlearn::core::DlearnError> {
     let dataset = generate_product_dataset(&ProductConfig::small(), 5);
     let fold = dataset.train_test_split(0.7, 3);
     println!(
@@ -21,14 +21,15 @@ fn main() {
     // The Walmart+Amazon chain (upc -> pid -> title ≈ title -> aid ->
     // category) is the longest of the three workloads, so use a deeper walk.
     let config = LearnerConfig::fast().with_iterations(5).with_km(2);
-    let mut learner = DLearn::new(config);
-    let model = learner.learn(&fold.train);
+    let engine = Engine::prepare(fold.train.clone(), config)?;
+    let learned = engine.learn(Strategy::DLearn)?;
 
-    println!("\nlearned definition:\n{}\n", model.render());
+    println!("\nlearned definition:\n{}\n", learned.render());
 
+    let predictor = engine.predictor(&learned);
     let confusion = Confusion::from_predictions(
-        &model.predict_all(&fold.test_positives),
-        &model.predict_all(&fold.test_negatives),
+        &predictor.predict_batch(&fold.test_positives)?,
+        &predictor.predict_batch(&fold.test_negatives)?,
     );
     println!(
         "held-out F1 = {:.2} (precision {:.2}, recall {:.2})",
@@ -36,4 +37,5 @@ fn main() {
         confusion.precision(),
         confusion.recall()
     );
+    Ok(())
 }

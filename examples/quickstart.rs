@@ -1,12 +1,13 @@
-//! Quickstart: learn a definition for a target relation directly over a
-//! dirty, two-source movie database — no cleaning step.
+//! Quickstart: prepare an engine session over a dirty, two-source movie
+//! database, learn a definition for the target relation — no cleaning
+//! step — and serve predictions from the prepared session.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use dlearn::core::{DLearn, LearnerConfig};
+use dlearn::core::{Engine, LearnerConfig, Strategy};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
 
-fn main() {
+fn main() -> Result<(), dlearn::core::DlearnError> {
     // A synthetic IMDB+OMDB-style database: titles are spelled differently
     // across the two sources, so only the title matching dependency can
     // connect a movie to its rating.
@@ -19,29 +20,33 @@ fn main() {
         dataset.task.negatives.len()
     );
 
+    // Prepare the session once: the task is validated and the expensive
+    // per-database artifacts (similarity index, ground bottom clauses) are
+    // built here, shared by every learn/predict call below.
+    let engine = Engine::prepare(dataset.task.clone(), LearnerConfig::fast())?;
+
     // Learn directly over the dirty database.
-    let mut learner = DLearn::new(LearnerConfig::fast());
-    let model = learner.learn(&dataset.task);
+    let learned = engine.learn(Strategy::DLearn)?;
+    println!("learned definition ({} clauses):", learned.clauses().len());
+    println!("{}\n", learned.render());
 
-    println!("learned definition ({} clauses):", model.clauses().len());
-    println!("{}\n", model.render());
-
-    // Apply the model to the training examples to show how it is used.
-    let covered_positives = dataset
-        .task
-        .positives
+    // Bind the definition for serving and apply it to the training
+    // examples in one parallel batch.
+    let predictor = engine.predictor(&learned);
+    let covered_positives = predictor
+        .predict_batch(&dataset.task.positives)?
         .iter()
-        .filter(|e| model.predict(e))
+        .filter(|&&b| b)
         .count();
-    let covered_negatives = dataset
-        .task
-        .negatives
+    let covered_negatives = predictor
+        .predict_batch(&dataset.task.negatives)?
         .iter()
-        .filter(|e| model.predict(e))
+        .filter(|&&b| b)
         .count();
     println!(
         "training coverage: {covered_positives}/{} positives, {covered_negatives}/{} negatives",
         dataset.task.positives.len(),
         dataset.task.negatives.len()
     );
+    Ok(())
 }

@@ -31,6 +31,8 @@ EXPECTED_BENCHES = [
     "subsumption/backtracking_heavy_static",
     "subsumption/bottom_clause_build",
     "subsumption/index_build",
+    "subsumption/predict_loop",
+    "subsumption/predict_batch",
     "subsumption/generalization_round",
 ]
 
@@ -46,7 +48,9 @@ GATE_TOLERANCE = 0.20
 # The hot-path benches the gate protects. The adversarial backtracking
 # benches are deliberately not gated: `backtracking_heavy_static` measures
 # an ordering mode nothing ships with, and `backtracking_heavy` is tracked
-# through the committed trajectory instead.
+# through the committed trajectory instead. The serving pair
+# `predict_loop`/`predict_batch` is EXPECTED but not yet gated: gate it once
+# its run-to-run variance is characterized across a few CI runs.
 GATED_BENCHES = [
     "subsumption/subsumes",
     "subsumption/coverage_engine_counts",

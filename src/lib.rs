@@ -21,7 +21,9 @@
 //!   θ-subsumption with repair literals.
 //! * [`constraints`] — matching dependencies, conditional functional
 //!   dependencies, violation detection, and database repairs.
-//! * [`core`] — the DLearn learner itself plus the Castor-style baselines.
+//! * [`core`] — the prepared-session [`core::Engine`] running the DLearn
+//!   learner and the Castor-style baselines, plus the serving-side
+//!   [`core::Predictor`].
 //! * [`datagen`] — synthetic dirty-data generators emulating the paper's
 //!   three integrated dataset pairs.
 //! * [`eval`] — metrics, cross-validation, and the experiment runner that
@@ -31,17 +33,24 @@
 //!
 //! ```
 //! use dlearn::datagen::movies::{MovieConfig, generate_movie_dataset};
-//! use dlearn::core::{DLearn, LearnerConfig};
+//! use dlearn::core::{Engine, LearnerConfig, Strategy};
 //!
 //! // Generate a small synthetic dirty movie database (IMDB+OMDB style).
 //! let cfg = MovieConfig::tiny();
 //! let dataset = generate_movie_dataset(&cfg, 7);
 //!
-//! // Learn a definition for the target relation directly over the dirty data.
-//! let mut learner = DLearn::new(LearnerConfig::fast());
-//! let model = learner.learn(&dataset.task);
-//! println!("{}", model.render());
-//! assert!(model.clauses().len() <= 4);
+//! // Prepare a session once (validates the task, builds the similarity
+//! // index and ground examples), then learn directly over the dirty data.
+//! let engine = Engine::prepare(dataset.task.clone(), LearnerConfig::fast())?;
+//! let learned = engine.learn(Strategy::DLearn)?;
+//! println!("{}", learned.render());
+//! assert!(learned.clauses().len() <= 4);
+//!
+//! // Bind the definition for serving and predict a batch in parallel.
+//! let predictor = engine.predictor(&learned);
+//! let verdicts = predictor.predict_batch(&dataset.task.positives)?;
+//! assert_eq!(verdicts.len(), dataset.task.positives.len());
+//! # Ok::<(), dlearn::core::DlearnError>(())
 //! ```
 
 pub use dlearn_constraints as constraints;

@@ -14,7 +14,9 @@
 
 use rand::SeedableRng;
 
-use dlearn::core::{BottomClauseBuilder, CoverageEngine, DLearn, LearnerConfig, PreparedClause};
+use dlearn::core::{
+    BottomClauseBuilder, CoverageEngine, Engine, LearnerConfig, PreparedClause, Strategy,
+};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
 use dlearn::logic::{
     subsumes_numbered, subsumes_numbered_decision, Clause, GroundClause, SubsumptionConfig,
@@ -97,8 +99,8 @@ fn movie_task_coverage_decisions_match_string_reference() {
     // Candidate clauses: the actually learned definition plus the raw bottom
     // clauses of a few positive examples (the clauses the covering loop
     // scores most often).
-    let mut learner = DLearn::new(config.clone());
-    let model = learner.learn(task);
+    let session = Engine::prepare(task.clone(), config.clone()).expect("valid task");
+    let model = session.learn(Strategy::DLearn).expect("learn");
     let index_config = IndexConfig {
         top_k: config.km,
         operator: SimilarityOperator::with_threshold(config.similarity_threshold),

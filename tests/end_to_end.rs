@@ -1,9 +1,9 @@
 //! Integration tests spanning the whole workspace: data generation →
-//! learning → prediction, for each of the three dataset families and for the
-//! baseline systems.
+//! prepared engine session → learning → batched prediction, for each of the
+//! three dataset families and for the baseline systems.
 
 use dlearn::constraints::all_cfds_satisfied;
-use dlearn::core::{DLearn, Learner, LearnerConfig, Strategy};
+use dlearn::core::{Engine, LearnerConfig, Strategy};
 use dlearn::datagen::citations::{generate_citation_dataset, CitationConfig};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
 use dlearn::datagen::products::{generate_product_dataset, ProductConfig};
@@ -20,22 +20,27 @@ fn fast(iterations: usize) -> LearnerConfig {
 fn movies_end_to_end_learning_and_prediction() {
     let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
     let fold = dataset.train_test_split(0.7, 1);
-    let mut learner = DLearn::new(fast(4));
-    let model = learner.learn(&fold.train);
+    let engine = Engine::prepare(fold.train.clone(), fast(4)).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
     assert!(
-        !model.clauses().is_empty(),
+        !learned.clauses().is_empty(),
         "no definition learned:\n{}",
-        model.render()
+        learned.render()
     );
+    let predictor = engine.predictor(&learned);
     let confusion = Confusion::from_predictions(
-        &model.predict_all(&fold.test_positives),
-        &model.predict_all(&fold.test_negatives),
+        &predictor
+            .predict_batch(&fold.test_positives)
+            .expect("predict"),
+        &predictor
+            .predict_batch(&fold.test_negatives)
+            .expect("predict"),
     );
     assert!(
         confusion.f1() > 0.3,
         "F1 too low: {:.2}\n{}",
         confusion.f1(),
-        model.render()
+        learned.render()
     );
 }
 
@@ -43,28 +48,33 @@ fn movies_end_to_end_learning_and_prediction() {
 fn citations_end_to_end_with_two_mds() {
     let dataset = generate_citation_dataset(&CitationConfig::tiny(), 3);
     let fold = dataset.train_test_split(0.7, 2);
-    let mut learner = DLearn::new(fast(3));
-    let model = learner.learn(&fold.train);
+    let engine = Engine::prepare(fold.train.clone(), fast(3)).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
+    let predictor = engine.predictor(&learned);
     let confusion = Confusion::from_predictions(
-        &model.predict_all(&fold.test_positives),
-        &model.predict_all(&fold.test_negatives),
+        &predictor
+            .predict_batch(&fold.test_positives)
+            .expect("predict"),
+        &predictor
+            .predict_batch(&fold.test_negatives)
+            .expect("predict"),
     );
     assert!(
         confusion.f1() > 0.3,
         "F1 too low: {:.2}\n{}",
         confusion.f1(),
-        model.render()
+        learned.render()
     );
 }
 
 #[test]
 fn products_learned_definition_crosses_the_similarity_join() {
     let dataset = generate_product_dataset(&ProductConfig::tiny(), 11);
-    let mut learner = DLearn::new(fast(5));
-    let model = learner.learn(&dataset.task);
+    let engine = Engine::prepare(dataset.task.clone(), fast(5)).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
     // At least one learned clause should reach the Amazon side (category),
     // which is only possible through the title MD.
-    let reaches_amazon = model.clauses().iter().any(|c| {
+    let reaches_amazon = learned.clauses().iter().any(|c| {
         c.body.iter().any(|l| {
             l.relation_name()
                 .map(|n| n.starts_with("amazon"))
@@ -72,17 +82,18 @@ fn products_learned_definition_crosses_the_similarity_join() {
         })
     });
     assert!(
-        reaches_amazon || model.clauses().is_empty(),
+        reaches_amazon || learned.clauses().is_empty(),
         "clauses never cross to the Amazon source:\n{}",
-        model.render()
+        learned.render()
     );
 }
 
 #[test]
 fn castor_no_md_stays_within_the_target_source() {
     let dataset = generate_movie_dataset(&MovieConfig::tiny(), 9);
-    let outcome = Learner::new(Strategy::CastorNoMd, fast(4)).learn(&dataset.task);
-    for clause in outcome.model.clauses() {
+    let engine = Engine::prepare(dataset.task.clone(), fast(4)).expect("valid task");
+    let learned = engine.learn(Strategy::CastorNoMd).expect("learn");
+    for clause in learned.clauses() {
         for literal in &clause.body {
             if let Some(name) = literal.relation_name() {
                 assert!(
@@ -103,21 +114,25 @@ fn dlearn_repaired_trains_over_a_cfd_consistent_database() {
         &dataset.task.cfds
     ));
     // ...and the DLearn-Repaired baseline still learns end-to-end over the
-    // repaired instance.
-    let outcome = Learner::new(Strategy::DLearnRepaired, fast(4)).learn(&dataset.task);
-    let _ = outcome.model.predict_all(&dataset.task.positives);
-    assert!(outcome.seconds >= 0.0);
+    // repaired instance, from the same prepared session.
+    let engine = Engine::prepare(dataset.task.clone(), fast(4)).expect("valid task");
+    let learned = engine.learn(Strategy::DLearnRepaired).expect("learn");
+    let predictor = engine.predictor(&learned);
+    let _ = predictor
+        .predict_batch(&dataset.task.positives)
+        .expect("predict");
+    assert!(learned.seconds() >= 0.0);
 }
 
 #[test]
 fn learned_clauses_use_similarity_literals_on_dirty_data() {
     let dataset = generate_movie_dataset(&MovieConfig::tiny(), 23);
-    let mut learner = DLearn::new(fast(4));
-    let model = learner.learn(&dataset.task);
+    let engine = Engine::prepare(dataset.task.clone(), fast(4)).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
     // DLearn's definitions over heterogeneous data are expected to contain
     // similarity literals / MD repair literals in at least one clause when
     // the definition crosses sources.
-    let crosses = model.clauses().iter().any(|c| {
+    let crosses = learned.clauses().iter().any(|c| {
         c.body.iter().any(|l| {
             l.relation_name()
                 .map(|n| n.starts_with("omdb"))
@@ -125,7 +140,7 @@ fn learned_clauses_use_similarity_literals_on_dirty_data() {
         })
     });
     if crosses {
-        let has_similarity = model.clauses().iter().any(|c| {
+        let has_similarity = learned.clauses().iter().any(|c| {
             !c.repairs.is_empty()
                 || c.body
                     .iter()
@@ -134,7 +149,7 @@ fn learned_clauses_use_similarity_literals_on_dirty_data() {
         assert!(
             has_similarity,
             "cross-source clause without similarity machinery:\n{}",
-            model.render()
+            learned.render()
         );
     }
 }
