@@ -15,10 +15,20 @@
 //! similarity-index construction on a ~1k×1k dirty vocabulary (length
 //! filter + top-k early exit + parallel fan-out) — plus the serving pair
 //! `predict_loop`/`predict_batch`, per-example prediction vs the batched
-//! `Predictor` entry point on a repetition-heavy trace. Later performance work diffs
-//! against this file to prove a trajectory; CI parses it for structural
-//! integrity and runs a same-machine regression gate (see
-//! `scripts/check_bench_json.py`).
+//! `Predictor` entry point on a repetition-heavy trace.
+//!
+//! A second group, `scaling`, measures the hot paths at ~3 sizes each so
+//! the committed baseline records curve *shape*, not just one point:
+//! `index_build/vocab/{250,500,1000}` on the uniform benchmark vocabulary,
+//! `index_build/zipf/{250,500,1000}` on a Zipf-skewed twin (the hot-key
+//! blocking path), `coverage_engine_counts/examples/{24,48,96}`, and
+//! `predict_batch/trace/{1,4,16}` repetitions of the training tuples.
+//!
+//! Each JSON entry carries its own `tolerance` — the regression-gate slack
+//! the entry is held to (`gate_tolerance` below is the committed table).
+//! Later performance work diffs against this file to prove a trajectory; CI
+//! parses it for structural integrity and runs a same-machine regression
+//! gate (see `scripts/check_bench_json.py`).
 
 use std::time::Duration;
 
@@ -201,22 +211,139 @@ fn bench_subsumption(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scaling curves: the same hot paths at ~3 sizes each, so the committed
+/// baseline captures how cost *grows*, not just one operating point. The
+/// curves are not regression-gated (small sizes are noisy); the per-size
+/// medians exist so a super-linear blow-up shows up in the committed diff.
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_secs(2));
+
+    // Index construction vs vocabulary size, on the uniform benchmark mix
+    // and on a Zipf-skewed twin that concentrates values into a few huge
+    // blocks (the hot-key posting path does the work there).
+    for per_side in [250usize, 500, 1000] {
+        let uniform = dirty_vocabulary(&VocabConfig::benchmark_sized(per_side), 42);
+        let skewed = dirty_vocabulary(&VocabConfig::benchmark_sized(per_side).with_zipf_s(1.2), 42);
+        let vocab_config = IndexConfig {
+            top_k: 5,
+            operator: SimilarityOperator::with_threshold(0.65),
+            ..IndexConfig::default()
+        };
+        group.bench_function(format!("index_build/vocab/{per_side}"), |b| {
+            b.iter(|| {
+                criterion::black_box(SimilarityIndex::build(
+                    &uniform.left,
+                    &uniform.right,
+                    &vocab_config,
+                ))
+            })
+        });
+        group.bench_function(format!("index_build/zipf/{per_side}"), |b| {
+            b.iter(|| {
+                criterion::black_box(SimilarityIndex::build(
+                    &skewed.left,
+                    &skewed.right,
+                    &vocab_config,
+                ))
+            })
+        });
+    }
+
+    // Coverage counting vs training-set size: tiny movie task with the
+    // example count scaled 1x/2x/4x (named by total examples).
+    for (positives, negatives) in [(8usize, 16usize), (16, 32), (32, 64)] {
+        let dataset = generate_movie_dataset(
+            &MovieConfig::tiny()
+                .with_examples(positives, negatives)
+                .with_violation_rate(0.1),
+            42,
+        );
+        let task = &dataset.task;
+        let config = LearnerConfig::fast().with_iterations(4);
+        let index_config = IndexConfig {
+            top_k: config.km,
+            operator: SimilarityOperator::with_threshold(config.similarity_threshold),
+            ..IndexConfig::default()
+        };
+        let catalog = MdCatalog::build(
+            &task.mds,
+            &dlearn_core::augment_with_target(task),
+            &index_config,
+        );
+        let builder = BottomClauseBuilder::new(task, &catalog, &config);
+        let mut rng = StdRng::seed_from_u64(7);
+        let bottom: Clause = builder.build(&task.positives[0], &mut rng);
+        let engine = CoverageEngine::build(task, &builder, &config);
+        let prepared = PreparedClause::prepare(bottom, &config);
+        group.bench_function(
+            format!("coverage_engine_counts/examples/{}", positives + negatives),
+            |b| b.iter(|| criterion::black_box(engine.counts(&prepared))),
+        );
+    }
+
+    // Batched prediction vs trace length: the tiny task's training tuples
+    // repeated 1x/4x/16x (serving traffic repeats queries, so the repeat
+    // count is the real size axis — distinct tuples ground once).
+    let dataset = generate_movie_dataset(&MovieConfig::tiny().with_violation_rate(0.1), 42);
+    let task = dataset.task;
+    let config = LearnerConfig::fast().with_iterations(4);
+    let serve_engine = dlearn_core::Engine::prepare(task, config).expect("valid task");
+    let learned = serve_engine
+        .learn(dlearn_core::Strategy::DLearn)
+        .expect("learn");
+    let predictor = serve_engine.predictor(&learned);
+    for repeats in [1usize, 4, 16] {
+        let trace: Vec<dlearn_relstore::Tuple> = (0..repeats)
+            .flat_map(|_| {
+                serve_engine
+                    .task()
+                    .positives
+                    .iter()
+                    .chain(serve_engine.task().negatives.iter())
+                    .cloned()
+            })
+            .collect();
+        group.bench_function(format!("predict_batch/trace/{repeats}"), |b| {
+            b.iter(|| criterion::black_box(predictor.predict_batch(&trace).expect("predict")))
+        });
+    }
+    group.finish();
+}
+
+/// The committed per-entry regression tolerance written next to each median
+/// (`scripts/check_bench_json.py` reads it back in `--gate` mode). The
+/// serving pair and the generalization round carry wider slack than the
+/// tight hot-path benches: their medians sit on learned-model behavior with
+/// more run-to-run variance.
+fn gate_tolerance(name: &str) -> f64 {
+    match name {
+        "subsumption/generalization_round" => 0.30,
+        "subsumption/predict_loop" | "subsumption/predict_batch" => 0.25,
+        _ => 0.20,
+    }
+}
+
 fn main() {
     let mut criterion = Criterion::default();
     bench_subsumption(&mut criterion);
+    bench_scaling(&mut criterion);
 
     // Machine-readable baseline at the workspace root.
     let results = criterion.take_results();
     let mut json = String::from(
-        "{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1); index_build on dirty-vocab ~1k x 1k; predict_* on a 4x-repeated training trace\",\n",
+        "{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1); index_build on dirty-vocab ~1k x 1k; predict_* on a 4x-repeated training trace; scaling curves at ~3 sizes per axis\",\n",
     );
     json.push_str("  \"unit\": \"ns (median per iteration)\",\n  \"benches\": {\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    \"{}\": {{ \"median_ns\": {:.1}, \"samples\": {} }}{}\n",
+            "    \"{}\": {{ \"median_ns\": {:.1}, \"samples\": {}, \"tolerance\": {:.2} }}{}\n",
             r.name,
             r.median_ns,
             r.samples,
+            gate_tolerance(&r.name),
             if i + 1 < results.len() { "," } else { "" }
         ));
     }

@@ -53,6 +53,13 @@ pub struct LearnerConfig {
     /// chunks in left order, so the built index — and everything learned
     /// from it — is bit-identical at any thread count.
     pub index_threads: usize,
+    /// Hot-key fraction of similarity-index blocking, passed through
+    /// verbatim to `IndexConfig::hot_key_fraction`: a blocking key covering
+    /// more than this fraction of the indexed values gets length-partitioned
+    /// postings so probes skip length-incompatible candidates wholesale.
+    /// Lossless at any setting — it tunes build speed on skewed
+    /// vocabularies, never what gets matched.
+    pub index_hot_key_fraction: f64,
     /// RNG seed for sampling (bottom-clause sampling, example sampling).
     pub seed: u64,
 }
@@ -77,6 +84,7 @@ impl Default for LearnerConfig {
             coverage_threads: 0,
             generalization_threads: 0,
             index_threads: 0,
+            index_hot_key_fraction: dlearn_similarity::IndexConfig::default().hot_key_fraction,
             seed: 7,
         }
     }
@@ -153,6 +161,12 @@ impl LearnerConfig {
         self
     }
 
+    /// Set the similarity-index hot-key fraction (builder style).
+    pub fn with_index_hot_key_fraction(mut self, fraction: f64) -> Self {
+        self.index_hot_key_fraction = fraction;
+        self
+    }
+
     /// Validate the configuration for use by a prepared [`crate::Engine`]
     /// session: zero-valued caps that would make the learner a silent no-op
     /// and out-of-range thresholds are rejected up front.
@@ -192,6 +206,18 @@ impl LearnerConfig {
                 ),
             });
         }
+        if !self.index_hot_key_fraction.is_finite()
+            || self.index_hot_key_fraction < 0.0
+            || self.index_hot_key_fraction > 1.0
+        {
+            return Err(DlearnError::InvalidConfig {
+                field: "index_hot_key_fraction",
+                reason: format!(
+                    "must be a finite value in [0, 1], got {}",
+                    self.index_hot_key_fraction
+                ),
+            });
+        }
         Ok(())
     }
 
@@ -199,10 +225,13 @@ impl LearnerConfig {
         if requested > 0 {
             requested
         } else {
+            // The auto-detect cap is owned by the similarity crate and
+            // shared with `IndexConfig::effective_threads`, so "0 threads"
+            // means the same thing on every knob of the stack.
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .min(16)
+                .min(dlearn_similarity::MAX_AUTO_THREADS)
         }
     }
 }
@@ -254,5 +283,28 @@ mod tests {
         assert_eq!(LearnerConfig::default().index_threads, 0);
         let c = LearnerConfig::fast().with_index_threads(5);
         assert_eq!(c.index_threads, 5);
+    }
+
+    #[test]
+    fn hot_key_fraction_defaults_track_the_index_and_validate() {
+        let c = LearnerConfig::default();
+        assert_eq!(
+            c.index_hot_key_fraction,
+            dlearn_similarity::IndexConfig::default().hot_key_fraction,
+            "learner default must track the index default"
+        );
+        assert!(c.validate().is_ok());
+        assert!(LearnerConfig::fast()
+            .with_index_hot_key_fraction(1.5)
+            .validate()
+            .is_err());
+        assert!(LearnerConfig::fast()
+            .with_index_hot_key_fraction(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(LearnerConfig::fast()
+            .with_index_hot_key_fraction(0.0)
+            .validate()
+            .is_ok());
     }
 }

@@ -335,6 +335,7 @@ fn build_catalog(task: &LearningTask, config: &LearnerConfig) -> MdCatalog {
             top_k: config.km,
             operator: SimilarityOperator::with_threshold(threshold),
             threads: config.index_threads,
+            hot_key_fraction: config.index_hot_key_fraction,
         };
         MdCatalog::build(&task.mds, &augment_with_target(task), &index_config)
     } else {

@@ -1,0 +1,47 @@
+//! Standalone timing harness for `SimilarityIndex::build` over the
+//! benchmark ~1k×1k dirty vocabulary: `index_build_timing [threads] [reps]`
+//! prints the median/min/max build time. Built for interleaved
+//! same-machine A/B runs (pin with `taskset -c 0`, alternate old/new
+//! binaries) where the criterion-shim bench would interleave too coarsely;
+//! `BENCH_subsumption.json` carries the committed baseline.
+
+use std::time::Instant;
+
+use dlearn_similarity::{IndexConfig, SimilarityIndex, SimilarityOperator};
+use dlearn_test_support::vocab::{dirty_vocabulary, VocabConfig};
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let reps: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let vocab = dirty_vocabulary(&VocabConfig::benchmark_1k(), 42);
+    let config = IndexConfig {
+        top_k: 5,
+        operator: SimilarityOperator::with_threshold(0.65),
+        threads,
+        ..IndexConfig::default()
+    };
+    // Warm-up.
+    let warm = SimilarityIndex::build(&vocab.left, &vocab.right, &config);
+    let mut times: Vec<u128> = Vec::with_capacity(reps);
+    let mut pairs = 0usize;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let built = SimilarityIndex::build(&vocab.left, &vocab.right, &config);
+        times.push(t.elapsed().as_micros());
+        pairs = built.pair_count();
+    }
+    times.sort_unstable();
+    println!(
+        "threads={threads} reps={reps} pairs={pairs} (warm {}) median_us={} min_us={} max_us={}",
+        warm.pair_count(),
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1]
+    );
+}

@@ -7,8 +7,9 @@
 use crate::length::{length_similarity, length_similarity_from_counts};
 use crate::sw_gotoh::{
     swg_similarity_normalized_chars, swg_similarity_normalized_chars_at_least, swg_similarity_with,
-    SwgParams,
+    SwgParams, ABANDON_SLACK,
 };
+use crate::sw_kernel::{aligned_match_upper_bound, swg_similarity_banded_at_least, SimProfile};
 
 /// A configurable string-similarity operator with a decision threshold.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,6 +142,19 @@ impl SimilarityOperator {
         right_len: usize,
         common: u32,
     ) -> f64 {
+        self.score_bound_from_matches(left_len, right_len, common as f64)
+    }
+
+    /// Upper bound on the score given any upper bound `matches` on the
+    /// number of equal-character pairs an alignment of the two strings can
+    /// contain — the generalization behind both
+    /// [`Self::max_score_bound_with_common`] (histogram intersection) and
+    /// the bit-parallel gate (the binned-LCS bound from
+    /// [`crate::sw_kernel::aligned_match_upper_bound`], which also accounts
+    /// for character *order* and is therefore often much tighter on
+    /// anagram-ish pairs). Soundness needs the same parameter shape as the
+    /// histogram bound; otherwise the SWG half falls back to `1`.
+    pub fn score_bound_from_matches(&self, left_len: usize, right_len: usize, matches: f64) -> f64 {
         if left_len == 0 || right_len == 0 {
             return if left_len == right_len { 1.0 } else { 0.0 };
         }
@@ -149,11 +163,44 @@ impl SimilarityOperator {
             && self.swg.gap_open >= 0.0
             && self.swg.gap_extend >= 0.0
         {
-            (common as f64 / left_len.min(right_len) as f64).min(1.0)
+            (matches / left_len.min(right_len) as f64).min(1.0)
         } else {
             1.0
         };
         (swg_bound + length_similarity_from_counts(left_len, right_len)) / 2.0
+    }
+
+    /// The profile-to-profile hot path of index construction: the
+    /// bit-parallel match bound gates the pair, then the **banded** exact
+    /// dynamic program scores it. Contract mirrors
+    /// [`Self::score_normalized_chars_at_least`] — `None` means the combined
+    /// score is strictly below `required`; a `Some` score is bit-identical
+    /// to [`Self::score_normalized_chars`] on the same chars (the band and
+    /// the gate only ever drop pairs that provably fall short). Pass
+    /// `f64::NEG_INFINITY` to never abandon.
+    pub fn score_profiles_at_least(
+        &self,
+        a: &SimProfile,
+        b: &SimProfile,
+        required: f64,
+    ) -> Option<f64> {
+        if required > f64::NEG_INFINITY {
+            if let Some(matches) = aligned_match_upper_bound(a, b) {
+                if self.score_bound_from_matches(a.len(), b.len(), matches)
+                    < required - ABANDON_SLACK
+                {
+                    return None;
+                }
+            }
+        }
+        let len = length_similarity_from_counts(a.len(), b.len());
+        let required_swg = if required > f64::NEG_INFINITY {
+            2.0 * required - len
+        } else {
+            f64::NEG_INFINITY
+        };
+        let swg = swg_similarity_banded_at_least(&a.chars, &b.chars, &self.swg, required_swg)?;
+        Some((swg + len) / 2.0)
     }
 }
 
@@ -420,6 +467,68 @@ mod tests {
             assert_eq!(
                 op.score(a, b),
                 op.score_normalized_chars(&ca, &cb),
+                "({a:?}, {b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn common_bound_is_the_matches_bound_at_the_integer_point() {
+        let op = SimilarityOperator::default();
+        for (ll, rl, common) in [(4usize, 8usize, 3u32), (10, 10, 10), (1, 30, 0), (0, 5, 0)] {
+            assert_eq!(
+                op.max_score_bound_with_common(ll, rl, common),
+                op.score_bound_from_matches(ll, rl, common as f64),
+                "({ll}, {rl}, {common})"
+            );
+        }
+    }
+
+    #[test]
+    fn profile_path_matches_the_scalar_char_path() {
+        // The full kernel chain (bit-parallel gate + banded DP) against the
+        // scalar reference, on seeded random pairs and random requirements:
+        // completed runs are bit-identical, abandons only hide scores that
+        // are truly below the requirement.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x9f11);
+        let alphabet = "abcdefgh 129";
+        let op = SimilarityOperator::default();
+        for _ in 0..600 {
+            let mut s = |max_len: usize| -> String {
+                let len = rng.gen_range(0..max_len + 1);
+                (0..len)
+                    .map(|_| alphabet.as_bytes()[rng.gen_range(0..alphabet.len())] as char)
+                    .collect()
+            };
+            let a = s(24);
+            let b = s(24);
+            let pa = crate::sw_kernel::SimProfile::new(&a);
+            let pb = crate::sw_kernel::SimProfile::new(&b);
+            let exact = op.score_normalized_chars(&pa.chars, &pb.chars);
+            let required = rng.gen_range(0.0..1.2);
+            match op.score_profiles_at_least(&pa, &pb, required) {
+                Some(v) => assert_eq!(v, exact, "({a:?}, {b:?}, required {required})"),
+                None => assert!(
+                    exact < required,
+                    "kernel abandoned ({a:?}, {b:?}) at {required} but exact is {exact}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn profile_path_without_requirement_never_abandons() {
+        let op = SimilarityOperator::default();
+        for (a, b) in [("Superbad", "Superbad (2007)"), ("", ""), ("?!|", "x")] {
+            let (pa, pb) = (
+                crate::sw_kernel::SimProfile::new(a),
+                crate::sw_kernel::SimProfile::new(b),
+            );
+            assert_eq!(
+                op.score_profiles_at_least(&pa, &pb, f64::NEG_INFINITY),
+                Some(op.score(a, b)),
                 "({a:?}, {b:?})"
             );
         }

@@ -7,13 +7,22 @@
 //! Building the index naively is `O(|L| · |R|)` alignment calls; we use
 //! token/trigram blocking: values are only aligned when they share at least
 //! one blocking key, which is how record-linkage systems keep this step
-//! tractable on large inputs. On top of blocking, construction applies two
-//! lossless prunes and fans out across threads:
+//! tractable on large inputs. On top of blocking, construction applies a
+//! stack of lossless prunes and fans out across threads:
 //!
-//! * **Length/size filter** — each value is normalized once into a profile
-//!   (char vector + character histogram);
-//!   [`SimilarityOperator::max_score_bound_with_common`] then bounds the
-//!   combined score from the two normalized lengths and the character
+//! * **Skew-aware hot-key postings** — Zipf-shaped vocabularies concentrate
+//!   mass on a few stopword-ish blocking keys whose posting lists approach
+//!   the whole right column, degenerating blocking toward all-pairs. A key
+//!   whose posting list covers more than `max(8, hot_key_fraction · |R|)`
+//!   right values is *hot*: its postings are sorted by normalized length,
+//!   and a probe enumerates only the length window that can survive the
+//!   length bound (`min/max ≥ 2·threshold − 1`, widened by one length unit
+//!   for floating-point safety) — candidates outside the window provably
+//!   fail the filter below, so skipping them wholesale changes nothing.
+//! * **Length/size filter** — each value is normalized once into a
+//!   [`SimProfile`] (char vector + character histogram + bit-parallel match
+//!   masks); [`SimilarityOperator::max_score_bound_with_common`] then bounds
+//!   the combined score from the two normalized lengths and the character
 //!   multiset intersection alone (the SWG alignment cannot match more
 //!   characters than the two strings share), and a candidate whose bound
 //!   is below the operator threshold is skipped without an alignment call.
@@ -21,13 +30,23 @@
 //!   so once `top_k` matches are held and the next candidate's bound is
 //!   strictly below the running k-th score, no remaining candidate can
 //!   displace anything and the rest of the list is abandoned.
+//! * **Bit-parallel gate + banded kernel** — candidates that survive the
+//!   bounds are scored through
+//!   [`SimilarityOperator::score_profiles_at_least`]: a Myers-style
+//!   bit-parallel pass bounds the achievable matches (order-aware, so much
+//!   tighter than the histogram on anagram-ish pairs), then the exact SWG
+//!   dynamic program runs *banded*, skipping cells too far off-diagonal to
+//!   reach the requirement. Both steps are lossless: completed scores are
+//!   bit-identical to the scalar reference DP (`crate::sw_gotoh`), abandons
+//!   only hide pairs strictly below the running requirement.
 //! * **Parallel construction** — left values are split into contiguous
 //!   chunks mapped on `std::thread::scope` workers and merged in chunk
 //!   order, so the built index is bit-identical at any thread count.
 //!
-//! All three are exercised against a brute-force all-pairs oracle (no
-//! blocking, no filter, no early exit) in
-//! `crates/similarity/tests/index_oracle.rs`.
+//! All of these are exercised against a brute-force all-pairs oracle (no
+//! blocking, no filter, no early exit, scalar scoring) in
+//! `crates/similarity/tests/index_oracle.rs`, including Zipf-skewed
+//! vocabularies that force the hot-key path.
 //!
 //! The index is keyed by interned [`Sym`] handles: probes coming from
 //! bottom-clause construction arrive as the `Sym` already stored in a
@@ -40,8 +59,18 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use dlearn_relstore::Sym;
 
 use crate::combined::SimilarityOperator;
-use crate::length::{char_histogram, common_char_count, HIST_BINS};
-use crate::tokenize::{blocking_keys, normalize};
+use crate::length::common_char_count;
+use crate::sw_kernel::{aligned_match_upper_bound, SimProfile};
+use crate::tokenize::{blocking_keys_into, normalize};
+
+/// Cap on the auto-detected worker-thread count (`threads = 0`) — shared by
+/// index construction here and the learner-side thread resolution
+/// (`dlearn_core::LearnerConfig`). Alignment work stops scaling well past
+/// this on the workloads we measure (the per-left candidate lists are short
+/// once the bounds fire, so spawn/merge overhead dominates), and an
+/// unbounded auto-fanout on a many-core CI machine oversubscribes the
+/// memory bus for no win. An *explicit* `threads = n` is always honored.
+pub const MAX_AUTO_THREADS: usize = 16;
 
 /// Process-wide count of alignment-based index constructions (calls to
 /// [`SimilarityIndex::build`]). The derived constructors
@@ -67,11 +96,21 @@ pub struct IndexConfig {
     pub top_k: usize,
     /// The similarity operator (score + threshold).
     pub operator: SimilarityOperator,
-    /// Worker threads for index construction (0 = available cores). The
-    /// built index is bit-identical at any thread count: left values are
-    /// processed in contiguous chunks whose per-value results do not depend
-    /// on the chunking, and chunk results merge in left order.
+    /// Worker threads for index construction (0 = available cores, capped
+    /// at [`MAX_AUTO_THREADS`]). The built index is bit-identical at any
+    /// thread count: left values are processed in contiguous chunks whose
+    /// per-value results do not depend on the chunking, and chunk results
+    /// merge in left order.
     pub threads: usize,
+    /// A blocking key is *hot* when its posting list covers more than
+    /// `max(8, hot_key_fraction · |right|)` right values — the token-IDF
+    /// knob of skew-aware candidate generation. Hot postings are sorted by
+    /// normalized length so probes touch only the length-compatible window;
+    /// the pruning is lossless at any setting (skipped candidates provably
+    /// fail the length bound), so the knob trades build-time sort cost
+    /// against probe-time window savings, never result quality. `0.0` makes
+    /// every list beyond the floor of 8 hot; `1.0` disables the path.
+    pub hot_key_fraction: f64,
 }
 
 impl Default for IndexConfig {
@@ -80,6 +119,7 @@ impl Default for IndexConfig {
             top_k: 5,
             operator: SimilarityOperator::default(),
             threads: 0,
+            hot_key_fraction: 0.05,
         }
     }
 }
@@ -99,6 +139,12 @@ impl IndexConfig {
         self
     }
 
+    /// Set the hot-key fraction (builder style).
+    pub fn with_hot_key_fraction(mut self, hot_key_fraction: f64) -> Self {
+        self.hot_key_fraction = hot_key_fraction;
+        self
+    }
+
     /// Number of construction worker threads to actually use.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
@@ -107,7 +153,18 @@ impl IndexConfig {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-                .min(16)
+                .min(MAX_AUTO_THREADS)
+        }
+    }
+
+    /// Posting-list length above which a blocking key counts as hot.
+    fn hot_posting_cap(&self, right_count: usize) -> usize {
+        const HOT_KEY_FLOOR: usize = 8;
+        let frac = (self.hot_key_fraction * right_count as f64).ceil();
+        if frac.is_finite() && frac >= 0.0 {
+            (frac as usize).max(HOT_KEY_FLOOR)
+        } else {
+            HOT_KEY_FLOOR
         }
     }
 }
@@ -176,14 +233,39 @@ impl SimilarityIndex {
         // indexed — bounded by the token/trigram vocabulary of the input
         // databases, the same process-lifetime argument the interner itself
         // makes; the probe side pays one interner shard lookup per key.
-        let mut block: HashMap<Sym, Vec<usize>> = HashMap::new();
-        let mut right_profiles: Vec<ValueProfile> = Vec::with_capacity(right.len());
+        let mut raw_block: HashMap<Sym, Vec<u32>> = HashMap::new();
+        let mut right_profiles: Vec<SimProfile> = Vec::with_capacity(right.len());
+        let mut key_buf: Vec<String> = Vec::new();
         for (j, r) in right.iter().enumerate() {
-            for key in blocking_keys(r.as_str()) {
-                block.entry(Sym::intern(key)).or_default().push(j);
+            blocking_keys_into(r.as_str(), &mut key_buf);
+            for key in key_buf.drain(..) {
+                raw_block
+                    .entry(Sym::intern(key))
+                    .or_default()
+                    .push(j as u32);
             }
-            right_profiles.push(ValueProfile::new(r.as_str()));
+            right_profiles.push(SimProfile::new(r.as_str()));
         }
+        // Skew-aware conversion: posting lists past the hot cap are sorted
+        // by (normalized length, right index) so probes can binary-search
+        // the length window instead of walking the whole list.
+        let hot_cap = config.hot_posting_cap(right.len());
+        let block: HashMap<Sym, Posting> = raw_block
+            .into_iter()
+            .map(|(key, ids)| {
+                let posting = if ids.len() > hot_cap {
+                    let mut by_len: Vec<(u32, u32)> = ids
+                        .into_iter()
+                        .map(|j| (right_profiles[j as usize].len() as u32, j))
+                        .collect();
+                    by_len.sort_unstable();
+                    Posting::Hot(by_len)
+                } else {
+                    Posting::Cold(ids)
+                };
+                (key, posting)
+            })
+            .collect();
 
         // Per-left-value match lists are independent of each other, so left
         // values fan out across scoped workers in contiguous chunks. Each
@@ -418,26 +500,39 @@ impl SimilarityIndex {
     }
 }
 
-/// A value's cached normalized form: the char vector the aligner consumes
-/// and the character histogram the size filter consumes. Computed once per
-/// value instead of once per scored pair.
-struct ValueProfile {
-    chars: Vec<char>,
-    hist: [u32; HIST_BINS],
+/// A blocking key's posting list over right indexes.
+///
+/// Most keys are **cold**: a short list walked in full. Keys whose list
+/// exceeds the hot cap (see [`IndexConfig::hot_key_fraction`]) store their
+/// postings sorted by `(normalized length, right index)`, so a probe with
+/// left length `ll` enumerates only the contiguous window of right lengths
+/// that can pass the length bound — the completeness fallback that keeps
+/// hot stopword-ish keys from degenerating into all-pairs scans while still
+/// generating every candidate the filter could keep.
+enum Posting {
+    /// Plain right indexes, in right order.
+    Cold(Vec<u32>),
+    /// `(normalized length, right index)`, sorted ascending.
+    Hot(Vec<(u32, u32)>),
 }
 
-impl ValueProfile {
-    fn new(raw: &str) -> Self {
-        let normalized = normalize(raw);
-        ValueProfile {
-            chars: normalized.chars().collect(),
-            hist: char_histogram(&normalized),
-        }
+/// The inclusive right-length window `[lo, hi]` compatible with the length
+/// bound for a probe of normalized length `ll` under `threshold`: the
+/// filter keeps a pair only if `(1 + min/max) / 2 ≥ threshold`, i.e.
+/// `min/max ≥ r = 2·threshold − 1`, so a right length outside
+/// `[ll·r, ll/r]` provably fails it. The window is widened by one length
+/// unit on each side so the floating-point ceil/floor can never exclude a
+/// boundary length the exact filter would keep; when `r ≤ 0` every length
+/// is compatible.
+fn length_window(ll: usize, threshold: f64) -> (u32, u32) {
+    let r = 2.0 * threshold - 1.0;
+    if r <= 0.0 || ll == 0 {
+        return (0, u32::MAX);
     }
-
-    fn len(&self) -> usize {
-        self.chars.len()
-    }
+    let lo = ((ll as f64 * r).ceil() as i64 - 1).max(0) as u32;
+    // `as` saturates on overflow, so a tiny `r` yields an open-ended window.
+    let hi = ((ll as f64 / r).floor() + 1.0) as u32;
+    (lo, hi)
 }
 
 /// Per-worker scratch buffers reused across the left values of one chunk.
@@ -446,6 +541,8 @@ struct Scratch {
     candidates: Vec<(usize, f64)>,
     /// Dedup bitmap over right indexes (cleared after each left value).
     seen: Vec<bool>,
+    /// Blocking-key buffer (strings reused across left values).
+    keys: Vec<String>,
 }
 
 impl Scratch {
@@ -453,6 +550,7 @@ impl Scratch {
         Scratch {
             candidates: Vec::new(),
             seen: vec![false; right_count],
+            keys: Vec::new(),
         }
     }
 }
@@ -475,33 +573,68 @@ impl Scratch {
 fn score_one_left(
     l: Sym,
     right: &[Sym],
-    right_profiles: &[ValueProfile],
-    block: &HashMap<Sym, Vec<usize>>,
+    right_profiles: &[SimProfile],
+    block: &HashMap<Sym, Posting>,
     config: &IndexConfig,
     scratch: &mut Scratch,
 ) -> Vec<Match> {
-    let Scratch { candidates, seen } = scratch;
+    let Scratch {
+        candidates,
+        seen,
+        keys,
+    } = scratch;
     candidates.clear();
     if config.top_k == 0 {
         return Vec::new();
     }
-    let left_profile = ValueProfile::new(l.as_str());
+    let left_profile = SimProfile::new(l.as_str());
+    // Hot posting lists are length-sorted: only the window compatible with
+    // the length bound can survive the filter below, so the probe walks
+    // just that slice. Candidate *order* does not matter here — the list is
+    // re-sorted by (bound desc, index) before scoring — only the set does,
+    // and the window keeps every index the filter could keep.
+    let (len_lo, len_hi) = length_window(left_profile.len(), config.operator.threshold);
     // Probe keys resolve through `Sym::lookup`, which never inserts: a
     // left-only key was interned by no right value, so it cannot be in the
     // block map — skipping it neither loses candidates nor leaks probe-side
     // strings into the intern table.
-    for key in blocking_keys(l.as_str()) {
-        if let Some(ids) = Sym::lookup(&key).and_then(|k| block.get(&k)) {
-            for &j in ids {
-                if !seen[j] {
-                    seen[j] = true;
-                    candidates.push((j, 0.0));
+    blocking_keys_into(l.as_str(), keys);
+    for key in keys.iter() {
+        let Some(posting) = Sym::lookup(key).and_then(|k| block.get(&k)) else {
+            continue;
+        };
+        match posting {
+            Posting::Cold(ids) => {
+                for &j in ids {
+                    let j = j as usize;
+                    if !seen[j] {
+                        seen[j] = true;
+                        candidates.push((j, 0.0));
+                    }
+                }
+            }
+            Posting::Hot(by_len) => {
+                let start = by_len.partition_point(|&(len, _)| len < len_lo);
+                for &(len, j) in &by_len[start..] {
+                    if len > len_hi {
+                        break;
+                    }
+                    let j = j as usize;
+                    if !seen[j] {
+                        seen[j] = true;
+                        candidates.push((j, 0.0));
+                    }
                 }
             }
         }
     }
     // The length/size filter: drop candidates that provably cannot reach
-    // the threshold, before any alignment call.
+    // the threshold, before any alignment call. Candidates surviving the
+    // cheap histogram bound are tightened with the bit-parallel LCS bound
+    // (order-aware, so much sharper on anagram-ish pairs): the stored bound
+    // is the minimum of the two, which both prunes more here and lets the
+    // top-k early exit below fire sooner. Each is an upper bound on the
+    // true score, so the minimum is too — the filter stays lossless.
     for &(j, _) in candidates.iter() {
         seen[j] = false;
     }
@@ -512,6 +645,16 @@ fn score_one_left(
             rp.len(),
             common_char_count(&left_profile.hist, &rp.hist),
         );
+        if *bound < config.operator.threshold {
+            return false;
+        }
+        if let Some(matches) = aligned_match_upper_bound(&left_profile, rp) {
+            *bound = bound.min(config.operator.score_bound_from_matches(
+                left_profile.len(),
+                rp.len(),
+                matches,
+            ));
+        }
         *bound >= config.operator.threshold
     });
     // Descending bound, ties by right position: deterministic, and it front-
@@ -540,11 +683,11 @@ fn score_one_left(
             config.operator.threshold
         };
         let r = right[j];
-        let Some(score) = config.operator.score_normalized_chars_at_least(
-            &left_profile.chars,
-            &right_profiles[j].chars,
-            required,
-        ) else {
+        let Some(score) =
+            config
+                .operator
+                .score_profiles_at_least(&left_profile, &right_profiles[j], required)
+        else {
             continue; // provably below `required`: cannot be stored.
         };
         if score < config.operator.threshold {
@@ -852,6 +995,62 @@ mod tests {
         let before = SimilarityIndex::build_count();
         let _ = SimilarityIndex::build(&movies_left(), &movies_right(), &IndexConfig::default());
         assert!(SimilarityIndex::build_count() > before);
+    }
+
+    #[test]
+    fn hot_key_fraction_never_changes_the_built_index() {
+        // A vocabulary dominated by one stopword-ish token: with fraction
+        // 0.0 the shared-token posting list goes hot (length-windowed
+        // probes), with 1.0 the hot path is disabled entirely. The built
+        // index must be identical — the window only skips candidates the
+        // length filter would drop anyway.
+        let left: Vec<Sym> = (0..40)
+            .map(|i| Sym::intern(format!("the item number {i}")))
+            .collect();
+        let right: Vec<Sym> = (0..40)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Sym::intern(format!("the item number {i} special anniversary edition"))
+                } else {
+                    Sym::intern(format!("the item number {i}"))
+                }
+            })
+            .collect();
+        let base = IndexConfig {
+            top_k: 3,
+            operator: SimilarityOperator::with_threshold(0.65),
+            ..IndexConfig::default()
+        };
+        let all_hot =
+            SimilarityIndex::build(&left, &right, &base.clone().with_hot_key_fraction(0.0));
+        let none_hot =
+            SimilarityIndex::build(&left, &right, &base.clone().with_hot_key_fraction(1.0));
+        assert!(
+            all_hot.pair_count() > 0,
+            "test vocabulary produced no matches"
+        );
+        assert_eq!(all_hot, none_hot);
+    }
+
+    #[test]
+    fn length_window_keeps_every_length_the_filter_keeps() {
+        // Exhaustive small-domain check: any (ll, rl) whose plain length
+        // bound reaches the threshold must fall inside the window.
+        let op = SimilarityOperator::default();
+        for threshold in [0.0, 0.5, 0.65, 0.75, 0.9, 1.0] {
+            for ll in 0..60usize {
+                let (lo, hi) = length_window(ll, threshold);
+                for rl in 0..60usize {
+                    if op.max_score_bound(ll, rl) >= threshold {
+                        assert!(
+                            (lo..=hi).contains(&(rl as u32)),
+                            "({ll}, {rl}) passes the bound at t={threshold} \
+                             but fell outside [{lo}, {hi}]"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

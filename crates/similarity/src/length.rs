@@ -20,7 +20,12 @@ pub fn char_histogram(normalized: &str) -> [u32; HIST_BINS] {
     hist
 }
 
-fn char_bin(c: char) -> usize {
+/// Bin index of a character under the [`char_histogram`] scheme. Exposed so
+/// the bit-parallel kernel can build its per-value match masks over the
+/// *same* lumped alphabet: two characters compare equal at the mask level
+/// whenever they share a bin, which — like the histogram intersection — can
+/// only overcount real matches, the sound direction for upper bounds.
+pub fn char_bin(c: char) -> usize {
     match c {
         'a'..='z' => c as usize - 'a' as usize,
         '0'..='9' => 26 + (c as usize - '0' as usize),

@@ -17,16 +17,20 @@ pub mod combined;
 pub mod index;
 pub mod length;
 pub mod sw_gotoh;
+pub mod sw_kernel;
 pub mod tokenize;
 
 pub use combined::{combined_similarity, SimilarityOperator};
-pub use index::{IndexConfig, Match, QuerySym, SimilarityIndex};
+pub use index::{IndexConfig, Match, QuerySym, SimilarityIndex, MAX_AUTO_THREADS};
 pub use length::{
     char_histogram, common_char_count, length_similarity, length_similarity_from_counts, HIST_BINS,
 };
 pub use sw_gotoh::{
     swg_similarity, swg_similarity_normalized_chars, swg_similarity_normalized_chars_at_least,
     swg_similarity_with, SwgParams,
+};
+pub use sw_kernel::{
+    aligned_match_upper_bound, swg_similarity_banded_at_least, SimProfile, MASK_MAX_LEN,
 };
 
 #[cfg(test)]

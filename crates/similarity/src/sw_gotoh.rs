@@ -137,7 +137,7 @@ pub fn swg_similarity_normalized_chars(ca: &[char], cb: &[char], params: &SwgPar
 /// the final similarity is provably below `required` by more than this, so
 /// the handful of floating-point roundings between the two scales can never
 /// abandon a pair whose true score ties the requirement exactly.
-const ABANDON_SLACK: f64 = 1e-9;
+pub(crate) const ABANDON_SLACK: f64 = 1e-9;
 
 /// Like [`swg_similarity_normalized_chars`], but gives up as soon as the
 /// similarity provably cannot reach `required` (minus a tiny slack) and

@@ -49,13 +49,23 @@ pub fn trigrams(s: &str) -> Vec<String> {
 /// character trigrams. Two values that share no blocking key are never
 /// compared by the similarity index.
 pub fn blocking_keys(s: &str) -> Vec<String> {
-    let mut keys = tokens(s);
+    let mut keys = Vec::new();
+    blocking_keys_into(s, &mut keys);
+    keys
+}
+
+/// [`blocking_keys`] into a caller-owned buffer — the index hot path calls
+/// this once per value and reuses the buffer (and its string allocations do
+/// not pile up per value). The buffer is cleared first; the result is the
+/// same sorted, deduplicated key list `blocking_keys` returns.
+pub fn blocking_keys_into(s: &str, keys: &mut Vec<String>) {
+    keys.clear();
+    keys.extend(tokens(s));
     if keys.len() <= 2 {
         keys.extend(trigrams(s));
     }
     keys.sort();
     keys.dedup();
-    keys
 }
 
 #[cfg(test)]
@@ -92,5 +102,14 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn buffered_blocking_keys_equal_the_allocating_form() {
+        let mut buf = vec!["stale leftover".to_string()];
+        for s in ["J. Smth", "Star Wars: Episode IV - 1977", "", "ab", "a a a"] {
+            blocking_keys_into(s, &mut buf);
+            assert_eq!(buf, blocking_keys(s), "{s:?}");
+        }
     }
 }

@@ -35,6 +35,7 @@ fn check_case(vocab: &DirtyVocabulary, seed: u64, threshold: f64, top_k: usize) 
         top_k,
         operator: SimilarityOperator::with_threshold(threshold),
         threads: 1,
+        ..IndexConfig::default()
     };
     let oracle = ReferenceIndex::build(&vocab.left, &vocab.right, &index_config);
     let built = SimilarityIndex::build(&vocab.left, &vocab.right, &index_config);
@@ -88,6 +89,7 @@ fn zero_top_k_stores_nothing_and_matches_the_oracle() {
         top_k: 0,
         operator: SimilarityOperator::with_threshold(0.65),
         threads: 1,
+        ..IndexConfig::default()
     };
     let oracle = ReferenceIndex::build(&vocab.left, &vocab.right, &index_config);
     let built = SimilarityIndex::build(&vocab.left, &vocab.right, &index_config);
@@ -107,6 +109,7 @@ fn thread_counts_build_identical_indexes() {
             top_k: 5,
             operator: SimilarityOperator::with_threshold(0.7),
             threads: 1,
+            ..IndexConfig::default()
         };
         let oracle = ReferenceIndex::build(&vocab.left, &vocab.right, &base_config);
         let serial = SimilarityIndex::build(&vocab.left, &vocab.right, &base_config);
@@ -120,6 +123,78 @@ fn thread_counts_build_identical_indexes() {
             assert_eq!(
                 serial, threaded,
                 "seed {seed}: {threads}-thread build diverged from serial"
+            );
+        }
+    }
+}
+
+/// Zipf-skewed vocabularies: hot stopword-ish tokens pile most values into
+/// a few huge blocks, forcing the index through its skew-aware hot-key path
+/// (length-partitioned postings, windowed probes). Entry-for-entry oracle
+/// equality here proves the window never skips a candidate the filter could
+/// keep — and the 1/2/8-thread sweep pins that the hot path preserves the
+/// deterministic parallel merge.
+#[test]
+fn built_index_equals_oracle_on_zipf_skewed_vocabularies() {
+    let config = VocabConfig::skewed_oracle(1.2);
+    for seed in 200..215u64 {
+        let vocab = dirty_vocabulary(&config, seed);
+        for &(threshold, top_k) in &[(0.65, 5), (0.75, 2)] {
+            let base_config = IndexConfig {
+                top_k,
+                operator: SimilarityOperator::with_threshold(threshold),
+                threads: 1,
+                ..IndexConfig::default()
+            };
+            let oracle = ReferenceIndex::build(&vocab.left, &vocab.right, &base_config);
+            let serial = SimilarityIndex::build(&vocab.left, &vocab.right, &base_config);
+            assert_eq!(
+                oracle,
+                ReferenceIndex::view_of(&serial),
+                "seed {seed}, threshold {threshold}, top_k {top_k}: \
+                 skewed-vocabulary index diverged from the all-pairs oracle"
+            );
+            for threads in [2usize, 8] {
+                let threaded = SimilarityIndex::build(
+                    &vocab.left,
+                    &vocab.right,
+                    &base_config.clone().with_threads(threads),
+                );
+                assert_eq!(
+                    serial, threaded,
+                    "seed {seed}, threshold {threshold}: \
+                     {threads}-thread skewed build diverged from serial"
+                );
+            }
+        }
+    }
+}
+
+/// The hot-key fraction is a pure performance knob: any setting builds the
+/// identical index. Swept on skewed vocabularies (where it changes which
+/// postings actually go hot) from "everything past the floor is hot" to
+/// "the hot path is disabled".
+#[test]
+fn hot_key_fraction_sweep_builds_identical_indexes_on_skewed_vocabularies() {
+    let config = VocabConfig::skewed_oracle(1.2);
+    for seed in [300u64, 301, 302] {
+        let vocab = dirty_vocabulary(&config, seed);
+        let base_config = IndexConfig {
+            top_k: 5,
+            operator: SimilarityOperator::with_threshold(0.65),
+            threads: 1,
+            ..IndexConfig::default()
+        };
+        let reference = SimilarityIndex::build(&vocab.left, &vocab.right, &base_config);
+        for fraction in [0.0, 0.01, 0.2, 1.0] {
+            let swept = SimilarityIndex::build(
+                &vocab.left,
+                &vocab.right,
+                &base_config.clone().with_hot_key_fraction(fraction),
+            );
+            assert_eq!(
+                reference, swept,
+                "seed {seed}: hot_key_fraction {fraction} changed the index"
             );
         }
     }
@@ -139,6 +214,7 @@ fn filter_min_score_equals_fresh_build_on_seeded_vocabularies() {
                 top_k,
                 operator: SimilarityOperator::with_threshold(0.6),
                 threads: 1,
+                ..IndexConfig::default()
             };
             let base = SimilarityIndex::build(&vocab.left, &vocab.right, &base_config);
             for threshold in [0.7, 0.8, 0.95, 0.9999] {
@@ -149,6 +225,7 @@ fn filter_min_score_equals_fresh_build_on_seeded_vocabularies() {
                         top_k,
                         operator: SimilarityOperator::with_threshold(threshold),
                         threads: 1,
+                        ..IndexConfig::default()
                     },
                 );
                 assert_eq!(

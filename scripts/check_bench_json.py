@@ -13,10 +13,14 @@ Two modes:
 ``check_bench_json.py --gate BASELINE.json CURRENT.json``
     Same-machine regression gate: both files must come from bench runs on
     the *same* machine (CI runs the bench at the merge-base and at HEAD on
-    one runner, or twice at HEAD when no base is resolvable). Fails when the
-    median of a gated bench regresses by more than the committed tolerance.
-    Benches present in only one of the two runs are skipped (a new bench
-    has no baseline yet), but at least one gated bench must be comparable.
+    one runner, or twice at HEAD when no base is resolvable). Prints a
+    per-entry old->new table for every bench present in both runs, then
+    fails when the median of a gated bench regresses by more than its
+    per-entry tolerance (written next to each median by the bench binary;
+    current file wins over baseline, with ``GATE_TOLERANCE`` as the final
+    fallback for pre-tolerance baselines). Benches present in only one of
+    the two runs are skipped (a new bench has no baseline yet), but at
+    least one gated bench must be comparable.
 """
 
 import json
@@ -34,27 +38,44 @@ EXPECTED_BENCHES = [
     "subsumption/predict_loop",
     "subsumption/predict_batch",
     "subsumption/generalization_round",
+    "scaling/index_build/vocab/250",
+    "scaling/index_build/vocab/500",
+    "scaling/index_build/vocab/1000",
+    "scaling/index_build/zipf/250",
+    "scaling/index_build/zipf/500",
+    "scaling/index_build/zipf/1000",
+    "scaling/coverage_engine_counts/examples/24",
+    "scaling/coverage_engine_counts/examples/48",
+    "scaling/coverage_engine_counts/examples/96",
+    "scaling/predict_batch/trace/1",
+    "scaling/predict_batch/trace/4",
+    "scaling/predict_batch/trace/16",
 ]
 
 EXPECTED_TOP_LEVEL = ["workload", "unit", "benches"]
 
-# The committed regression tolerance of the same-machine gate: a gated
-# bench's median may grow by at most this factor between the baseline run
-# and the current run. 20% comfortably clears the observed run-to-run noise
-# of the hot-path benches while catching real regressions (the PR 2/PR 3
-# wins were 40-70%).
+# Fallback regression tolerance of the same-machine gate, used only when
+# neither the current nor the baseline JSON carries a per-entry
+# ``tolerance`` field (i.e. a pre-tolerance baseline). The committed
+# per-entry values live in the bench binary (`gate_tolerance` in
+# `crates/bench/benches/subsumption.rs`) and ride along in the JSON.
 GATE_TOLERANCE = 0.20
 
 # The hot-path benches the gate protects. The adversarial backtracking
 # benches are deliberately not gated: `backtracking_heavy_static` measures
 # an ordering mode nothing ships with, and `backtracking_heavy` is tracked
-# through the committed trajectory instead. The serving pair
-# `predict_loop`/`predict_batch` is EXPECTED but not yet gated: gate it once
-# its run-to-run variance is characterized across a few CI runs.
+# through the committed trajectory instead. The scaling curves are also
+# ungated — their small sizes are too noisy for a hard gate; curve shape is
+# reviewed through the committed diff instead. `generalization_round` and
+# the serving pair `predict_loop`/`predict_batch` are gated at widened
+# per-entry tolerances (0.30 / 0.25) reflecting their observed variance.
 GATED_BENCHES = [
     "subsumption/subsumes",
     "subsumption/coverage_engine_counts",
     "subsumption/index_build",
+    "subsumption/generalization_round",
+    "subsumption/predict_loop",
+    "subsumption/predict_batch",
 ]
 
 
@@ -89,6 +110,25 @@ def well_formed_median(path: str, benches: dict, name: str) -> float:
     return float(median)
 
 
+def entry_tolerance(name: str, current: dict, baseline: dict) -> float:
+    """Per-entry gate slack: current file wins, then baseline, then default.
+
+    The current-first order means a PR widening a tolerance is judged at the
+    widened value in the same run that commits it.
+    """
+    for benches in (current, baseline):
+        entry = benches.get(name)
+        if isinstance(entry, dict):
+            tolerance = entry.get("tolerance")
+            if (
+                isinstance(tolerance, numbers.Real)
+                and not isinstance(tolerance, bool)
+                and 0 < tolerance < 1
+            ):
+                return float(tolerance)
+    return GATE_TOLERANCE
+
+
 def structural_check(path: str) -> None:
     data = load(path)
     for key in EXPECTED_TOP_LEVEL:
@@ -102,6 +142,16 @@ def structural_check(path: str) -> None:
         samples = benches[name].get("samples")
         if not isinstance(samples, int) or isinstance(samples, bool) or samples <= 0:
             fail(f"bench entry {name!r}: samples must be a positive integer, got {samples!r}")
+        tolerance = benches[name].get("tolerance")
+        if (
+            not isinstance(tolerance, numbers.Real)
+            or isinstance(tolerance, bool)
+            or not 0 < tolerance < 1
+        ):
+            fail(
+                f"bench entry {name!r}: tolerance must be a number in (0, 1), "
+                f"got {tolerance!r}"
+            )
 
     unexpected = sorted(set(benches) - set(EXPECTED_BENCHES))
     if unexpected:
@@ -115,31 +165,43 @@ def structural_check(path: str) -> None:
 def regression_gate(baseline_path: str, current_path: str) -> None:
     baseline = load(baseline_path)["benches"]
     current = load(current_path)["benches"]
+    # Full per-entry old->new table first: every bench present in both runs,
+    # gated or not, so a CI log shows the whole picture, not just verdicts.
+    common = [name for name in EXPECTED_BENCHES if name in baseline and name in current]
+    common += sorted(set(baseline) & set(current) - set(EXPECTED_BENCHES))
+    width = max((len(name) for name in common), default=0)
     compared = 0
     regressed = []
-    for name in GATED_BENCHES:
-        if name not in baseline or name not in current:
-            print(f"gate: skipping {name} (not present in both runs)")
-            continue
+    for name in common:
         base = well_formed_median(baseline_path, baseline, name)
         head = well_formed_median(current_path, current, name)
         ratio = head / base
-        verdict = "REGRESSED" if ratio > 1.0 + GATE_TOLERANCE else "ok"
-        print(f"gate: {name}: {base:.0f} ns -> {head:.0f} ns (x{ratio:.2f}) {verdict}")
-        compared += 1
-        if ratio > 1.0 + GATE_TOLERANCE:
-            regressed.append((name, base, head, ratio))
+        tolerance = entry_tolerance(name, current, baseline)
+        if name not in GATED_BENCHES:
+            verdict = "(ungated)"
+        elif ratio > 1.0 + tolerance:
+            verdict = f"REGRESSED (tol {tolerance:.0%})"
+        else:
+            verdict = f"ok (tol {tolerance:.0%})"
+        print(f"gate: {name:<{width}} {base:>13.0f} ns -> {head:>13.0f} ns (x{ratio:.2f}) {verdict}")
+        if name in GATED_BENCHES:
+            compared += 1
+            if ratio > 1.0 + tolerance:
+                regressed.append((name, base, head, ratio, tolerance))
+    for name in GATED_BENCHES:
+        if name not in common:
+            print(f"gate: skipping {name} (not present in both runs)")
     if compared == 0:
         fail("regression gate compared no benches; baseline and current runs share no gated entry")
     if regressed:
         lines = ", ".join(
-            f"{name} {base:.0f}->{head:.0f} ns (x{ratio:.2f})"
-            for name, base, head, ratio in regressed
+            f"{name} {base:.0f}->{head:.0f} ns (x{ratio:.2f}, tol {tolerance:.0%})"
+            for name, base, head, ratio, tolerance in regressed
         )
-        fail(f"median regression beyond {GATE_TOLERANCE:.0%} on the same machine: {lines}")
+        fail(f"median regression beyond per-entry tolerance on the same machine: {lines}")
     print(
-        f"BENCH gate OK: {compared} gated benches within {GATE_TOLERANCE:.0%} "
-        f"of the same-machine baseline"
+        f"BENCH gate OK: {compared} gated benches within their per-entry "
+        f"tolerance of the same-machine baseline"
     )
 
 

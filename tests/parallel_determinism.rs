@@ -86,6 +86,7 @@ fn index_build_threads_produce_bit_identical_indexes() {
             top_k: 5,
             operator: SimilarityOperator::with_threshold(0.7),
             threads: 1,
+            ..IndexConfig::default()
         };
         let serial = SimilarityIndex::build(&vocab.left, &vocab.right, &config);
         assert!(
