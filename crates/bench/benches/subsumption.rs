@@ -93,7 +93,7 @@ fn bench_subsumption(c: &mut Criterion) {
         b.iter(|| {
             let mut hits = 0usize;
             for g in &grounds {
-                hits += subsumes_numbered_decision(&numbered, g, &sub_config) as usize;
+                hits += subsumes_numbered_decision(&numbered, g, &sub_config).is_yes() as usize;
             }
             criterion::black_box(hits)
         })
@@ -169,7 +169,7 @@ fn bench_subsumption(c: &mut Criterion) {
     let learned = serve_engine
         .learn(dlearn_core::Strategy::DLearn)
         .expect("learn");
-    let predictor = serve_engine.predictor(&learned);
+    let predictor = serve_engine.predictor(&learned).expect("bind predictor");
     let trace: Vec<dlearn_relstore::Tuple> = (0..4)
         .flat_map(|_| task.positives.iter().chain(task.negatives.iter()).cloned())
         .collect();
@@ -294,7 +294,7 @@ fn bench_scaling(c: &mut Criterion) {
     let learned = serve_engine
         .learn(dlearn_core::Strategy::DLearn)
         .expect("learn");
-    let predictor = serve_engine.predictor(&learned);
+    let predictor = serve_engine.predictor(&learned).expect("bind predictor");
     for repeats in [1usize, 4, 16] {
         let trace: Vec<dlearn_relstore::Tuple> = (0..repeats)
             .flat_map(|_| {
@@ -311,6 +311,57 @@ fn bench_scaling(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Served throughput through the resilient `PredictorService` front-end:
+/// the 4x-repeated training trace at 1/2/8 worker threads, cold cache
+/// (cleared before every batch, so every serve re-grounds) vs warm cache
+/// (primed once, so every serve hits the ground-example cache). Committed as
+/// EXPECTED (ungated) next to `predict_batch`; returns the trace length so
+/// `main` can report tuples/sec.
+fn bench_service(c: &mut Criterion) -> usize {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny().with_violation_rate(0.1), 42);
+    let task = dataset.task;
+    let config = LearnerConfig::fast().with_iterations(4);
+    let engine = dlearn_core::Engine::prepare(task, config).expect("valid task");
+    let learned = engine.learn(dlearn_core::Strategy::DLearn).expect("learn");
+    let trace: Vec<dlearn_relstore::Tuple> = (0..4)
+        .flat_map(|_| {
+            engine
+                .task()
+                .positives
+                .iter()
+                .chain(engine.task().negatives.iter())
+                .cloned()
+        })
+        .collect();
+    let mut group = c.benchmark_group("service");
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_secs(2));
+    for workers in [1usize, 2, 8] {
+        let service = dlearn_core::PredictorService::new(
+            engine.predictor(&learned).expect("bind predictor"),
+            dlearn_core::ServiceConfig {
+                worker_threads: workers,
+                ..dlearn_core::ServiceConfig::default()
+            },
+        );
+        group.bench_function(format!("cold/{workers}"), |b| {
+            b.iter(|| {
+                service.clear_cache();
+                criterion::black_box(service.predict_batch(&trace))
+            })
+        });
+        // Prime once; every serve afterwards hits the cache.
+        service.clear_cache();
+        let _ = service.predict_batch(&trace);
+        group.bench_function(format!("warm/{workers}"), |b| {
+            b.iter(|| criterion::black_box(service.predict_batch(&trace)))
+        });
+    }
+    group.finish();
+    trace.len()
 }
 
 /// The committed per-entry regression tolerance written next to each median
@@ -330,9 +381,16 @@ fn main() {
     let mut criterion = Criterion::default();
     bench_subsumption(&mut criterion);
     bench_scaling(&mut criterion);
+    let service_trace_len = bench_service(&mut criterion);
 
     // Machine-readable baseline at the workspace root.
     let results = criterion.take_results();
+    for r in &results {
+        if r.name.starts_with("service/") && r.median_ns > 0.0 {
+            let tuples_per_sec = service_trace_len as f64 / (r.median_ns * 1e-9);
+            println!("{}: {:.0} tuples/sec", r.name, tuples_per_sec);
+        }
+    }
     let mut json = String::from(
         "{\n  \"workload\": \"movies-tiny (IMDB+OMDB, p=0.1); index_build on dirty-vocab ~1k x 1k; predict_* on a 4x-repeated training trace; scaling curves at ~3 sizes per axis\",\n",
     );

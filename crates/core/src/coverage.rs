@@ -14,8 +14,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dlearn_logic::{
-    repaired_clauses, subsumes_numbered_decision, Clause, ExpandLimits, GroundClause,
-    NumberedClause,
+    repaired_clauses, subsumes_numbered_decision, subsumes_numbered_decision_controlled,
+    CancelToken, Clause, Decision, ExpandLimits, GroundClause, NumberedClause,
 };
 use dlearn_relstore::Tuple;
 
@@ -127,7 +127,7 @@ impl PreparedClause {
         example: &GroundExample,
         config: &dlearn_logic::SubsumptionConfig,
     ) -> bool {
-        if subsumes_numbered_decision(self.numbered(), &example.ground, config) {
+        if subsumes_numbered_decision(self.numbered(), &example.ground, config).is_yes() {
             return true;
         }
         if self.repaired.is_empty() {
@@ -137,8 +137,111 @@ impl PreparedClause {
             example
                 .repaired
                 .iter()
-                .any(|gr| subsumes_numbered_decision(cr, gr, config))
+                .any(|gr| subsumes_numbered_decision(cr, gr, config).is_yes())
         })
+    }
+
+    /// [`PreparedClause::covers_ground`] with cancellation and exhaustion
+    /// accounting: runs the identical decision sequence (direct subsumption
+    /// first, then the repaired-clause cross-product in the same
+    /// short-circuit order), but polls `cancel` inside each search and counts
+    /// every subsumption search whose step budget ran out. When no budget
+    /// binds and no cancellation fires, the verdict is bit-identical to
+    /// `covers_ground`.
+    pub fn covers_ground_controlled(
+        &self,
+        example: &GroundExample,
+        config: &dlearn_logic::SubsumptionConfig,
+        cancel: Option<&CancelToken>,
+    ) -> CoverageOutcome {
+        let mut exhausted: u32 = 0;
+        let mut decide = |c: &NumberedClause, d: &GroundClause| -> Result<bool, CoverageOutcome> {
+            match subsumes_numbered_decision_controlled(c, d, config, cancel) {
+                Decision::Yes => Ok(true),
+                Decision::No => Ok(false),
+                Decision::BudgetExhausted => {
+                    exhausted += 1;
+                    Ok(false)
+                }
+                Decision::Cancelled => Err(CoverageOutcome::Cancelled),
+            }
+        };
+        macro_rules! check {
+            ($e:expr) => {
+                match $e {
+                    Ok(b) => b,
+                    Err(outcome) => return outcome,
+                }
+            };
+        }
+        if check!(decide(self.numbered(), &example.ground)) {
+            return CoverageOutcome::Covered {
+                exhausted_searches: exhausted,
+            };
+        }
+        if self.repaired.is_empty() {
+            return CoverageOutcome::NotCovered {
+                exhausted_searches: exhausted,
+            };
+        }
+        for cr in self.numbered_repaired() {
+            let mut any = false;
+            for gr in &example.repaired {
+                if check!(decide(cr, gr)) {
+                    any = true;
+                    break;
+                }
+            }
+            if !any {
+                return CoverageOutcome::NotCovered {
+                    exhausted_searches: exhausted,
+                };
+            }
+        }
+        CoverageOutcome::Covered {
+            exhausted_searches: exhausted,
+        }
+    }
+}
+
+/// Outcome of a controlled coverage test: the verdict plus how many of the
+/// underlying subsumption searches ran out of step budget (a budget-exhausted
+/// search acts as "no" for the verdict, exactly as in the uncontrolled path,
+/// but is counted so degraded answers are observable), or `Cancelled` when
+/// the cancel token fired mid-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverageOutcome {
+    /// The clause covers the example.
+    Covered {
+        /// Subsumption searches that hit the step budget during this test.
+        exhausted_searches: u32,
+    },
+    /// The clause does not cover the example.
+    NotCovered {
+        /// Subsumption searches that hit the step budget during this test.
+        exhausted_searches: u32,
+    },
+    /// The cancel token fired before the test concluded.
+    Cancelled,
+}
+
+impl CoverageOutcome {
+    /// The coverage verdict; `None` when the test was cancelled.
+    pub fn verdict(self) -> Option<bool> {
+        match self {
+            CoverageOutcome::Covered { .. } => Some(true),
+            CoverageOutcome::NotCovered { .. } => Some(false),
+            CoverageOutcome::Cancelled => None,
+        }
+    }
+
+    /// Number of budget-exhausted subsumption searches (0 when cancelled).
+    pub fn exhausted_searches(self) -> u32 {
+        match self {
+            CoverageOutcome::Covered { exhausted_searches }
+            | CoverageOutcome::NotCovered { exhausted_searches } => exhausted_searches,
+            CoverageOutcome::Cancelled => 0,
+        }
     }
 }
 
@@ -223,15 +326,30 @@ impl CoverageEngine {
             prepared.numbered(),
             &example.ground,
             &self.config.subsumption,
-        ) {
+        )
+        .is_yes()
+        {
             return true;
         }
         prepared.numbered_repaired().iter().any(|cr| {
             example
                 .repaired
                 .iter()
-                .any(|gr| subsumes_numbered_decision(cr, gr, &self.config.subsumption))
+                .any(|gr| subsumes_numbered_decision(cr, gr, &self.config.subsumption).is_yes())
         })
+    }
+
+    /// [`CoverageEngine::covers_positive`] under an explicit subsumption
+    /// config and cancel token — the serving-tier entry point, where the
+    /// per-call budget may tighten `max_steps` below the training config.
+    pub fn covers_positive_controlled(
+        &self,
+        prepared: &PreparedClause,
+        example: &GroundExample,
+        config: &dlearn_logic::SubsumptionConfig,
+        cancel: Option<&CancelToken>,
+    ) -> CoverageOutcome {
+        prepared.covers_ground_controlled(example, config, cancel)
     }
 
     /// Coverage mask over the positive training examples.

@@ -102,7 +102,7 @@ impl StrategyPlan {
 ///
 /// let engine = Engine::prepare(task, LearnerConfig::fast())?;
 /// let learned = engine.learn(Strategy::DLearn)?;
-/// let predictor = engine.predictor(&learned);
+/// let predictor = engine.predictor(&learned)?;
 /// let verdicts = predictor.predict_batch(&[tuple(vec![Value::int(1)])])?;
 /// assert_eq!(verdicts.len(), 1);
 /// # Ok::<(), dlearn_core::DlearnError>(())
@@ -123,7 +123,16 @@ impl Engine {
     pub fn prepare(task: LearningTask, config: LearnerConfig) -> Result<Engine, DlearnError> {
         config.validate()?;
         Self::validate_task(&task)?;
-        Ok(Self::prepare_unchecked(task, config))
+        // Session preparation fans grounding across worker threads; a panic
+        // in any of them (a malformed row that slipped past validation, an
+        // injected fault) surfaces as a typed error, not a process abort.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Self::prepare_unchecked(task, config)
+        }))
+        .map_err(|payload| DlearnError::WorkerPanicked {
+            site: "prepare",
+            message: crate::par::panic_message(&*payload),
+        })
     }
 
     /// [`Engine::prepare`] without the up-front validation. Used by the
@@ -180,7 +189,7 @@ impl Engine {
         // region: `Learned::seconds` reports the covering loop alone, so a
         // baseline's first run is comparable to its later runs — and to
         // strategies whose plan was built at prepare time.
-        let plan = self.plan(strategy);
+        let plan = self.plan(strategy)?;
         let start = std::time::Instant::now();
         let (definition, stats, bottom_clauses_built) = run_covering_loop(&plan);
         Ok(Learned {
@@ -193,32 +202,40 @@ impl Engine {
     }
 
     /// Bind a learned definition to this session for serving: the returned
-    /// [`Predictor`] shares the strategy's prepared artifacts.
-    pub fn predictor(&self, learned: &Learned) -> Predictor {
-        Predictor::bind(
-            self.plan(learned.strategy),
+    /// [`Predictor`] shares the strategy's prepared artifacts. Fails only
+    /// when the strategy's plan must be derived first and the derivation's
+    /// database rewrite fails — a `learned` value from [`Engine::learn`] has
+    /// its plan cached already, so binding it cannot fail.
+    pub fn predictor(&self, learned: &Learned) -> Result<Predictor, DlearnError> {
+        Ok(Predictor::bind(
+            self.plan(learned.strategy)?,
             learned.definition.clone(),
             learned.stats.clone(),
-        )
+        ))
     }
 
-    pub(crate) fn plan(&self, strategy: Strategy) -> Arc<StrategyPlan> {
+    pub(crate) fn plan(&self, strategy: Strategy) -> Result<Arc<StrategyPlan>, DlearnError> {
         let slot = match strategy {
-            Strategy::DLearn => return self.base.clone(),
+            Strategy::DLearn => return Ok(self.base.clone()),
             Strategy::CastorNoMd => 0,
             Strategy::CastorExact => 1,
             Strategy::CastorClean => 2,
             Strategy::DLearnRepaired => 3,
         };
-        self.plans[slot]
-            .get_or_init(|| Arc::new(self.derive_plan(strategy)))
-            .clone()
+        if let Some(plan) = self.plans[slot].get() {
+            return Ok(plan.clone());
+        }
+        // Derive outside `get_or_init` so a fallible derivation does not
+        // poison the slot. A concurrent race derives twice; derivation is
+        // deterministic, so whichever plan lands in the slot is identical.
+        let plan = Arc::new(self.derive_plan(strategy)?);
+        Ok(self.plans[slot].get_or_init(|| plan).clone())
     }
 
     /// Strategy preprocessing, factored out of the legacy one-shot learner:
     /// rewrite the task/config for the baseline and pick its catalog,
     /// reusing the prepared index whenever the semantics allow.
-    fn derive_plan(&self, strategy: Strategy) -> StrategyPlan {
+    fn derive_plan(&self, strategy: Strategy) -> Result<StrategyPlan, DlearnError> {
         let mut config = self.config.clone();
         let mut task = self.base.task.clone();
         let catalog: Arc<MdCatalog> = match strategy {
@@ -258,7 +275,7 @@ impl Engine {
                     let (next, _) = enforce_md_best_match_with_index(&cleaned, md_index);
                     cleaned = next;
                 }
-                task.database = copy_without(&cleaned, &task.target.name);
+                task.database = copy_without(&cleaned, &task.target.name)?;
                 config.exact_md_joins = true;
                 config.use_cfd_repairs = false;
                 // After unification the MD columns hold identical strings,
@@ -290,7 +307,7 @@ impl Engine {
                 }
             }
         };
-        StrategyPlan::build(task, config, catalog)
+        Ok(StrategyPlan::build(task, config, catalog))
     }
 
     /// The exact-join catalog for Castor-Exact. Stored match lists are
@@ -324,6 +341,9 @@ impl std::fmt::Debug for Engine {
 /// Build the MD similarity catalog for a task/config pair (the expensive
 /// alignment pass the engine performs once).
 fn build_catalog(task: &LearningTask, config: &LearnerConfig) -> MdCatalog {
+    // Budget exhaustion is meaningless at alignment time; only panics and
+    // delays apply here, and both execute inside the checkpoint.
+    let _ = crate::fault::checkpoint(crate::fault::Site::Alignment, &task.target.name);
     if config.use_mds && !task.mds.is_empty() {
         let threshold = if config.exact_md_joins {
             // Exact joins: only identical normalized strings match.
@@ -356,21 +376,23 @@ fn cfd_repairs_can_touch_md_columns(task: &LearningTask) -> bool {
 }
 
 /// Copy a database, omitting one relation (used to strip an augmented target
-/// relation again after Castor-Clean preprocessing).
-fn copy_without(db: &Database, skip: &str) -> Database {
+/// relation again after Castor-Clean preprocessing). Schema or tuple
+/// mismatches — impossible for a faithful copy, but a typed error beats a
+/// panic inside strategy derivation — surface as [`DlearnError::Store`].
+fn copy_without(db: &Database, skip: &str) -> Result<Database, DlearnError> {
     let mut out = Database::new();
     for rel in db.relations() {
         if rel.name() == skip {
             continue;
         }
         out.create_relation(rel.schema().clone())
-            .expect("fresh database");
+            .map_err(|e| DlearnError::Store(e.in_context("copying cleaned database")))?;
         for (_, t) in rel.iter() {
             out.insert(rel.name(), t.clone())
-                .expect("copied tuple is valid");
+                .map_err(|e| DlearnError::Store(e.in_context("copying cleaned database")))?;
         }
     }
-    out
+    Ok(out)
 }
 
 /// The covering loop (Algorithm 1) over a strategy's prepared artifacts.
@@ -581,10 +603,10 @@ pub(crate) fn render_definition(definition: &Definition, stats: &[ClauseStats]) 
 /// serving. Prediction follows the positive-coverage semantics of
 /// Definition 3.4 over the example's ground bottom clause.
 pub struct Predictor {
-    plan: Arc<StrategyPlan>,
+    pub(crate) plan: Arc<StrategyPlan>,
     definition: Definition,
     stats: Vec<ClauseStats>,
-    prepared: Vec<PreparedClause>,
+    pub(crate) prepared: Vec<PreparedClause>,
 }
 
 impl Predictor {
@@ -665,7 +687,7 @@ impl Predictor {
         Ok(slots.into_iter().map(|s| verdicts[s]).collect())
     }
 
-    fn check_arity(&self, example: &Tuple, index: usize) -> Result<(), DlearnError> {
+    pub(crate) fn check_arity(&self, example: &Tuple, index: usize) -> Result<(), DlearnError> {
         let expected = self.plan.task.target.arity();
         if example.arity() != expected {
             return Err(DlearnError::PredictArity {
@@ -677,8 +699,23 @@ impl Predictor {
         Ok(())
     }
 
-    fn builder(&self) -> BottomClauseBuilder<'_> {
+    pub(crate) fn builder(&self) -> BottomClauseBuilder<'_> {
         BottomClauseBuilder::new(&self.plan.task, &self.plan.catalog, &self.plan.config)
+    }
+
+    /// Ground one example exactly the way [`Predictor::predict`] does: the
+    /// grounding RNG derives from the session seed alone, never from batch
+    /// position or thread, so grounding is a pure function of the tuple —
+    /// the invariant the serving cache relies on.
+    pub(crate) fn ground_for_serving(
+        &self,
+        builder: &BottomClauseBuilder<'_>,
+        example: &Tuple,
+    ) -> GroundExample {
+        let config = &self.plan.config;
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xdead_beef);
+        let ground_clause = builder.build(example, &mut rng);
+        GroundExample::from_clause(example.clone(), &ground_clause, config)
     }
 
     fn predict_with(&self, builder: &BottomClauseBuilder<'_>, example: &Tuple) -> bool {
@@ -686,9 +723,7 @@ impl Predictor {
             return false;
         }
         let config = &self.plan.config;
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xdead_beef);
-        let ground_clause = builder.build(example, &mut rng);
-        let ground = GroundExample::from_clause(example.clone(), &ground_clause, config);
+        let ground = self.ground_for_serving(builder, example);
         self.prepared
             .iter()
             .any(|prepared| prepared.covers_ground(&ground, &config.subsumption))
@@ -729,7 +764,7 @@ mod tests {
         let engine = Engine::prepare(task.clone(), config()).expect("valid task");
         let learned = engine.learn(Strategy::DLearn).expect("learn");
         assert!(!learned.clauses().is_empty(), "no definition learned");
-        let predictor = engine.predictor(&learned);
+        let predictor = engine.predictor(&learned).expect("bind predictor");
         let batch: Vec<Tuple> = task
             .positives
             .iter()
@@ -796,7 +831,7 @@ mod tests {
         let task = two_source_task();
         let engine = Engine::prepare(task, config()).expect("valid task");
         let learned = engine.learn(Strategy::DLearn).expect("learn");
-        let predictor = engine.predictor(&learned);
+        let predictor = engine.predictor(&learned).expect("bind predictor");
         let err = predictor
             .predict(&tuple(vec![Value::int(1), Value::int(2)]))
             .unwrap_err();
@@ -815,7 +850,7 @@ mod tests {
         let task = two_source_task();
         let engine = Engine::prepare(task.clone(), config()).expect("valid task");
         let learned = engine.learn(Strategy::DLearn).expect("learn");
-        let predictor = engine.predictor(&learned);
+        let predictor = engine.predictor(&learned).expect("bind predictor");
         // A serving-style trace with heavy repetition.
         let trace: Vec<Tuple> = (0..4)
             .flat_map(|_| task.positives.iter().chain(task.negatives.iter()).cloned())

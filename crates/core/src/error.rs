@@ -53,6 +53,23 @@ pub enum DlearnError {
         /// Why the value is rejected.
         reason: String,
     },
+    /// A served example blew through its per-call deadline
+    /// ([`crate::Budget::deadline`]): grounding plus coverage did not finish
+    /// in time and the search was cooperatively cancelled. Only the affected
+    /// example reports this; the rest of the batch completes.
+    DeadlineExceeded {
+        /// The deadline that was exceeded, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A worker thread panicked while processing one example. The panic was
+    /// caught at the chunk boundary, the example's tuple was quarantined from
+    /// the serving cache, and the rest of the batch completed.
+    WorkerPanicked {
+        /// Which pipeline stage panicked (e.g. `"serve"`, `"prepare"`).
+        site: &'static str,
+        /// The panic payload's message, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for DlearnError {
@@ -82,6 +99,12 @@ impl fmt::Display for DlearnError {
             ),
             DlearnError::InvalidConfig { field, reason } => {
                 write!(f, "invalid config field `{field}`: {reason}")
+            }
+            DlearnError::DeadlineExceeded { budget_ms } => {
+                write!(f, "serving deadline of {budget_ms}ms exceeded")
+            }
+            DlearnError::WorkerPanicked { site, message } => {
+                write!(f, "worker panicked at `{site}`: {message}")
             }
         }
     }

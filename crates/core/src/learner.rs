@@ -142,7 +142,11 @@ impl Learner {
         let learned = engine
             .learn(self.strategy)
             .expect("learning over a prepared session is infallible");
-        let model = LearnedModel::from_predictor(engine.predictor(&learned));
+        let model = LearnedModel::from_predictor(
+            engine
+                .predictor(&learned)
+                .expect("the learned strategy's plan is already derived"),
+        );
         LearnOutcome {
             model,
             seconds: start.elapsed().as_secs_f64(),

@@ -51,7 +51,7 @@
 //!
 //! // Bind the definition for serving: `predict_batch` grounds and tests
 //! // examples in parallel, deterministically.
-//! let predictor = engine.predictor(&learned);
+//! let predictor = engine.predictor(&learned)?;
 //! let verdicts = predictor.predict_batch(&[tuple(vec![Value::int(1)])])?;
 //! assert_eq!(verdicts.len(), 1);
 //! # Ok::<(), dlearn_core::DlearnError>(())
@@ -64,18 +64,25 @@ pub mod config;
 pub mod coverage;
 pub mod engine;
 pub mod error;
+mod fault;
 pub mod generalize;
 pub mod learner;
 pub mod model;
 mod par;
+pub mod service;
 pub mod task;
 
 pub use bottom::BottomClauseBuilder;
 pub use config::LearnerConfig;
-pub use coverage::{CoverageCounts, CoverageEngine, GroundExample, PreparedClause};
+pub use coverage::{
+    CoverageCounts, CoverageEngine, CoverageOutcome, GroundExample, PreparedClause,
+};
 pub use engine::{Engine, Learned, Predictor};
 pub use error::DlearnError;
 pub use generalize::{generalize, generalize_prepared};
 pub use learner::{augment_with_target, baselines, DLearn, LearnOutcome, Learner, Strategy};
 pub use model::{ClauseStats, LearnedModel};
+pub use service::{
+    Budget, PredictorService, ServeResult, ServeVerdict, ServiceConfig, ServiceMetrics,
+};
 pub use task::{LearningTask, TargetSpec};

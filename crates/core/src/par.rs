@@ -36,10 +36,48 @@ where
             }));
         }
         for h in handles {
-            out.push(h.join().expect("parallel worker panicked"));
+            // Re-raise the original payload on the calling thread so callers
+            // that wrap the whole map in `catch_unwind` (Engine::prepare) see
+            // the worker's message, not a generic join error.
+            out.push(
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+            );
         }
     });
     out.into_iter().flatten().collect()
+}
+
+/// [`chunked_map`] with per-item panic isolation: each item is mapped inside
+/// `catch_unwind`, so one poisoned item yields `Err(message)` in its slot
+/// while every other item completes normally. Output order still matches
+/// `items` order at any thread count.
+pub(crate) fn chunked_map_catching<T, R, F>(
+    items: &[T],
+    threads: usize,
+    min_items: usize,
+    f: F,
+) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    chunked_map(items, threads, min_items, |i, t| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t)))
+            .map_err(|payload| panic_message(&*payload))
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -61,6 +99,27 @@ mod tests {
         let items = [1, 2, 3];
         let mapped = chunked_map(&items, 8, 8, |i, &x| i + x);
         assert_eq!(mapped, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn catching_map_isolates_a_single_panicking_item() {
+        let items: Vec<u32> = (0..20).collect();
+        for threads in [1, 2, 8] {
+            let mapped = chunked_map_catching(&items, threads, 0, |_, &x| {
+                if x == 7 {
+                    panic!("poisoned item {x}");
+                }
+                x * 2
+            });
+            for (i, r) in mapped.iter().enumerate() {
+                if i == 7 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("poisoned item 7"), "threads={threads}: {msg}");
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2), "threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub fn cross_validate_strategies(
             Engine::prepare(fold.train.clone(), config.clone()).expect("generated fold is valid");
         for (si, &strategy) in strategies.iter().enumerate() {
             let learned = engine.learn(strategy).expect("prepared session learns");
-            let predictor = engine.predictor(&learned);
+            let predictor = engine.predictor(&learned).expect("plan derived by learn");
             let positive_predictions = predictor
                 .predict_batch(&fold.test_positives)
                 .expect("test tuples have target arity");
@@ -114,7 +114,7 @@ pub fn single_split(
     let engine =
         Engine::prepare(fold.train.clone(), config.clone()).expect("generated split is valid");
     let learned = engine.learn(strategy).expect("prepared session learns");
-    let predictor = engine.predictor(&learned);
+    let predictor = engine.predictor(&learned).expect("plan derived by learn");
     let confusion = Confusion::from_predictions(
         &predictor
             .predict_batch(&fold.test_positives)

@@ -59,6 +59,8 @@
 //! prepared-once numbering (the covering loop's hot path).
 
 use std::collections::{BTreeSet, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
 
 use dlearn_relstore::{FxHashMap, RelId};
 
@@ -115,6 +117,97 @@ impl Theta for FlatSubstitution {
     }
     fn apply(&self, t: &Term) -> Term {
         FlatSubstitution::apply(self, t)
+    }
+}
+
+/// The outcome of a θ-subsumption decision.
+///
+/// The search is budgeted (NP-hard worst case) and cooperatively
+/// cancellable, so "no witness found" has three distinct causes that callers
+/// must be able to tell apart: the space was exhausted (a real **No**), the
+/// step budget ran out first (**BudgetExhausted** — the answer is unknown,
+/// and serving layers surface it as a *degraded* negative instead of
+/// silently collapsing it to "no"), or an external [`CancelToken`] fired
+/// (**Cancelled** — typically a per-call deadline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// A witnessing substitution exists (and was found within budget).
+    Yes,
+    /// The full search space was explored: no witness exists.
+    No,
+    /// The step budget ([`SubsumptionConfig::max_steps`]) ran out before the
+    /// search finished; whether a witness exists is unknown.
+    BudgetExhausted,
+    /// The [`CancelToken`] fired (deadline passed or explicit cancel) before
+    /// the search finished; whether a witness exists is unknown.
+    Cancelled,
+}
+
+impl Decision {
+    /// `true` only for [`Decision::Yes`] — the legacy boolean collapse,
+    /// where an inconclusive search counts as "does not subsume".
+    pub fn is_yes(self) -> bool {
+        matches!(self, Decision::Yes)
+    }
+
+    /// `true` when the search actually finished ([`Decision::Yes`] or
+    /// [`Decision::No`]); `false` for the two inconclusive outcomes.
+    pub fn is_conclusive(self) -> bool {
+        matches!(self, Decision::Yes | Decision::No)
+    }
+}
+
+/// Cooperative cancellation handle for long-running subsumption searches.
+///
+/// The search polls the token every [`CANCEL_CHECK_INTERVAL`] steps —
+/// alongside the `steps > max_steps` budget test — so a pathological clause
+/// pair cannot pin a worker thread past its deadline. A token is either
+/// cancelled explicitly ([`CancelToken::cancel`], e.g. from another thread)
+/// or implicitly when its optional deadline passes. Once cancelled it stays
+/// cancelled (the deadline check latches into the atomic flag, so at most
+/// one clock read happens after expiry).
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// How many search steps pass between [`CancelToken`] polls. A step is a
+/// handful of slot accesses, so this bounds the cancellation latency to
+/// microseconds while keeping the clock read off the per-step path.
+pub const CANCEL_CHECK_INTERVAL: usize = 1024;
+
+impl CancelToken {
+    /// A token that only cancels explicitly.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// A token that cancels itself once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Cancel the token: every search polling it stops at its next check.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once the token was cancelled or its deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -351,6 +444,13 @@ fn unwind<T: Theta>(theta: &mut T, trail: &mut Vec<Var>, mark: usize) {
     }
 }
 
+/// Why an inconclusive search stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopCause {
+    Budget,
+    Cancelled,
+}
+
 /// Mutable state of the matching search. θ is a flat substitution over the
 /// candidate clause's dense numbering; `used_repair_groups` is a dense mask
 /// over `d`'s repair groups for the same reason.
@@ -359,6 +459,36 @@ struct SearchState {
     trail: Vec<Var>,
     used_repair_groups: Vec<bool>,
     steps: usize,
+    /// Set once when the search stops inconclusively; every later `charge`
+    /// fails immediately so the whole recursion unwinds without doing work.
+    stop: Option<StopCause>,
+}
+
+impl SearchState {
+    /// Charge one candidate-extension step against the budget and — every
+    /// [`CANCEL_CHECK_INTERVAL`] steps — poll the cancellation token.
+    /// Returns `false` when the search must stop (budget exhausted or
+    /// cancelled); the first cause wins and is latched in `self.stop`.
+    #[inline]
+    fn charge(&mut self, config: &SubsumptionConfig, cancel: Option<&CancelToken>) -> bool {
+        if self.stop.is_some() {
+            return false;
+        }
+        self.steps += 1;
+        if self.steps > config.max_steps {
+            self.stop = Some(StopCause::Budget);
+            return false;
+        }
+        if self.steps.is_multiple_of(CANCEL_CHECK_INTERVAL) {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    self.stop = Some(StopCause::Cancelled);
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 /// Test whether `c` θ-subsumes the indexed clause `d`.
@@ -377,18 +507,43 @@ pub fn subsumes_numbered(
     d: &GroundClause,
     config: &SubsumptionConfig,
 ) -> Option<Substitution> {
-    search_subsumption(c, d, config).map(|flat| c.to_original(&flat))
+    search_subsumption(c, d, config, None)
+        .0
+        .map(|flat| c.to_original(&flat))
 }
 
 /// Decision-only variant of [`subsumes_numbered`]: skips translating the
 /// witness back to the original variable space. This is what coverage
 /// testing calls in the covering loop.
+///
+/// The decision is three-valued: a search that ran out of its step budget
+/// reports [`Decision::BudgetExhausted`] instead of collapsing to "no", so
+/// callers can observe (and count) degraded answers. Use
+/// [`Decision::is_yes`] for the legacy boolean reading.
 pub fn subsumes_numbered_decision(
     c: &NumberedClause,
     d: &GroundClause,
     config: &SubsumptionConfig,
-) -> bool {
-    search_subsumption(c, d, config).is_some()
+) -> Decision {
+    subsumes_numbered_decision_controlled(c, d, config, None)
+}
+
+/// [`subsumes_numbered_decision`] under cooperative cancellation: the search
+/// polls `cancel` alongside its step budget and reports
+/// [`Decision::Cancelled`] when the token fires mid-search. This is the
+/// serving tier's per-call deadline hook.
+pub fn subsumes_numbered_decision_controlled(
+    c: &NumberedClause,
+    d: &GroundClause,
+    config: &SubsumptionConfig,
+    cancel: Option<&CancelToken>,
+) -> Decision {
+    match search_subsumption(c, d, config, cancel) {
+        (Some(_), _) => Decision::Yes,
+        (None, Some(StopCause::Budget)) => Decision::BudgetExhausted,
+        (None, Some(StopCause::Cancelled)) => Decision::Cancelled,
+        (None, None) => Decision::No,
+    }
 }
 
 /// A relation literal of the candidate clause, destructured once so the
@@ -406,22 +561,25 @@ struct SearchCtx<'a> {
     repairs: &'a [RepairGroup],
     d: &'a GroundClause,
     config: &'a SubsumptionConfig,
+    cancel: Option<&'a CancelToken>,
 }
 
 /// The backtracking search over the renumbered candidate clause, with θ as a
-/// flat substitution.
+/// flat substitution. Returns the witness (if any) together with the cause
+/// of an inconclusive early stop.
 fn search_subsumption(
     c: &NumberedClause,
     d: &GroundClause,
     config: &SubsumptionConfig,
-) -> Option<FlatSubstitution> {
+    cancel: Option<&CancelToken>,
+) -> (Option<FlatSubstitution>, Option<StopCause>) {
     let clause = c.clause();
 
     // 1. Heads must unify.
     let mut theta = c.fresh_substitution();
     let mut head_trail = Vec::new();
     if !match_literal(&clause.head, d.head(), &mut theta, &mut head_trail) {
-        return None;
+        return (None, None);
     }
 
     // 2. Collect C's relation literals. Under adaptive ordering the search
@@ -452,19 +610,21 @@ fn search_subsumption(
         repairs: &clause.repairs,
         d,
         config,
+        cancel,
     };
     let mut state = SearchState {
         theta,
         trail: Vec::new(),
         used_repair_groups: vec![false; d.repairs().len()],
         steps: 0,
+        stop: None,
     };
     let mut matched = vec![false; ctx.relations.len()];
 
     if search_relations(&ctx, &mut matched, 0, &mut state) {
-        Some(state.theta)
+        (Some(state.theta), None)
     } else {
-        None
+        (None, state.stop)
     }
 }
 
@@ -516,8 +676,7 @@ fn search_relations(
     let lit = ctx.relations[pick].lit;
     matched[pick] = true;
     for &idx in candidates {
-        state.steps += 1;
-        if state.steps > ctx.config.max_steps {
+        if !state.charge(ctx.config, ctx.cancel) {
             matched[pick] = false;
             return false;
         }
@@ -549,7 +708,7 @@ fn finish_mapping(ctx: &SearchCtx, state: &mut SearchState) -> bool {
     let theta_snapshot = state.theta.clone();
     let used_snapshot = state.used_repair_groups.clone();
     let ok = check_constraints(&ctx.constraints, &mut state.theta, ctx.d)
-        && match_repairs(ctx.repairs, 0, ctx.d, state, ctx.config)
+        && match_repairs(ctx.repairs, 0, ctx.d, state, ctx.config, ctx.cancel)
         && (!ctx.config.strict_repair_mapping || strict_repairs_ok(state, ctx.d));
     if !ok {
         state.trail.truncate(mark);
@@ -660,6 +819,7 @@ fn match_repairs(
     d: &GroundClause,
     state: &mut SearchState,
     config: &SubsumptionConfig,
+    cancel: Option<&CancelToken>,
 ) -> bool {
     if depth == groups.len() {
         return true;
@@ -667,8 +827,8 @@ fn match_repairs(
     let group = &groups[depth];
     // Match each replacement (x, t) of the group against some repair fact of
     // D with the same origin.
-    match_group_replacements(group, 0, d, state, config)
-        && match_repairs(groups, depth + 1, d, state, config)
+    match_group_replacements(group, 0, d, state, config, cancel)
+        && match_repairs(groups, depth + 1, d, state, config, cancel)
 }
 
 fn match_group_replacements(
@@ -677,6 +837,7 @@ fn match_group_replacements(
     d: &GroundClause,
     state: &mut SearchState,
     config: &SubsumptionConfig,
+    cancel: Option<&CancelToken>,
 ) -> bool {
     if ri == group.replacements.len() {
         return true;
@@ -684,8 +845,7 @@ fn match_group_replacements(
     let (x, t) = &group.replacements[ri];
     let x_term = Term::Var(*x);
     for (origin, dx, dt, gi) in &d.repair_facts {
-        state.steps += 1;
-        if state.steps > config.max_steps {
+        if !state.charge(config, cancel) {
             return false;
         }
         if *origin != group.origin {
@@ -697,7 +857,7 @@ fn match_group_replacements(
         {
             let newly_used = !state.used_repair_groups[*gi];
             state.used_repair_groups[*gi] = true;
-            if match_group_replacements(group, ri + 1, d, state, config) {
+            if match_group_replacements(group, ri + 1, d, state, config, cancel) {
                 return true;
             }
             // Roll the mark back with the bindings: a group used only on an

@@ -23,6 +23,9 @@
 //!   (no blocking, no length filter, no early exit) that the similarity
 //!   crate's differential suite compares the production
 //!   `SimilarityIndex::build` against.
+//! * `fault` (feature `fault-injection`) — deterministic seeded injection
+//!   of panics, delays and forced budget exhaustion at named serving-tier
+//!   checkpoints, driving the service robustness suite.
 //!
 //! The differential tests assert *soundness* (any θ the production matcher
 //! returns verifies as an embedding) and *decision agreement* with both
@@ -31,6 +34,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod gen;
 pub mod index_oracle;
 pub mod oracle;

@@ -24,7 +24,7 @@ fn main() -> Result<(), dlearn::core::DlearnError> {
             ("DLearn-Repaired", Strategy::DLearnRepaired),
         ] {
             let learned = engine.learn(strategy)?;
-            let predictor = engine.predictor(&learned);
+            let predictor = engine.predictor(&learned).expect("bind predictor");
             let confusion = Confusion::from_predictions(
                 &predictor.predict_batch(&fold.test_positives)?,
                 &predictor.predict_batch(&fold.test_negatives)?,

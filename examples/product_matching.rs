@@ -26,7 +26,7 @@ fn main() -> Result<(), dlearn::core::DlearnError> {
 
     println!("\nlearned definition:\n{}\n", learned.render());
 
-    let predictor = engine.predictor(&learned);
+    let predictor = engine.predictor(&learned).expect("bind predictor");
     let confusion = Confusion::from_predictions(
         &predictor.predict_batch(&fold.test_positives)?,
         &predictor.predict_batch(&fold.test_negatives)?,

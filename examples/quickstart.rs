@@ -32,7 +32,7 @@ fn main() -> Result<(), dlearn::core::DlearnError> {
 
     // Bind the definition for serving and apply it to the training
     // examples in one parallel batch.
-    let predictor = engine.predictor(&learned);
+    let predictor = engine.predictor(&learned).expect("bind predictor");
     let covered_positives = predictor
         .predict_batch(&dataset.task.positives)?
         .iter()

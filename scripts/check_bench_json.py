@@ -50,6 +50,12 @@ EXPECTED_BENCHES = [
     "scaling/predict_batch/trace/1",
     "scaling/predict_batch/trace/4",
     "scaling/predict_batch/trace/16",
+    "service/cold/1",
+    "service/cold/2",
+    "service/cold/8",
+    "service/warm/1",
+    "service/warm/2",
+    "service/warm/8",
 ]
 
 EXPECTED_TOP_LEVEL = ["workload", "unit", "benches"]
@@ -69,6 +75,9 @@ GATE_TOLERANCE = 0.20
 # reviewed through the committed diff instead. `generalization_round` and
 # the serving pair `predict_loop`/`predict_batch` are gated at widened
 # per-entry tolerances (0.30 / 0.25) reflecting their observed variance.
+# The `service/{cold,warm}/N` served-throughput curves are ungated for now:
+# they thread-scale and cache-prime, so their variance across runners is
+# still uncharacterised; they are tracked through the committed trajectory.
 GATED_BENCHES = [
     "subsumption/subsumes",
     "subsumption/coverage_engine_counts",

@@ -47,7 +47,7 @@
 //! assert!(learned.clauses().len() <= 4);
 //!
 //! // Bind the definition for serving and predict a batch in parallel.
-//! let predictor = engine.predictor(&learned);
+//! let predictor = engine.predictor(&learned)?;
 //! let verdicts = predictor.predict_batch(&dataset.task.positives)?;
 //! assert_eq!(verdicts.len(), dataset.task.positives.len());
 //! # Ok::<(), dlearn::core::DlearnError>(())

@@ -72,7 +72,7 @@ fn interned_covers(
     positive_semantics: bool,
     sub: &SubsumptionConfig,
 ) -> bool {
-    if subsumes_numbered_decision(prepared.numbered(), ground, sub) {
+    if subsumes_numbered_decision(prepared.numbered(), ground, sub).is_yes() {
         return true;
     }
     if prepared.repaired.is_empty() {
@@ -81,7 +81,7 @@ fn interned_covers(
     let one = |cr: &dlearn::logic::NumberedClause| {
         repaired_grounds
             .iter()
-            .any(|gr| subsumes_numbered_decision(cr, gr, sub))
+            .any(|gr| subsumes_numbered_decision(cr, gr, sub).is_yes())
     };
     if positive_semantics {
         prepared.numbered_repaired().iter().all(one)

@@ -27,7 +27,7 @@ fn movies_end_to_end_learning_and_prediction() {
         "no definition learned:\n{}",
         learned.render()
     );
-    let predictor = engine.predictor(&learned);
+    let predictor = engine.predictor(&learned).expect("bind predictor");
     let confusion = Confusion::from_predictions(
         &predictor
             .predict_batch(&fold.test_positives)
@@ -50,7 +50,7 @@ fn citations_end_to_end_with_two_mds() {
     let fold = dataset.train_test_split(0.7, 2);
     let engine = Engine::prepare(fold.train.clone(), fast(3)).expect("valid task");
     let learned = engine.learn(Strategy::DLearn).expect("learn");
-    let predictor = engine.predictor(&learned);
+    let predictor = engine.predictor(&learned).expect("bind predictor");
     let confusion = Confusion::from_predictions(
         &predictor
             .predict_batch(&fold.test_positives)
@@ -117,7 +117,7 @@ fn dlearn_repaired_trains_over_a_cfd_consistent_database() {
     // repaired instance, from the same prepared session.
     let engine = Engine::prepare(dataset.task.clone(), fast(4)).expect("valid task");
     let learned = engine.learn(Strategy::DLearnRepaired).expect("learn");
-    let predictor = engine.predictor(&learned);
+    let predictor = engine.predictor(&learned).expect("bind predictor");
     let _ = predictor
         .predict_batch(&dataset.task.positives)
         .expect("predict");

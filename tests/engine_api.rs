@@ -177,7 +177,7 @@ fn engine_learn_matches_the_legacy_one_shot_path() {
             dataset.name
         );
         // Predictions agree too — single, batched, and legacy predict_all.
-        let predictor = engine.predictor(&learned);
+        let predictor = engine.predictor(&learned).expect("bind predictor");
         let examples: Vec<_> = dataset
             .task
             .positives

@@ -1,0 +1,202 @@
+//! Dedicated cases for every typed error of the fallible surface: each
+//! `Engine::prepare` variant, the serving-side arity checks (single, batch,
+//! and service), and the serving-tier variants introduced with the
+//! resilient front-end (`DeadlineExceeded`, `WorkerPanicked`).
+
+use dlearn::core::{DlearnError, Engine, LearnerConfig, PredictorService, ServiceConfig, Strategy};
+use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
+use dlearn::relstore::{tuple, Value};
+use dlearn_constraints::MatchingDependency;
+
+fn fast() -> LearnerConfig {
+    LearnerConfig {
+        coverage_threads: 1,
+        ..LearnerConfig::fast().with_iterations(4)
+    }
+}
+
+#[test]
+fn prepare_example_arity_names_the_offending_side_and_index() {
+    let mut task = generate_movie_dataset(&MovieConfig::tiny(), 42).task;
+    task.negatives.insert(0, tuple(Vec::<Value>::new()));
+    let err = Engine::prepare(task, fast()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DlearnError::ExampleArity {
+                expected: 1,
+                actual: 0,
+                index: 0,
+                positive: false,
+            }
+        ),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn prepare_empty_positives_is_typed() {
+    let base = generate_movie_dataset(&MovieConfig::tiny(), 42).task;
+    let task = base.with_examples(Vec::new(), base.negatives.clone());
+    let err = Engine::prepare(task, fast()).unwrap_err();
+    assert!(matches!(err, DlearnError::EmptyPositives), "{err:?}");
+}
+
+#[test]
+fn prepare_store_error_names_the_unknown_relation() {
+    let mut task = generate_movie_dataset(&MovieConfig::tiny(), 42).task;
+    task.mds.push(MatchingDependency::simple(
+        "ghost",
+        "imdb_movies",
+        "title",
+        "no_such_relation",
+        "title",
+    ));
+    let err = Engine::prepare(task, fast()).unwrap_err();
+    assert!(matches!(err, DlearnError::Store(_)), "{err:?}");
+    assert!(err.to_string().contains("no_such_relation"), "{err}");
+}
+
+#[test]
+fn prepare_invalid_config_covers_every_validated_field() {
+    let task = generate_movie_dataset(&MovieConfig::tiny(), 42).task;
+    let cases: Vec<(&'static str, LearnerConfig)> = vec![
+        (
+            "iterations",
+            LearnerConfig {
+                iterations: 0,
+                ..fast()
+            },
+        ),
+        (
+            "sample_size",
+            LearnerConfig {
+                sample_size: 0,
+                ..fast()
+            },
+        ),
+        (
+            "max_clauses",
+            LearnerConfig {
+                max_clauses: 0,
+                ..fast()
+            },
+        ),
+        (
+            "max_repaired_clauses",
+            LearnerConfig {
+                max_repaired_clauses: 0,
+                ..fast()
+            },
+        ),
+        (
+            "binding_cap",
+            LearnerConfig {
+                binding_cap: 0,
+                ..fast()
+            },
+        ),
+        (
+            "sample_positives",
+            LearnerConfig {
+                sample_positives: 0,
+                ..fast()
+            },
+        ),
+        (
+            "km",
+            LearnerConfig {
+                km: 0,
+                use_mds: true,
+                ..fast()
+            },
+        ),
+        (
+            "similarity_threshold",
+            LearnerConfig {
+                similarity_threshold: f64::NAN,
+                ..fast()
+            },
+        ),
+        (
+            "index_hot_key_fraction",
+            LearnerConfig {
+                index_hot_key_fraction: -0.5,
+                ..fast()
+            },
+        ),
+    ];
+    for (field, config) in cases {
+        let err = Engine::prepare(task.clone(), config).unwrap_err();
+        match err {
+            DlearnError::InvalidConfig { field: f, .. } => {
+                assert_eq!(f, field, "wrong field reported")
+            }
+            other => panic!("{field}: expected InvalidConfig, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn predict_arity_errors_are_typed_on_every_serving_entry_point() {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let engine = Engine::prepare(dataset.task.clone(), fast()).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
+    let predictor = engine.predictor(&learned).expect("bind predictor");
+    let bad = tuple(vec![Value::int(1), Value::str("extra")]);
+
+    let err = predictor.predict(&bad).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            DlearnError::PredictArity {
+                expected: 1,
+                actual: 2,
+                index: 0
+            }
+        ),
+        "{err:?}"
+    );
+
+    let good = dataset.task.positives[0].clone();
+    let err = predictor
+        .predict_batch(&[good.clone(), bad.clone()])
+        .unwrap_err();
+    assert!(
+        matches!(err, DlearnError::PredictArity { index: 1, .. }),
+        "{err:?}"
+    );
+
+    // The service scopes the error to the offending example instead of
+    // failing the batch.
+    let service = PredictorService::new(
+        engine.predictor(&learned).expect("bind predictor"),
+        ServiceConfig::default(),
+    );
+    let results = service.predict_batch(&[good, bad]);
+    assert!(results[0].is_ok(), "{:?}", results[0]);
+    assert!(
+        matches!(results[1], Err(DlearnError::PredictArity { index: 1, .. })),
+        "{:?}",
+        results[1]
+    );
+}
+
+#[test]
+fn serving_tier_errors_render_actionable_messages() {
+    let deadline = DlearnError::DeadlineExceeded { budget_ms: 250 };
+    assert!(deadline.to_string().contains("250ms"), "{deadline}");
+    let panicked = DlearnError::WorkerPanicked {
+        site: "serve",
+        message: "index out of bounds".into(),
+    };
+    let msg = panicked.to_string();
+    assert!(
+        msg.contains("serve") && msg.contains("index out of bounds"),
+        "{msg}"
+    );
+    // Serving errors are plain data: cloneable and comparable, so batch
+    // results can be deduplicated and asserted on.
+    assert_eq!(deadline.clone(), deadline);
+    assert_ne!(deadline, panicked);
+}

@@ -41,7 +41,7 @@ fn similarity_index_is_built_exactly_once_per_engine() {
     for strategy in Strategy::all() {
         for _ in 0..2 {
             let learned = engine.learn(strategy).expect("learn");
-            let predictor = engine.predictor(&learned);
+            let predictor = engine.predictor(&learned).expect("bind predictor");
             let _ = predictor
                 .predict_batch(&dataset.task.positives)
                 .expect("predict");

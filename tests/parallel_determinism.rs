@@ -158,7 +158,7 @@ fn predict_batch_is_bit_identical_across_thread_counts() {
             let engine = Engine::prepare(dataset.task.clone(), config(seed, 1, threads))
                 .expect("valid task");
             let learned = engine.learn(Strategy::DLearn).expect("learn");
-            engine.predictor(&learned)
+            engine.predictor(&learned).expect("bind predictor")
         };
         let baseline_predictor = predictor_at(1);
         let baseline = baseline_predictor.predict_batch(&trace).expect("predict");

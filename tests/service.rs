@@ -1,0 +1,267 @@
+//! The serving tier's functional contract (no fault injection — see
+//! `tests/service_robustness.rs` for the injected-failure suite):
+//!
+//! * **Cache-on/off verdict parity** — grounding is a pure function of the
+//!   tuple, so serving through the ground-example cache must be
+//!   bit-identical to serving without it, and to a sequential
+//!   `Predictor::predict` loop, across 1/2/8 worker threads, cold and warm.
+//! * **Deadlines** — a zero deadline fails every example with a typed
+//!   `DeadlineExceeded`, the batch still completes, and nothing hangs.
+//! * **Degradation accounting** — a zeroed subsumption budget turns silent
+//!   "no"s into counted exhausted searches on the verdict and in metrics.
+//! * **Per-example errors** — a wrong-arity tuple fails alone; its
+//!   neighbors serve normally.
+
+use std::time::Duration;
+
+use dlearn::core::{
+    Budget, DlearnError, Engine, LearnerConfig, Predictor, PredictorService, ServiceConfig,
+    Strategy,
+};
+use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
+use dlearn::relstore::{tuple, Tuple, Value};
+
+fn config(coverage_threads: usize) -> LearnerConfig {
+    LearnerConfig {
+        coverage_threads,
+        seed: 7,
+        ..LearnerConfig::fast().with_iterations(4)
+    }
+}
+
+fn serving_fixture() -> (Engine, dlearn::core::Learned, Vec<Tuple>) {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let engine = Engine::prepare(dataset.task.clone(), config(1)).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
+    // A serving-style trace with duplicates so the dedup and cache paths
+    // both see traffic.
+    let trace: Vec<Tuple> = (0..3)
+        .flat_map(|_| {
+            dataset
+                .task
+                .positives
+                .iter()
+                .chain(dataset.task.negatives.iter())
+                .cloned()
+        })
+        .collect();
+    (engine, learned, trace)
+}
+
+fn predictor(engine: &Engine, learned: &dlearn::core::Learned) -> Predictor {
+    engine.predictor(learned).expect("bind predictor")
+}
+
+#[test]
+fn cache_on_and_off_verdicts_match_the_predictor_at_any_thread_count() {
+    let (engine, learned, trace) = serving_fixture();
+    let baseline: Vec<bool> = {
+        let p = predictor(&engine, &learned);
+        trace
+            .iter()
+            .map(|e| p.predict(e).expect("predict"))
+            .collect()
+    };
+    assert!(
+        baseline.iter().any(|&b| b) && baseline.iter().any(|&b| !b),
+        "trace verdicts are uniform; the parity test is vacuous"
+    );
+    for workers in [1usize, 2, 8] {
+        for cache_capacity in [0usize, 4096] {
+            let service = PredictorService::new(
+                predictor(&engine, &learned),
+                ServiceConfig {
+                    cache_capacity,
+                    worker_threads: workers,
+                    ..ServiceConfig::default()
+                },
+            );
+            for pass in ["cold", "warm"] {
+                let results = service.predict_batch(&trace);
+                let verdicts: Vec<bool> = results
+                    .iter()
+                    .map(|r| r.as_ref().expect("serve").covered)
+                    .collect();
+                assert_eq!(
+                    baseline, verdicts,
+                    "workers={workers}, cache={cache_capacity}, {pass} pass diverged"
+                );
+                assert!(
+                    results.iter().all(|r| !r.as_ref().unwrap().is_degraded()),
+                    "unbudgeted serving must not degrade"
+                );
+            }
+            let metrics = service.metrics();
+            if cache_capacity > 0 {
+                assert!(metrics.cache_hits > 0, "warm pass produced no cache hits");
+            } else {
+                assert_eq!(metrics.cache_hits, 0, "disabled cache reported hits");
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_cache_evicts_and_counts() {
+    let (engine, learned, trace) = serving_fixture();
+    let distinct = {
+        let mut seen = std::collections::HashSet::new();
+        trace.iter().filter(|t| seen.insert(*t)).count()
+    };
+    let service = PredictorService::new(
+        predictor(&engine, &learned),
+        ServiceConfig {
+            cache_capacity: 2,
+            cache_shards: 1,
+            worker_threads: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    // Two passes over a trace with far more distinct tuples than capacity.
+    let first = service.predict_batch(&trace);
+    let second = service.predict_batch(&trace);
+    assert!(first.iter().chain(&second).all(|r| r.is_ok()));
+    let metrics = service.metrics();
+    assert!(distinct > 2, "fixture too small to exercise eviction");
+    assert!(metrics.cache_evictions > 0, "{metrics:?}");
+    assert_eq!(
+        metrics.served,
+        2 * distinct as u64,
+        "each distinct tuple serves once per batch: {metrics:?}"
+    );
+    // Verdicts are still correct under heavy eviction.
+    let baseline = predictor(&engine, &learned)
+        .predict_batch(&trace)
+        .expect("predict");
+    let verdicts: Vec<bool> = second.iter().map(|r| r.as_ref().unwrap().covered).collect();
+    assert_eq!(baseline, verdicts);
+}
+
+#[test]
+fn zero_deadline_fails_every_example_without_hanging_the_batch() {
+    let (engine, learned, trace) = serving_fixture();
+    let service = PredictorService::new(predictor(&engine, &learned), ServiceConfig::default());
+    let start = std::time::Instant::now();
+    let results =
+        service.predict_batch_with(&trace, &Budget::unlimited().with_deadline(Duration::ZERO));
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "zero-deadline batch took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(results.len(), trace.len());
+    for r in &results {
+        assert!(
+            matches!(r, Err(DlearnError::DeadlineExceeded { budget_ms: 0 })),
+            "{r:?}"
+        );
+    }
+    let metrics = service.metrics();
+    assert!(metrics.deadline_exceeded > 0, "{metrics:?}");
+    assert_eq!(metrics.served, 0, "{metrics:?}");
+    // The failed groundings were never cached; a normal pass still works.
+    let ok = service.predict_batch(&trace);
+    assert!(ok.iter().all(|r| r.is_ok()));
+}
+
+#[test]
+fn zeroed_subsumption_budget_degrades_observably_instead_of_silently() {
+    let (engine, learned, trace) = serving_fixture();
+    let service = PredictorService::new(predictor(&engine, &learned), ServiceConfig::default());
+    let results =
+        service.predict_batch_with(&trace, &Budget::unlimited().with_max_subsumption_steps(0));
+    // Every search that actually enters the subsumption backtracker exhausts
+    // immediately: no verdict can be "covered", and the exhaustion shows up
+    // on the affected verdicts. (Examples rejected by the pre-search filters
+    // are conclusive "no"s without a search, so not every verdict degrades.)
+    for r in &results {
+        let v = r.as_ref().expect("serve");
+        assert!(!v.covered, "a zero-step search cannot prove coverage");
+    }
+    assert!(
+        results
+            .iter()
+            .any(|r| r.as_ref().expect("serve").is_degraded()),
+        "no verdict was flagged degraded under a zero step budget"
+    );
+    let metrics = service.metrics();
+    assert!(metrics.budget_exhausted_searches > 0, "{metrics:?}");
+    assert!(metrics.degraded_verdicts > 0, "{metrics:?}");
+    // An unbudgeted pass over the same service is unaffected (the degraded
+    // pass cached only fully-successful serves, which these were — the
+    // ground example is sound either way).
+    let baseline = predictor(&engine, &learned)
+        .predict_batch(&trace)
+        .expect("predict");
+    let verdicts: Vec<bool> = service
+        .predict_batch(&trace)
+        .iter()
+        .map(|r| r.as_ref().expect("serve").covered)
+        .collect();
+    assert_eq!(baseline, verdicts);
+}
+
+#[test]
+fn wrong_arity_examples_fail_alone_and_are_counted() {
+    let (engine, learned, trace) = serving_fixture();
+    let service = PredictorService::new(predictor(&engine, &learned), ServiceConfig::default());
+    let mut batch = trace.clone();
+    batch.insert(2, tuple(vec![Value::int(1), Value::int(2)]));
+    let results = service.predict_batch(&batch);
+    assert_eq!(results.len(), batch.len());
+    assert!(
+        matches!(
+            &results[2],
+            Err(DlearnError::PredictArity {
+                expected: 1,
+                actual: 2,
+                index: 2
+            })
+        ),
+        "{:?}",
+        results[2]
+    );
+    let baseline = predictor(&engine, &learned)
+        .predict_batch(&trace)
+        .expect("predict");
+    let rest: Vec<bool> = results
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != 2)
+        .map(|(_, r)| r.as_ref().expect("serve").covered)
+        .collect();
+    assert_eq!(baseline, rest, "neighbors of the rejected tuple diverged");
+    assert_eq!(service.metrics().rejected_inputs, 1);
+}
+
+#[test]
+fn service_is_send_and_sync_and_shareable_across_threads() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PredictorService>();
+
+    // Concurrent batches through one shared service agree with the
+    // sequential baseline.
+    let (engine, learned, trace) = serving_fixture();
+    let baseline = predictor(&engine, &learned)
+        .predict_batch(&trace)
+        .expect("predict");
+    let service = PredictorService::new(predictor(&engine, &learned), ServiceConfig::default());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let service = &service;
+                let trace = &trace;
+                scope.spawn(move || {
+                    service
+                        .predict_batch(trace)
+                        .iter()
+                        .map(|r| r.as_ref().expect("serve").covered)
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(baseline, h.join().expect("no panics"));
+        }
+    });
+}

@@ -1,0 +1,246 @@
+//! Fault-injection robustness suite (feature `fault-injection`): proves the
+//! serving tier survives poisoned, slow and budget-starved examples —
+//! no abort, no hang past the deadline, no cache poisoning — with every
+//! failure scoped to its example and typed.
+//!
+//! Run with `cargo test --features fault-injection`.
+
+#![cfg(feature = "fault-injection")]
+
+use std::time::Duration;
+
+use dlearn::core::{
+    Budget, DlearnError, Engine, LearnerConfig, PredictorService, ServiceConfig, Strategy,
+};
+use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
+use dlearn::relstore::Tuple;
+use dlearn_test_support::fault::{self, Fault, FaultPlan, Site};
+
+fn config() -> LearnerConfig {
+    LearnerConfig {
+        coverage_threads: 1,
+        seed: 7,
+        ..LearnerConfig::fast().with_iterations(4)
+    }
+}
+
+struct Fixture {
+    engine: Engine,
+    learned: dlearn::core::Learned,
+    trace: Vec<Tuple>,
+    baseline: Vec<bool>,
+}
+
+fn fixture() -> Fixture {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let engine = Engine::prepare(dataset.task.clone(), config()).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
+    let trace: Vec<Tuple> = dataset
+        .task
+        .positives
+        .iter()
+        .chain(dataset.task.negatives.iter())
+        .cloned()
+        .collect();
+    let predictor = engine.predictor(&learned).expect("bind predictor");
+    let baseline: Vec<bool> = trace
+        .iter()
+        .map(|e| predictor.predict(e).expect("predict"))
+        .collect();
+    Fixture {
+        engine,
+        learned,
+        trace,
+        baseline,
+    }
+}
+
+fn service(fx: &Fixture, workers: usize) -> PredictorService {
+    PredictorService::new(
+        fx.engine.predictor(&fx.learned).expect("bind predictor"),
+        ServiceConfig {
+            worker_threads: workers,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// The injection key of a tuple is its display form (what the service hands
+/// to the checkpoint).
+fn key_of(t: &Tuple) -> String {
+    t.to_string()
+}
+
+#[test]
+fn injected_grounding_panic_isolates_one_example_and_never_poisons_the_cache() {
+    let fx = fixture();
+    let victim = fx.trace[1].clone();
+    for workers in [1usize, 2, 8] {
+        let service = service(&fx, workers);
+        {
+            let _guard = fault::install(FaultPlan::new(42).on_key(
+                Site::Grounding,
+                &key_of(&victim),
+                Fault::Panic,
+            ));
+            let results = service.predict_batch(&fx.trace);
+            assert_eq!(results.len(), fx.trace.len());
+            for (i, r) in results.iter().enumerate() {
+                if fx.trace[i] == victim {
+                    let Err(DlearnError::WorkerPanicked { site, message }) = r else {
+                        panic!("workers={workers}: victim did not fail typed: {r:?}");
+                    };
+                    assert_eq!(*site, "serve");
+                    assert!(message.contains(fault::PANIC_MARKER), "{message}");
+                } else {
+                    assert_eq!(
+                        r.as_ref().expect("healthy example failed").covered,
+                        fx.baseline[i],
+                        "workers={workers}: neighbor verdict diverged at {i}"
+                    );
+                }
+            }
+            assert!(service.metrics().worker_panics >= 1);
+            assert!(fault::injected(Site::Grounding) >= 1);
+        }
+        // Plan cleared: the victim serves correctly now — fresh, because the
+        // quarantine kept the poisoned attempt out of the cache — and its
+        // verdict equals the no-fault baseline (no cache poisoning).
+        let after = service.predict_batch(&fx.trace);
+        let verdicts: Vec<bool> = after
+            .iter()
+            .map(|r| r.as_ref().expect("post-fault serve").covered)
+            .collect();
+        assert_eq!(
+            fx.baseline, verdicts,
+            "workers={workers}: post-fault verdicts diverged from baseline"
+        );
+    }
+}
+
+#[test]
+fn injected_coverage_delay_blows_only_the_slow_examples_deadline() {
+    let fx = fixture();
+    let victim = fx.trace[0].clone();
+    let service = service(&fx, 2);
+    let _guard = fault::install(FaultPlan::new(7).on_key(
+        Site::Coverage,
+        &key_of(&victim),
+        Fault::Delay(Duration::from_millis(300)),
+    ));
+    let budget = Budget::unlimited().with_deadline(Duration::from_millis(50));
+    let start = std::time::Instant::now();
+    let results = service.predict_batch_with(&fx.trace, &budget);
+    // The batch completes in bounded wall time: the delay is 300ms per
+    // victim occurrence, everything else is fast.
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "batch took {:?}",
+        start.elapsed()
+    );
+    for (i, r) in results.iter().enumerate() {
+        if fx.trace[i] == victim {
+            assert!(
+                matches!(r, Err(DlearnError::DeadlineExceeded { budget_ms: 50 })),
+                "slow example did not time out: {r:?}"
+            );
+        } else {
+            assert_eq!(
+                r.as_ref().expect("fast example failed").covered,
+                fx.baseline[i],
+                "fast example diverged at {i}"
+            );
+        }
+    }
+    assert!(service.metrics().deadline_exceeded >= 1);
+}
+
+#[test]
+fn injected_budget_exhaustion_degrades_observably_without_errors() {
+    let fx = fixture();
+    let service = service(&fx, 1);
+    let _guard = fault::install(FaultPlan::new(3).with_probability(
+        Site::Coverage,
+        1.0,
+        Fault::ExhaustBudget,
+    ));
+    let results = service.predict_batch(&fx.trace);
+    for r in &results {
+        let v = r.as_ref().expect("exhaustion is not an error");
+        assert!(!v.covered, "a zero-step search cannot prove coverage");
+    }
+    // Examples that never enter the backtracker (pre-search filters reject
+    // them conclusively) are sound "no"s, so degradation is asserted on the
+    // batch, not per example.
+    assert!(
+        results
+            .iter()
+            .any(|r| r.as_ref().expect("serve").is_degraded()),
+        "forced exhaustion left no degraded verdicts"
+    );
+    let metrics = service.metrics();
+    assert!(metrics.budget_exhausted_searches > 0, "{metrics:?}");
+    assert!(metrics.degraded_verdicts > 0, "{metrics:?}");
+    assert!(fault::injected(Site::Coverage) >= fx.trace.len() as u64);
+}
+
+#[test]
+fn injected_alignment_panic_fails_prepare_with_a_typed_error() {
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let _guard =
+        fault::install(FaultPlan::new(1).with_probability(Site::Alignment, 1.0, Fault::Panic));
+    let err = Engine::prepare(dataset.task.clone(), config()).unwrap_err();
+    let DlearnError::WorkerPanicked { site, message } = &err else {
+        panic!("expected WorkerPanicked, got {err:?}");
+    };
+    assert_eq!(*site, "prepare");
+    assert!(message.contains(fault::PANIC_MARKER), "{message}");
+    assert!(fault::injected(Site::Alignment) >= 1);
+}
+
+#[test]
+fn post_episode_parity_cache_on_vs_off_across_threads() {
+    // After a full fault episode (panics + delays on a few tuples), a
+    // recovered service must serve bit-identical verdicts cache-on vs
+    // cache-off at every thread count — the oracle-style pin that the
+    // quarantine and error paths never leak state into verdicts.
+    let fx = fixture();
+    let with_cache = service(&fx, 1);
+    {
+        let _guard = fault::install(
+            FaultPlan::new(11)
+                .on_key(Site::Grounding, &key_of(&fx.trace[0]), Fault::Panic)
+                .on_key(
+                    Site::Coverage,
+                    &key_of(&fx.trace[1]),
+                    Fault::Delay(Duration::from_millis(200)),
+                ),
+        );
+        let _ = with_cache.predict_batch_with(
+            &fx.trace,
+            &Budget::unlimited().with_deadline(Duration::from_millis(50)),
+        );
+    }
+    for workers in [1usize, 2, 8] {
+        let no_cache = PredictorService::new(
+            fx.engine.predictor(&fx.learned).expect("bind predictor"),
+            ServiceConfig {
+                cache_capacity: 0,
+                worker_threads: workers,
+                ..ServiceConfig::default()
+            },
+        );
+        let cached: Vec<bool> = with_cache
+            .predict_batch(&fx.trace)
+            .iter()
+            .map(|r| r.as_ref().expect("serve").covered)
+            .collect();
+        let uncached: Vec<bool> = no_cache
+            .predict_batch(&fx.trace)
+            .iter()
+            .map(|r| r.as_ref().expect("serve").covered)
+            .collect();
+        assert_eq!(cached, uncached, "workers={workers}");
+        assert_eq!(cached, fx.baseline, "workers={workers}");
+    }
+}
