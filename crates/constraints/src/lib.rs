@@ -30,7 +30,7 @@ pub mod repair;
 pub use cfd::{Cfd, PatternValue};
 pub use consistency::{find_inconsistencies, is_consistent, Inconsistency};
 pub use md::{MatchingDependency, SimilarityPair};
-pub use md_index::{MdCatalog, MdIndex};
+pub use md_index::{sym_column, MdCatalog, MdIndex};
 pub use repair::{
     all_cfds_satisfied, enforce_md_best_match, enforce_md_best_match_with_index,
     minimal_cfd_repair, RepairStats,

@@ -42,6 +42,21 @@ impl MdIndex {
         }
     }
 
+    /// Wrap an already-built similarity index (e.g. one maintained
+    /// incrementally under deltas) as the index of the given MD.
+    pub fn from_parts(md_position: usize, md: MatchingDependency, index: SimilarityIndex) -> Self {
+        MdIndex {
+            md_position,
+            md,
+            index,
+        }
+    }
+
+    /// The underlying similarity index.
+    pub fn index(&self) -> &SimilarityIndex {
+        &self.index
+    }
+
     /// Matches of a value of the left relation's identified attribute.
     pub fn matches_from_left(&self, value: impl QuerySym) -> &[Match] {
         self.index.matches_left(value)
@@ -121,6 +136,12 @@ impl MdCatalog {
         MdCatalog { indexes }
     }
 
+    /// Assemble a catalog from already-built per-MD indexes (e.g. indexes
+    /// maintained incrementally under deltas).
+    pub fn from_indexes(indexes: Vec<MdIndex>) -> Self {
+        MdCatalog { indexes }
+    }
+
     /// The per-MD indexes.
     pub fn indexes(&self) -> &[MdIndex] {
         &self.indexes
@@ -168,7 +189,10 @@ impl MdCatalog {
     }
 }
 
-fn sym_column(db: &Database, relation: RelId, attribute: Sym) -> Vec<Sym> {
+/// The distinct string values of one relation attribute — the column a
+/// similarity index is built over (empty when the relation or attribute is
+/// missing, or the column is not string-typed).
+pub fn sym_column(db: &Database, relation: RelId, attribute: Sym) -> Vec<Sym> {
     let Some(rel) = db.relation(relation) else {
         return Vec::new();
     };

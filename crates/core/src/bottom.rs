@@ -26,6 +26,40 @@ use crate::task::LearningTask;
 /// relevant-tuple walk bounded on very dense databases.
 const MAX_FRONTIER: usize = 256;
 
+/// The exact probes one bottom-clause construction executed against the
+/// database and the MD catalog.
+///
+/// The walk of Algorithm 2 reads its inputs only through two kinds of probe:
+/// hash-index selections `select_eq(attribute, value)` and similarity-index
+/// lookups for a symbol under one MD. Everything else — RNG consumption,
+/// capacity bookkeeping, literal emission — is a pure function of the probe
+/// *results*. So if no probe in the log is affected by a database delta, the
+/// construction replayed on the mutated database returns a bit-identical
+/// clause, and the stored ground clause can be reused as-is. (Tuple-id
+/// renumbering under deletions is order-preserving and the emitted clause
+/// contains no tuple ids, so unaffected probe results survive renumbering.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeLog {
+    /// Exact-selection probes: `(relation, attribute, value)` triples.
+    pub(crate) values: HashSet<(RelId, usize, Value)>,
+    /// Similarity probes: `(md position, probed symbol)` pairs. A probe is
+    /// affected when the delta changed the symbol's match list on either
+    /// side of that MD's index.
+    pub(crate) sims: HashSet<(usize, Sym)>,
+}
+
+impl ProbeLog {
+    /// Number of distinct exact-selection probes recorded.
+    pub fn value_probes(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of distinct similarity probes recorded.
+    pub fn sim_probes(&self) -> usize {
+        self.sims.len()
+    }
+}
+
 /// Builds bottom clauses (and ground bottom clauses) for training examples.
 pub struct BottomClauseBuilder<'a> {
     task: &'a LearningTask,
@@ -65,6 +99,23 @@ impl<'a> BottomClauseBuilder<'a> {
 
     /// Build the bottom clause for one example.
     pub fn build(&self, example: &Tuple, rng: &mut StdRng) -> Clause {
+        self.build_inner(example, rng, None)
+    }
+
+    /// Build the bottom clause for one example, recording every database and
+    /// similarity probe the walk executes (see [`ProbeLog`]).
+    pub fn build_probed(&self, example: &Tuple, rng: &mut StdRng) -> (Clause, ProbeLog) {
+        let mut probes = ProbeLog::default();
+        let clause = self.build_inner(example, rng, Some(&mut probes));
+        (clause, probes)
+    }
+
+    fn build_inner(
+        &self,
+        example: &Tuple,
+        rng: &mut StdRng,
+        mut probes: Option<&mut ProbeLog>,
+    ) -> Clause {
         let mut state = BuildState::new();
 
         // Head literal: one variable per example value.
@@ -110,6 +161,9 @@ impl<'a> BottomClauseBuilder<'a> {
                         if !state.allows_source(v, rel_source) {
                             continue;
                         }
+                        if let Some(log) = probes.as_deref_mut() {
+                            log.values.insert((rel_id, attr, *v));
+                        }
                         for &id in relation.select_eq(attr, v) {
                             candidate_ids.push(id);
                         }
@@ -136,7 +190,13 @@ impl<'a> BottomClauseBuilder<'a> {
 
             // Similarity selections prescribed by the MDs (ψ in Algorithm 2).
             if self.config.use_mds {
-                self.similarity_probe(&frontier, &mut state, &mut next_frontier, rng);
+                self.similarity_probe(
+                    &frontier,
+                    &mut state,
+                    &mut next_frontier,
+                    rng,
+                    probes.as_deref_mut(),
+                );
             }
 
             frontier = next_frontier;
@@ -222,6 +282,7 @@ impl<'a> BottomClauseBuilder<'a> {
         state: &mut BuildState,
         next_frontier: &mut Vec<Value>,
         rng: &mut StdRng,
+        mut probes: Option<&mut ProbeLog>,
     ) {
         for md_index in self.catalog.indexes() {
             for (probe_relation, target_relation, target_attr) in [
@@ -247,6 +308,9 @@ impl<'a> BottomClauseBuilder<'a> {
                 let target_source = self.source_sym(target_relation);
                 for v in frontier {
                     let Some(s) = v.as_sym() else { continue };
+                    if let Some(log) = probes.as_deref_mut() {
+                        log.sims.insert((md_index.md_position, s));
+                    }
                     let matches = md_index.matches_for(probe_relation, s);
                     // The example's values do not belong to any relation, so
                     // also probe them against both sides.
@@ -268,6 +332,10 @@ impl<'a> BottomClauseBuilder<'a> {
                             break;
                         }
                         let matched_value = Value::Str(m.value);
+                        if let Some(log) = probes.as_deref_mut() {
+                            log.values
+                                .insert((target_relation, attr_idx, matched_value));
+                        }
                         let mut ids: Vec<usize> =
                             target_rel.select_eq(attr_idx, &matched_value).to_vec();
                         ids.retain(|id| !state.collected.contains(&(target_relation, *id)));

@@ -19,7 +19,7 @@ use dlearn_logic::{
 };
 use dlearn_relstore::Tuple;
 
-use crate::bottom::BottomClauseBuilder;
+use crate::bottom::{BottomClauseBuilder, ProbeLog};
 use crate::config::LearnerConfig;
 use crate::task::LearningTask;
 
@@ -33,6 +33,10 @@ pub struct GroundExample {
     pub ground: GroundClause,
     /// Indexed repaired versions of the ground bottom clause.
     pub repaired: Vec<GroundClause>,
+    /// The probes grounding executed — consulted by delta maintenance to
+    /// decide whether this ground clause must be rebuilt after a database
+    /// change (empty for clauses wrapped via [`GroundExample::from_clause`]).
+    pub probes: ProbeLog,
 }
 
 impl GroundExample {
@@ -44,8 +48,10 @@ impl GroundExample {
         seed: u64,
     ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let clause = builder.build(example, &mut rng);
-        GroundExample::from_clause(example.clone(), &clause, config)
+        let (clause, probes) = builder.build_probed(example, &mut rng);
+        let mut ground = GroundExample::from_clause(example.clone(), &clause, config);
+        ground.probes = probes;
+        ground
     }
 
     /// Wrap an already-built ground bottom clause.
@@ -62,6 +68,7 @@ impl GroundExample {
             example,
             ground: GroundClause::new(clause),
             repaired,
+            probes: ProbeLog::default(),
         }
     }
 }
@@ -261,6 +268,19 @@ impl CoverageCounts {
     }
 }
 
+/// How many ground examples a delta rebuild re-grounded versus reused.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroundPatchStats {
+    /// Positive examples whose grounding was rebuilt.
+    pub positives_reground: usize,
+    /// Positive examples whose stored grounding was reused unchanged.
+    pub positives_reused: usize,
+    /// Negative examples whose grounding was rebuilt.
+    pub negatives_reground: usize,
+    /// Negative examples whose stored grounding was reused unchanged.
+    pub negatives_reused: usize,
+}
+
 /// The coverage engine: precomputed ground examples for the whole training
 /// set plus the subsumption-based coverage tests.
 pub struct CoverageEngine {
@@ -294,6 +314,61 @@ impl CoverageEngine {
         crate::par::chunked_map(examples, config.effective_threads(), 8, |idx, e| {
             GroundExample::build(builder, e, config, config.seed ^ salt ^ idx as u64)
         })
+    }
+
+    /// Rebuild the engine against a mutated database: re-ground exactly the
+    /// examples `affected` selects — with the same per-example seed a
+    /// from-scratch build would use, so patched clauses are bit-identical to
+    /// fresh ones — and reuse every other ground example unchanged. The
+    /// builder must already be bound to the mutated task and catalog.
+    pub(crate) fn rebuilt_where<F>(
+        &self,
+        builder: &BottomClauseBuilder<'_>,
+        config: &LearnerConfig,
+        mut affected: F,
+    ) -> (CoverageEngine, GroundPatchStats)
+    where
+        F: FnMut(&GroundExample) -> bool,
+    {
+        let patch = |examples: &[GroundExample], salt: u64, affected: &mut F| {
+            let mut reground = 0usize;
+            let out: Vec<GroundExample> = examples
+                .iter()
+                .enumerate()
+                .map(|(idx, g)| {
+                    if affected(g) {
+                        reground += 1;
+                        GroundExample::build(
+                            builder,
+                            &g.example,
+                            config,
+                            config.seed ^ salt ^ idx as u64,
+                        )
+                    } else {
+                        g.clone()
+                    }
+                })
+                .collect();
+            let reused = examples.len() - reground;
+            (out, reground, reused)
+        };
+        let (positives, positives_reground, positives_reused) =
+            patch(&self.positives, 0x9e37, &mut affected);
+        let (negatives, negatives_reground, negatives_reused) =
+            patch(&self.negatives, 0x7f4a, &mut affected);
+        (
+            CoverageEngine {
+                positives,
+                negatives,
+                config: config.clone(),
+            },
+            GroundPatchStats {
+                positives_reground,
+                positives_reused,
+                negatives_reground,
+                negatives_reused,
+            },
+        )
     }
 
     /// Ground examples of the positive training set.

@@ -109,11 +109,19 @@ impl StrategyPlan {
 /// ```
 pub struct Engine {
     /// The user's configuration (before any strategy preprocessing).
-    config: LearnerConfig,
+    pub(crate) config: LearnerConfig,
     /// The DLearn plan: the engine's own task, config and shared catalog.
-    base: Arc<StrategyPlan>,
+    pub(crate) base: Arc<StrategyPlan>,
     /// Lazily derived plans for the four baseline strategies.
-    plans: [OnceLock<Arc<StrategyPlan>>; 4],
+    pub(crate) plans: [OnceLock<Arc<StrategyPlan>>; 4],
+    /// Incrementally maintained similarity indexes, adopted from the base
+    /// catalog on the first [`Engine::apply_delta`] call (index-aligned with
+    /// the catalog's MD indexes).
+    pub(crate) maintenance: Option<Vec<dlearn_similarity::MaintainedIndex>>,
+    /// Set when a delta application panicked mid-flight: the incremental
+    /// state can no longer be trusted and every further delta is refused
+    /// (reads against the last committed state keep working).
+    pub(crate) quarantined: bool,
 }
 
 impl Engine {
@@ -145,6 +153,8 @@ impl Engine {
             config,
             base,
             plans: Default::default(),
+            maintenance: None,
+            quarantined: false,
         }
     }
 
@@ -178,6 +188,19 @@ impl Engine {
     /// The session's configuration.
     pub fn config(&self) -> &LearnerConfig {
         &self.config
+    }
+
+    /// The prepared MD similarity catalog of the base plan. Exposed so the
+    /// incremental-maintenance oracle can pin that a maintained catalog is
+    /// bit-identical to a fresh [`Engine::prepare`] over the mutated store.
+    pub fn catalog(&self) -> &MdCatalog {
+        &self.base.catalog
+    }
+
+    /// The prepared ground training examples of the base plan (see
+    /// [`Engine::catalog`] for why this is public).
+    pub fn coverage(&self) -> &CoverageEngine {
+        &self.base.coverage
     }
 
     /// Learn a definition with the given strategy against the session's
@@ -345,21 +368,31 @@ fn build_catalog(task: &LearningTask, config: &LearnerConfig) -> MdCatalog {
     // delays apply here, and both execute inside the checkpoint.
     let _ = crate::fault::checkpoint(crate::fault::Site::Alignment, &task.target.name);
     if config.use_mds && !task.mds.is_empty() {
-        let threshold = if config.exact_md_joins {
-            // Exact joins: only identical normalized strings match.
-            EXACT_MD_THRESHOLD
-        } else {
-            config.similarity_threshold
-        };
-        let index_config = IndexConfig {
-            top_k: config.km,
-            operator: SimilarityOperator::with_threshold(threshold),
-            threads: config.index_threads,
-            hot_key_fraction: config.index_hot_key_fraction,
-        };
-        MdCatalog::build(&task.mds, &augment_with_target(task), &index_config)
+        MdCatalog::build(
+            &task.mds,
+            &augment_with_target(task),
+            &index_config_for(config),
+        )
     } else {
         MdCatalog::default()
+    }
+}
+
+/// The similarity-index configuration a config pair builds catalogs with
+/// (shared by the prepare-time build and incremental delta maintenance, which
+/// must adopt indexes under the exact build configuration).
+pub(crate) fn index_config_for(config: &LearnerConfig) -> IndexConfig {
+    let threshold = if config.exact_md_joins {
+        // Exact joins: only identical normalized strings match.
+        EXACT_MD_THRESHOLD
+    } else {
+        config.similarity_threshold
+    };
+    IndexConfig {
+        top_k: config.km,
+        operator: SimilarityOperator::with_threshold(threshold),
+        threads: config.index_threads,
+        hot_key_fraction: config.index_hot_key_fraction,
     }
 }
 
@@ -714,8 +747,10 @@ impl Predictor {
     ) -> GroundExample {
         let config = &self.plan.config;
         let mut rng = StdRng::seed_from_u64(config.seed ^ 0xdead_beef);
-        let ground_clause = builder.build(example, &mut rng);
-        GroundExample::from_clause(example.clone(), &ground_clause, config)
+        let (ground_clause, probes) = builder.build_probed(example, &mut rng);
+        let mut ground = GroundExample::from_clause(example.clone(), &ground_clause, config);
+        ground.probes = probes;
+        ground
     }
 
     fn predict_with(&self, builder: &BottomClauseBuilder<'_>, example: &Tuple) -> bool {

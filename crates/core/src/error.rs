@@ -70,6 +70,34 @@ pub enum DlearnError {
         /// The panic payload's message, when it was a string.
         message: String,
     },
+    /// A delta transaction named a relation the session's database does not
+    /// have. The engine state is untouched.
+    DeltaUnknownRelation {
+        /// The unknown relation name.
+        relation: String,
+    },
+    /// A delta operation's tuple does not match the relation's arity. The
+    /// engine state is untouched.
+    DeltaArityMismatch {
+        /// Relation the operation targeted.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A delta tried to delete a tuple that is not present. The engine state
+    /// is untouched.
+    DeltaAbsentTuple {
+        /// Relation the delete targeted.
+        relation: String,
+        /// Display form of the missing tuple.
+        tuple: String,
+    },
+    /// [`crate::Engine::apply_delta`] was called on an engine quarantined by
+    /// an earlier mid-delta panic; its incremental state can no longer be
+    /// trusted and the session must be rebuilt with [`crate::Engine::prepare`].
+    DeltaQuarantined,
 }
 
 impl fmt::Display for DlearnError {
@@ -106,6 +134,24 @@ impl fmt::Display for DlearnError {
             DlearnError::WorkerPanicked { site, message } => {
                 write!(f, "worker panicked at `{site}`: {message}")
             }
+            DlearnError::DeltaUnknownRelation { relation } => {
+                write!(f, "delta references unknown relation '{relation}'")
+            }
+            DlearnError::DeltaArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "delta tuple for relation '{relation}' has arity {actual}, schema expects {expected}"
+            ),
+            DlearnError::DeltaAbsentTuple { relation, tuple } => {
+                write!(f, "delta deletes absent tuple {tuple} from relation '{relation}'")
+            }
+            DlearnError::DeltaQuarantined => write!(
+                f,
+                "engine is quarantined after a failed delta; rebuild the session with Engine::prepare"
+            ),
         }
     }
 }

@@ -18,6 +18,7 @@ mod noop {
         Grounding,
         Coverage,
         Alignment,
+        Delta,
     }
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

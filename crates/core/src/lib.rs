@@ -62,6 +62,7 @@
 pub mod bottom;
 pub mod config;
 pub mod coverage;
+pub mod delta;
 pub mod engine;
 pub mod error;
 mod fault;
@@ -72,11 +73,13 @@ mod par;
 pub mod service;
 pub mod task;
 
-pub use bottom::BottomClauseBuilder;
+pub use bottom::{BottomClauseBuilder, ProbeLog};
 pub use config::LearnerConfig;
 pub use coverage::{
-    CoverageCounts, CoverageEngine, CoverageOutcome, GroundExample, PreparedClause,
+    CoverageCounts, CoverageEngine, CoverageOutcome, GroundExample, GroundPatchStats,
+    PreparedClause,
 };
+pub use delta::DeltaReport;
 pub use engine::{Engine, Learned, Predictor};
 pub use error::DlearnError;
 pub use generalize::{generalize, generalize_prepared};

@@ -173,6 +173,9 @@ pub struct ServiceMetrics {
     pub degraded_verdicts: u64,
     /// Inputs rejected before serving (wrong arity).
     pub rejected_inputs: u64,
+    /// Cache entries evicted by [`PredictorService::apply_delta`] because
+    /// their grounding probed a changed value.
+    pub delta_evictions: u64,
 }
 
 #[derive(Default)]
@@ -187,6 +190,7 @@ struct Counters {
     budget_exhausted_searches: AtomicU64,
     degraded_verdicts: AtomicU64,
     rejected_inputs: AtomicU64,
+    delta_evictions: AtomicU64,
 }
 
 impl Counters {
@@ -202,6 +206,7 @@ impl Counters {
             budget_exhausted_searches: self.budget_exhausted_searches.load(Ordering::Relaxed),
             degraded_verdicts: self.degraded_verdicts.load(Ordering::Relaxed),
             rejected_inputs: self.rejected_inputs.load(Ordering::Relaxed),
+            delta_evictions: self.delta_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -271,6 +276,23 @@ impl Shard {
         self.entries.clear();
         self.index.clear();
         self.hand = 0;
+    }
+
+    /// Evict every entry the predicate selects, returning how many went.
+    /// Survivors keep their reference bits; the hand restarts at the ring's
+    /// head (the ring was re-packed, so any old position is meaningless).
+    fn evict_where(&mut self, mut pred: impl FnMut(&GroundExample) -> bool) -> u64 {
+        let before = self.entries.len();
+        self.entries.retain(|entry| !pred(&entry.value));
+        let evicted = (before - self.entries.len()) as u64;
+        if evicted > 0 {
+            self.index.clear();
+            for (i, entry) in self.entries.iter().enumerate() {
+                self.index.insert(entry.key.clone(), i);
+            }
+            self.hand = 0;
+        }
+        evicted
     }
 }
 
@@ -345,6 +367,30 @@ impl PredictorService {
     /// A snapshot of the service counters.
     pub fn metrics(&self) -> ServiceMetrics {
         self.counters.snapshot()
+    }
+
+    /// Re-bind the service to a post-delta predictor and evict exactly the
+    /// cached ground examples the delta could have changed: entries whose
+    /// recorded probes intersect the change set (see
+    /// [`crate::DeltaReport::affects`]). Every surviving entry is provably
+    /// bit-identical to a fresh grounding over the mutated database, so
+    /// cache-on and cache-off serving stay in parity across deltas. Returns
+    /// the number of evicted entries; quarantine and counters are kept.
+    pub fn apply_delta(&mut self, predictor: Predictor, report: &crate::DeltaReport) -> u64 {
+        self.predictor = predictor;
+        let mut evicted = 0u64;
+        for shard in &self.shards {
+            evicted += shard
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .evict_where(|g| report.affects(&g.probes));
+        }
+        if evicted > 0 {
+            self.counters
+                .delta_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Drop every cached ground example (counters are kept). Used by the

@@ -32,6 +32,13 @@ pub enum StoreError {
         /// Offending attribute.
         attribute: String,
     },
+    /// A delete named a tuple that is not present in the relation.
+    TupleNotFound {
+        /// Relation that was deleted from.
+        relation: String,
+        /// Display form of the missing tuple.
+        tuple: String,
+    },
     /// An error raised while validating a named constraint or declaration
     /// (e.g. "MD 'titles'"), wrapping the underlying reference error so
     /// callers can report *which* declaration is broken.
@@ -85,6 +92,9 @@ impl fmt::Display for StoreError {
                     f,
                     "type mismatch for attribute '{attribute}' of relation '{relation}'"
                 )
+            }
+            StoreError::TupleNotFound { relation, tuple } => {
+                write!(f, "tuple {tuple} not found in relation '{relation}'")
             }
             StoreError::InContext { context, source } => {
                 write!(f, "in {context}: {source}")

@@ -19,12 +19,15 @@
 //! * [`Tuple`] — an ordered list of values.
 //! * [`Relation`] — a relation instance with per-attribute hash indexes.
 //! * [`Database`] — the full instance, keyed by [`RelId`].
+//! * [`DeltaTx`] / [`ChangeSet`] — streaming tuple-level delta transactions
+//!   and their value-level read-visible footprint.
 //! * [`DatabaseBuilder`] / [`RelationBuilder`] — fluent construction helpers.
 
 #![warn(missing_docs)]
 
 pub mod builder;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod fxhash;
 pub mod intern;
@@ -35,6 +38,7 @@ pub mod value;
 
 pub use builder::{DatabaseBuilder, RelationBuilder};
 pub use database::Database;
+pub use delta::{ChangeSet, DeltaOp, DeltaTx};
 pub use error::StoreError;
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use intern::{Interner, RelId, Sym};

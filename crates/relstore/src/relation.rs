@@ -175,6 +175,55 @@ impl Relation {
         Ok(())
     }
 
+    /// Delete the first tuple equal to `t` (by insertion order), keeping the
+    /// per-attribute indexes consistent; returns the removed tuple's old id.
+    ///
+    /// Tuple ids are insertion positions, so every surviving tuple past the
+    /// removed one shifts down by one — an order-preserving renumbering. The
+    /// index posting lists stay sorted ascending under that shift, which is
+    /// what keeps `select_eq` results in insertion order after any sequence
+    /// of deletes.
+    pub fn delete(&mut self, t: &Tuple) -> Result<TupleId, StoreError> {
+        if t.arity() != self.schema.arity() {
+            return Err(StoreError::ArityMismatch {
+                relation: self.schema.name.as_str().to_string(),
+                expected: self.schema.arity(),
+                actual: t.arity(),
+            });
+        }
+        let found = if self.schema.arity() == 0 {
+            if self.tuples.is_empty() {
+                None
+            } else {
+                Some(0)
+            }
+        } else {
+            self.select_eq(0, &t.values()[0])
+                .iter()
+                .copied()
+                .find(|&id| &self.tuples[id] == t)
+        };
+        let Some(id) = found else {
+            return Err(StoreError::TupleNotFound {
+                relation: self.schema.name.as_str().to_string(),
+                tuple: t.to_string(),
+            });
+        };
+        self.tuples.remove(id);
+        for index in &mut self.indexes {
+            for ids in index.values_mut() {
+                ids.retain(|&tid| tid != id);
+                for tid in ids.iter_mut() {
+                    if *tid > id {
+                        *tid -= 1;
+                    }
+                }
+            }
+            index.retain(|_, ids| !ids.is_empty());
+        }
+        Ok(id)
+    }
+
     /// `true` when the relation contains a tuple equal to `t`.
     pub fn contains(&self, t: &Tuple) -> bool {
         if t.arity() != self.schema.arity() {

@@ -201,8 +201,8 @@ impl QuerySym for &String {
 /// string values (the two sides of a matching dependency).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimilarityIndex {
-    left_to_right: HashMap<Sym, Vec<Match>>,
-    right_to_left: HashMap<Sym, Vec<Match>>,
+    pub(crate) left_to_right: HashMap<Sym, Vec<Match>>,
+    pub(crate) right_to_left: HashMap<Sym, Vec<Match>>,
 }
 
 impl SimilarityIndex {
@@ -221,51 +221,7 @@ impl SimilarityIndex {
         let left = dedup(left);
         let right = dedup(right);
 
-        // Inverted blocking index over the right column, keyed by *interned*
-        // blocking keys. `blocking_keys` still allocates its `String`s (the
-        // tokenizer's output type); what interning buys is the map itself:
-        // entries store an 8-byte `Sym` instead of a 24-byte owned `String`,
-        // map probes hash a pointer instead of re-hashing string bytes, and
-        // identical vocabularies across rebuilds (cross-validation folds,
-        // the eval harness re-indexing the same columns) share one stored
-        // copy of each key. Trade-off: interned keys live for the process
-        // lifetime, so the global table grows with each *new* vocabulary
-        // indexed — bounded by the token/trigram vocabulary of the input
-        // databases, the same process-lifetime argument the interner itself
-        // makes; the probe side pays one interner shard lookup per key.
-        let mut raw_block: HashMap<Sym, Vec<u32>> = HashMap::new();
-        let mut right_profiles: Vec<SimProfile> = Vec::with_capacity(right.len());
-        let mut key_buf: Vec<String> = Vec::new();
-        for (j, r) in right.iter().enumerate() {
-            blocking_keys_into(r.as_str(), &mut key_buf);
-            for key in key_buf.drain(..) {
-                raw_block
-                    .entry(Sym::intern(key))
-                    .or_default()
-                    .push(j as u32);
-            }
-            right_profiles.push(SimProfile::new(r.as_str()));
-        }
-        // Skew-aware conversion: posting lists past the hot cap are sorted
-        // by (normalized length, right index) so probes can binary-search
-        // the length window instead of walking the whole list.
-        let hot_cap = config.hot_posting_cap(right.len());
-        let block: HashMap<Sym, Posting> = raw_block
-            .into_iter()
-            .map(|(key, ids)| {
-                let posting = if ids.len() > hot_cap {
-                    let mut by_len: Vec<(u32, u32)> = ids
-                        .into_iter()
-                        .map(|j| (right_profiles[j as usize].len() as u32, j))
-                        .collect();
-                    by_len.sort_unstable();
-                    Posting::Hot(by_len)
-                } else {
-                    Posting::Cold(ids)
-                };
-                (key, posting)
-            })
-            .collect();
+        let (right_profiles, block) = build_postings(&right, config);
 
         // Per-left-value match lists are independent of each other, so left
         // values fan out across scoped workers in contiguous chunks. Each
@@ -509,11 +465,67 @@ impl SimilarityIndex {
 /// that can pass the length bound — the completeness fallback that keeps
 /// hot stopword-ish keys from degenerating into all-pairs scans while still
 /// generating every candidate the filter could keep.
-enum Posting {
+#[derive(Debug, Clone)]
+pub(crate) enum Posting {
     /// Plain right indexes, in right order.
     Cold(Vec<u32>),
     /// `(normalized length, right index)`, sorted ascending.
     Hot(Vec<(u32, u32)>),
+}
+
+/// Build the right-side profiles and the inverted blocking index, keyed by
+/// *interned* blocking keys. `blocking_keys` still allocates its `String`s
+/// (the tokenizer's output type); what interning buys is the map itself:
+/// entries store an 8-byte `Sym` instead of a 24-byte owned `String`, map
+/// probes hash a pointer instead of re-hashing string bytes, and identical
+/// vocabularies across rebuilds (cross-validation folds, the eval harness
+/// re-indexing the same columns) share one stored copy of each key.
+/// Trade-off: interned keys live for the process lifetime, so the global
+/// table grows with each *new* vocabulary indexed — bounded by the
+/// token/trigram vocabulary of the input databases, the same
+/// process-lifetime argument the interner itself makes; the probe side pays
+/// one interner shard lookup per key.
+///
+/// Skew-aware conversion: posting lists past the hot cap are sorted by
+/// (normalized length, right index) so probes can binary-search the length
+/// window instead of walking the whole list. Shared by [`SimilarityIndex::
+/// build`] and the incremental maintenance layer (`crate::delta`), which
+/// must generate candidates from byte-identical postings.
+pub(crate) fn build_postings(
+    right: &[Sym],
+    config: &IndexConfig,
+) -> (Vec<SimProfile>, HashMap<Sym, Posting>) {
+    let mut raw_block: HashMap<Sym, Vec<u32>> = HashMap::new();
+    let mut right_profiles: Vec<SimProfile> = Vec::with_capacity(right.len());
+    let mut key_buf: Vec<String> = Vec::new();
+    for (j, r) in right.iter().enumerate() {
+        blocking_keys_into(r.as_str(), &mut key_buf);
+        for key in key_buf.drain(..) {
+            raw_block
+                .entry(Sym::intern(key))
+                .or_default()
+                .push(j as u32);
+        }
+        right_profiles.push(SimProfile::new(r.as_str()));
+    }
+    let hot_cap = config.hot_posting_cap(right.len());
+    let block: HashMap<Sym, Posting> = raw_block
+        .into_iter()
+        .map(|(key, ids)| {
+            let posting = if ids.len() > hot_cap {
+                let mut by_len: Vec<(u32, u32)> = ids
+                    .into_iter()
+                    .map(|j| (right_profiles[j as usize].len() as u32, j))
+                    .collect();
+                by_len.sort_unstable();
+                Posting::Hot(by_len)
+            } else {
+                Posting::Cold(ids)
+            };
+            (key, posting)
+        })
+        .collect();
+    (right_profiles, block)
 }
 
 /// The inclusive right-length window `[lo, hi]` compatible with the length
@@ -536,7 +548,7 @@ fn length_window(ll: usize, threshold: f64) -> (u32, u32) {
 }
 
 /// Per-worker scratch buffers reused across the left values of one chunk.
-struct Scratch {
+pub(crate) struct Scratch {
     /// Candidate right indexes of the current left value, deduplicated.
     candidates: Vec<(usize, f64)>,
     /// Dedup bitmap over right indexes (cleared after each left value).
@@ -546,7 +558,7 @@ struct Scratch {
 }
 
 impl Scratch {
-    fn new(right_count: usize) -> Self {
+    pub(crate) fn new(right_count: usize) -> Self {
         Scratch {
             candidates: Vec::new(),
             seen: vec![false; right_count],
@@ -570,7 +582,7 @@ impl Scratch {
 ///   `score <= bound < final k-th score` and could not have displaced a
 ///   kept match even on a score tie (ties break by value order, which
 ///   requires score equality).
-fn score_one_left(
+pub(crate) fn score_one_left(
     l: Sym,
     right: &[Sym],
     right_profiles: &[SimProfile],
@@ -709,7 +721,7 @@ fn score_one_left(
 
 /// Descending score, ties broken by the value's string order — the same
 /// deterministic order the pre-interning index used.
-fn sort_matches(matches: &mut [Match]) {
+pub(crate) fn sort_matches(matches: &mut [Match]) {
     matches.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -718,7 +730,7 @@ fn sort_matches(matches: &mut [Match]) {
     });
 }
 
-fn dedup(values: &[Sym]) -> Vec<Sym> {
+pub(crate) fn dedup(values: &[Sym]) -> Vec<Sym> {
     let mut v: Vec<Sym> = values.to_vec();
     v.sort(); // Sym's Ord is lexicographic
     v.dedup();

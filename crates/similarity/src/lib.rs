@@ -10,10 +10,13 @@
 //! * [`length_similarity`] — ratio of string lengths.
 //! * [`SimilarityOperator`] — the combined operator with a decision threshold.
 //! * [`SimilarityIndex`] — blocking-based precomputed top-`km` match index.
+//! * [`MaintainedIndex`] — incremental maintenance of a built index under
+//!   streaming column deltas, always equal to a fresh build.
 
 #![warn(missing_docs)]
 
 pub mod combined;
+pub mod delta;
 pub mod index;
 pub mod length;
 pub mod sw_gotoh;
@@ -21,6 +24,7 @@ pub mod sw_kernel;
 pub mod tokenize;
 
 pub use combined::{combined_similarity, SimilarityOperator};
+pub use delta::{ColumnDelta, DeltaOutcome, MaintainedIndex};
 pub use index::{IndexConfig, Match, QuerySym, SimilarityIndex, MAX_AUTO_THREADS};
 pub use length::{
     char_histogram, common_char_count, length_similarity, length_similarity_from_counts, HIST_BINS,

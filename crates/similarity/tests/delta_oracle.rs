@@ -1,0 +1,116 @@
+//! Delta-sequence oracle for [`MaintainedIndex`]: seeded column-delta
+//! scripts over dirty vocabularies, replayed across a threshold × top-k
+//! grid, pinning after every step that the incrementally maintained index
+//! equals both a fresh [`SimilarityIndex::build`] and the brute-force
+//! all-pairs [`ReferenceIndex`] — entry for entry, score bits included.
+//!
+//! Thresholds stay at or above the vocabulary's blocking floor (0.65): the
+//! blocking filter is complete only above it, and `MaintainedIndex` repairs
+//! through the same blocking, so the contract is "equal to a fresh build",
+//! which the floor makes equal to the brute-force reference too.
+//!
+//! [`MaintainedIndex`]: dlearn_similarity::MaintainedIndex
+//! [`SimilarityIndex::build`]: dlearn_similarity::SimilarityIndex::build
+//! [`ReferenceIndex`]: dlearn_test_support::ReferenceIndex
+
+use dlearn_similarity::{IndexConfig, SimilarityOperator};
+use dlearn_test_support::{
+    column_script, dirty_vocabulary, replay_and_compare, ColumnScriptConfig, VocabConfig,
+};
+
+/// Small dirty vocabulary: enough variants for real near-duplicate
+/// structure, small enough that the brute-force reference stays cheap
+/// across hundreds of replays.
+fn vocab_config() -> VocabConfig {
+    VocabConfig {
+        bases: 8,
+        noise_per_side: 3,
+        ..VocabConfig::default()
+    }
+}
+
+fn index_config(threshold: f64, top_k: usize) -> IndexConfig {
+    IndexConfig {
+        top_k,
+        operator: SimilarityOperator::with_threshold(threshold),
+        threads: 1,
+        ..IndexConfig::default()
+    }
+}
+
+/// ~300 seeded delta scripts (34 seeds × 3 thresholds × 3 top-k values),
+/// each replayed step by step against fresh rebuild and brute force.
+#[test]
+fn maintained_index_equals_rebuild_across_seeded_scripts_and_grid() {
+    let thresholds = [0.65, 0.72, 0.8];
+    let top_ks = [1, 2, 4];
+    let script_config = ColumnScriptConfig {
+        steps: 5,
+        ..ColumnScriptConfig::default()
+    };
+
+    let mut cases = 0usize;
+    let mut pairs_seen = 0usize;
+    let mut rescored = 0usize;
+    let mut patched = 0usize;
+    for seed in 0..34u64 {
+        let vocab = dirty_vocabulary(&vocab_config(), seed);
+        let script = column_script(&vocab.left, &vocab.right, &script_config, seed);
+        for &threshold in &thresholds {
+            for &top_k in &top_ks {
+                let stats = replay_and_compare(&script, &index_config(threshold, top_k));
+                cases += 1;
+                pairs_seen += stats.pairs_seen;
+                rescored += stats.rescored_lefts;
+                patched += stats.patched_entries;
+            }
+        }
+    }
+    assert_eq!(cases, 306);
+    // Vacuity guards: the scripts must exercise stored pairs and BOTH
+    // repair paths (full re-scans and targeted patches), or the equality
+    // above proves nothing about the incremental machinery.
+    assert!(
+        pairs_seen > 1_000,
+        "scripts barely stored pairs: {pairs_seen}"
+    );
+    assert!(rescored > 100, "rescan path under-exercised: {rescored}");
+    assert!(patched > 100, "patch path under-exercised: {patched}");
+}
+
+/// Deltas that drain a side completely and then refill it: the maintained
+/// index must pass through the empty state and come back identical.
+#[test]
+fn drain_and_refill_round_trips() {
+    use dlearn_similarity::{ColumnDelta, MaintainedIndex, SimilarityIndex};
+
+    let vocab = dirty_vocabulary(&vocab_config(), 99);
+    let config = index_config(0.7, 3);
+    let built = SimilarityIndex::build(&vocab.left, &vocab.right, &config);
+    let mut maintained =
+        MaintainedIndex::adopt(built.clone(), &vocab.left, &vocab.right, config.clone());
+
+    maintained.apply(&ColumnDelta {
+        removed_right: vocab.right.clone(),
+        ..ColumnDelta::default()
+    });
+    assert_eq!(
+        maintained.index().pair_count(),
+        0,
+        "drained index not empty"
+    );
+    assert_eq!(
+        maintained.index(),
+        &SimilarityIndex::build(&vocab.left, &[], &config)
+    );
+
+    maintained.apply(&ColumnDelta {
+        added_right: vocab.right.clone(),
+        ..ColumnDelta::default()
+    });
+    assert_eq!(
+        maintained.index(),
+        &built,
+        "refill after drain must restore the original index"
+    );
+}

@@ -38,6 +38,9 @@ pub enum Site {
     /// MD similarity-catalog construction at prepare time (key: the target
     /// relation's name).
     Alignment,
+    /// Incremental delta application — index maintenance and grounding
+    /// patching (key: the target relation's name).
+    Delta,
 }
 
 impl Site {
@@ -46,6 +49,7 @@ impl Site {
             Site::Grounding => 0,
             Site::Coverage => 1,
             Site::Alignment => 2,
+            Site::Delta => 3,
         }
     }
 
@@ -55,6 +59,7 @@ impl Site {
             Site::Grounding => "grounding",
             Site::Coverage => "coverage",
             Site::Alignment => "alignment",
+            Site::Delta => "delta",
         }
     }
 }
@@ -173,7 +178,7 @@ fn hash01(seed: u64, rule_idx: usize, site: Site, key: &str) -> f64 {
 struct Registry {
     plan: RwLock<Option<FaultPlan>>,
     install_lock: Mutex<()>,
-    injected: [AtomicU64; 3],
+    injected: [AtomicU64; 4],
 }
 
 fn registry() -> &'static Registry {
@@ -181,7 +186,12 @@ fn registry() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         plan: RwLock::new(None),
         install_lock: Mutex::new(()),
-        injected: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        injected: [
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        ],
     })
 }
 

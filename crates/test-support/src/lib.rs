@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod gen;
@@ -42,6 +43,10 @@ pub mod oracle;
 pub mod string_reference;
 pub mod vocab;
 
+pub use delta::{
+    column_script, replay_and_compare, tx_script, ColumnScript, ColumnScriptConfig, ReplayStats,
+    TxScriptConfig,
+};
 pub use gen::{
     backtracking_heavy_pair, derived_candidate, random_candidate, random_ground, GenConfig,
 };

@@ -56,6 +56,9 @@ EXPECTED_BENCHES = [
     "service/warm/1",
     "service/warm/2",
     "service/warm/8",
+    "delta_apply/small",
+    "delta_apply/medium",
+    "delta_apply/rebuild",
 ]
 
 EXPECTED_TOP_LEVEL = ["workload", "unit", "benches"]
@@ -75,9 +78,13 @@ GATE_TOLERANCE = 0.20
 # reviewed through the committed diff instead. `generalization_round` and
 # the serving pair `predict_loop`/`predict_batch` are gated at widened
 # per-entry tolerances (0.30 / 0.25) reflecting their observed variance.
-# The `service/{cold,warm}/N` served-throughput curves are ungated for now:
-# they thread-scale and cache-prime, so their variance across runners is
-# still uncharacterised; they are tracked through the committed trajectory.
+# The `service/{cold,warm}/N` served-throughput curves graduated to the
+# gate once their variance was characterised over the committed trajectory;
+# they run at the widest per-entry tolerance in the table (0.35) because
+# they thread-scale and cache-prime. The new `delta_apply/*` entries
+# (incremental maintenance vs from-scratch rebuild) are ungated for now —
+# the same policy the service curves started under — and already carry
+# their future tolerance (0.30) in the JSON.
 GATED_BENCHES = [
     "subsumption/subsumes",
     "subsumption/coverage_engine_counts",
@@ -85,6 +92,12 @@ GATED_BENCHES = [
     "subsumption/generalization_round",
     "subsumption/predict_loop",
     "subsumption/predict_batch",
+    "service/cold/1",
+    "service/cold/2",
+    "service/cold/8",
+    "service/warm/1",
+    "service/warm/2",
+    "service/warm/8",
 ]
 
 

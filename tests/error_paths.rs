@@ -200,3 +200,106 @@ fn serving_tier_errors_render_actionable_messages() {
     assert_eq!(deadline.clone(), deadline);
     assert_ne!(deadline, panicked);
 }
+
+#[test]
+fn delta_failures_are_typed_and_leave_the_engine_untouched() {
+    // Every store-level delta failure maps to its typed variant, and after
+    // any failed transaction the engine is byte-for-byte the session it was:
+    // the same definition is learned and no delta work is reported later.
+    use dlearn::relstore::{DeltaTx, RelId};
+
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let mut engine = Engine::prepare(dataset.task.clone(), fast()).expect("valid task");
+    let baseline = engine
+        .learn(Strategy::DLearn)
+        .expect("learn")
+        .definition()
+        .clone();
+
+    let unknown = DeltaTx::new().insert(
+        RelId::intern("no_such_relation"),
+        tuple(vec![Value::int(1)]),
+    );
+    let err = engine.apply_delta(&unknown).unwrap_err();
+    assert!(
+        matches!(&err, DlearnError::DeltaUnknownRelation { relation } if relation == "no_such_relation"),
+        "{err:?}"
+    );
+    assert!(
+        err.to_string()
+            .contains("delta references unknown relation 'no_such_relation'"),
+        "{err}"
+    );
+
+    let short = DeltaTx::new().insert(
+        RelId::intern("imdb_movies"),
+        tuple(vec![Value::int(1), Value::str("Truncated Row")]),
+    );
+    let err = engine.apply_delta(&short).unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            DlearnError::DeltaArityMismatch {
+                relation,
+                expected: 3,
+                actual: 2,
+            } if relation == "imdb_movies"
+        ),
+        "{err:?}"
+    );
+    assert!(
+        err.to_string().contains("has arity 2, schema expects 3"),
+        "{err}"
+    );
+
+    let absent = DeltaTx::new().delete(
+        RelId::intern("imdb_movies"),
+        tuple(vec![
+            Value::int(987_654),
+            Value::str("Never Stored"),
+            Value::int(1900),
+        ]),
+    );
+    let err = engine.apply_delta(&absent).unwrap_err();
+    assert!(
+        matches!(&err, DlearnError::DeltaAbsentTuple { relation, .. } if relation == "imdb_movies"),
+        "{err:?}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("delta deletes absent tuple") && msg.contains("imdb_movies"),
+        "{msg}"
+    );
+
+    // Untouched: not quarantined, and the session still learns the exact
+    // pre-failure definition.
+    assert!(!engine.is_quarantined());
+    assert_eq!(
+        engine
+            .learn(Strategy::DLearn)
+            .expect("learn after failed deltas")
+            .definition(),
+        &baseline,
+        "failed deltas perturbed the session"
+    );
+}
+
+#[test]
+fn delta_error_variants_render_actionable_messages() {
+    // The quarantine refusal (reachable only through an injected mid-delta
+    // panic; exercised end-to-end in the fault-injection suite) and its
+    // sibling variants are plain, comparable data with actionable text.
+    let quarantined = DlearnError::DeltaQuarantined;
+    let msg = quarantined.to_string();
+    assert!(
+        msg.contains("quarantined") && msg.contains("Engine::prepare"),
+        "{msg}"
+    );
+    assert_eq!(quarantined.clone(), quarantined);
+    assert_ne!(
+        quarantined,
+        DlearnError::DeltaUnknownRelation {
+            relation: "r".into()
+        }
+    );
+}

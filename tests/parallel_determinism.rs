@@ -184,3 +184,162 @@ fn predict_batch_is_bit_identical_across_thread_counts() {
         }
     }
 }
+
+#[test]
+fn delta_maintenance_is_bit_identical_across_thread_counts() {
+    // Incremental maintenance composes with the determinism contract: a
+    // session driven through the same delta script must land on the same
+    // definition and the same batch verdicts at every coverage thread count.
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let relations = [
+        dlearn::relstore::RelId::intern("imdb_movies"),
+        dlearn::relstore::RelId::intern("omdb_movies"),
+        dlearn::relstore::RelId::intern("imdb_mov2genres"),
+    ];
+    for seed in [7u64, 21] {
+        let script = dlearn_test_support::delta::tx_script(
+            &dataset.task.database,
+            &relations,
+            &dlearn_test_support::delta::TxScriptConfig::default(),
+            seed,
+        );
+        let trace: Vec<Tuple> = dataset
+            .task
+            .positives
+            .iter()
+            .chain(dataset.task.negatives.iter())
+            .cloned()
+            .collect();
+        let run = |threads: usize| -> (Definition, Vec<bool>) {
+            let mut engine = Engine::prepare(dataset.task.clone(), config(seed, threads, threads))
+                .expect("valid task");
+            for tx in &script {
+                engine.apply_delta(tx).expect("apply_delta");
+            }
+            let learned = engine.learn(Strategy::DLearn).expect("learn");
+            let verdicts = engine
+                .predictor(&learned)
+                .expect("bind predictor")
+                .predict_batch(&trace)
+                .expect("predict");
+            (learned.definition().clone(), verdicts)
+        };
+        let (baseline_def, baseline_verdicts) = run(1);
+        for threads in [2usize, 8] {
+            let (definition, verdicts) = run(threads);
+            assert_eq!(
+                baseline_def, definition,
+                "seed {seed}: post-delta definition diverged at {threads} threads"
+            );
+            assert_eq!(
+                baseline_verdicts, verdicts,
+                "seed {seed}: post-delta verdicts diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn deltas_interleaved_with_serving_keep_cache_on_off_parity() {
+    // A serving tier interleaved with streaming deltas: after every
+    // `PredictorService::apply_delta` (which selectively evicts only cache
+    // entries whose probe logs the delta touched), a cached service must
+    // serve bit-identical verdicts to an uncached one — at every worker
+    // count — and both must match the rebound engine's own batch path.
+    use dlearn::core::{PredictorService, ServiceConfig};
+
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let relations = [
+        dlearn::relstore::RelId::intern("imdb_movies"),
+        dlearn::relstore::RelId::intern("omdb_movies"),
+        dlearn::relstore::RelId::intern("imdb_mov2genres"),
+    ];
+    let script = dlearn_test_support::delta::tx_script(
+        &dataset.task.database,
+        &relations,
+        &dlearn_test_support::delta::TxScriptConfig::default(),
+        7,
+    );
+    let trace: Vec<Tuple> = (0..2)
+        .flat_map(|_| {
+            dataset
+                .task
+                .positives
+                .iter()
+                .chain(dataset.task.negatives.iter())
+                .cloned()
+        })
+        .collect();
+    let mut total_evictions = 0u64;
+    for workers in [1usize, 2, 8] {
+        let mut engine =
+            Engine::prepare(dataset.task.clone(), config(7, 1, workers)).expect("valid task");
+        let learned = engine.learn(Strategy::DLearn).expect("learn");
+        let mut cached = PredictorService::new(
+            engine.predictor(&learned).expect("bind predictor"),
+            ServiceConfig {
+                worker_threads: workers,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut uncached = PredictorService::new(
+            engine.predictor(&learned).expect("bind predictor"),
+            ServiceConfig {
+                worker_threads: workers,
+                cache_capacity: 0,
+                ..ServiceConfig::default()
+            },
+        );
+        let mut service_evictions = 0u64;
+        for (step, tx) in script.iter().enumerate() {
+            // Warm the cache, then mutate the store underneath it.
+            cached.predict_batch(&trace);
+            let report = engine.apply_delta(tx).expect("apply_delta");
+            let learned = engine.learn(Strategy::DLearn).expect("post-delta learn");
+            let evicted = cached.apply_delta(
+                engine.predictor(&learned).expect("rebind predictor"),
+                &report,
+            );
+            uncached.apply_delta(
+                engine.predictor(&learned).expect("rebind predictor"),
+                &report,
+            );
+            service_evictions += evicted;
+            total_evictions += evicted;
+            let with_cache: Vec<bool> = cached
+                .predict_batch(&trace)
+                .iter()
+                .map(|r| r.as_ref().expect("cached serve").covered)
+                .collect();
+            let without_cache: Vec<bool> = uncached
+                .predict_batch(&trace)
+                .iter()
+                .map(|r| r.as_ref().expect("uncached serve").covered)
+                .collect();
+            assert_eq!(
+                with_cache, without_cache,
+                "workers {workers} step {step}: cache-on/off verdicts diverged after delta"
+            );
+            let direct = engine
+                .predictor(&learned)
+                .expect("bind predictor")
+                .predict_batch(&trace)
+                .expect("predict");
+            assert_eq!(
+                with_cache, direct,
+                "workers {workers} step {step}: served verdicts diverged from engine batch"
+            );
+        }
+        assert_eq!(
+            cached.metrics().delta_evictions,
+            service_evictions,
+            "workers {workers}: delta_evictions metric disagrees with apply_delta returns"
+        );
+    }
+    // Vacuity guard: across the grid at least one delta must actually have
+    // evicted a stale cached grounding (otherwise parity is trivially true).
+    assert!(
+        total_evictions > 0,
+        "no delta ever evicted a cached ground example"
+    );
+}

@@ -244,3 +244,120 @@ fn post_episode_parity_cache_on_vs_off_across_threads() {
         assert_eq!(cached, fx.baseline, "workers={workers}");
     }
 }
+
+#[test]
+fn injected_delta_panic_quarantines_the_session_but_keeps_serving_reads() {
+    // A crash mid-delta-maintenance must be transactional: the engine keeps
+    // the last committed state (reads — learn, predict — still serve it
+    // bit-identically), and every further delta is refused typed.
+    let mut fx = fixture();
+    let tx = dlearn::relstore::DeltaTx::new().insert(
+        dlearn::relstore::RelId::intern("imdb_movies"),
+        dlearn::relstore::tuple(vec![
+            dlearn::relstore::Value::int(990_100),
+            dlearn::relstore::Value::str("Quarantine Drill"),
+            dlearn::relstore::Value::int(2020),
+        ]),
+    );
+    {
+        let _guard =
+            fault::install(FaultPlan::new(13).with_probability(Site::Delta, 1.0, Fault::Panic));
+        let err = fx.engine.apply_delta(&tx).unwrap_err();
+        let DlearnError::WorkerPanicked { site, message } = &err else {
+            panic!("expected WorkerPanicked, got {err:?}");
+        };
+        assert_eq!(*site, "delta");
+        assert!(message.contains(fault::PANIC_MARKER), "{message}");
+        assert!(fault::injected(Site::Delta) >= 1);
+    }
+    assert!(fx.engine.is_quarantined());
+    // Further deltas are refused even with the fault plan cleared...
+    assert!(matches!(
+        fx.engine.apply_delta(&tx),
+        Err(DlearnError::DeltaQuarantined)
+    ));
+    // ...but the committed pre-delta state still serves reads: the learned
+    // definition and every verdict equal the no-fault baseline.
+    let relearned = fx
+        .engine
+        .learn(Strategy::DLearn)
+        .expect("quarantined learn");
+    assert_eq!(relearned.definition(), fx.learned.definition());
+    let verdicts: Vec<bool> = fx
+        .trace
+        .iter()
+        .map(|e| {
+            fx.engine
+                .predictor(&relearned)
+                .expect("bind predictor")
+                .predict(e)
+                .expect("predict")
+        })
+        .collect();
+    assert_eq!(
+        verdicts, fx.baseline,
+        "quarantined session no longer serves the committed state"
+    );
+}
+
+#[test]
+fn deadline_during_post_delta_serving_degrades_only_the_victim() {
+    // A delta lands, the service re-binds and keeps serving — and an
+    // injected stall on one tuple under a tight deadline must degrade only
+    // that tuple, while every neighbor serves the correct *post-delta*
+    // verdict.
+    let mut fx = fixture();
+    let mut service = service(&fx, 2);
+    let tx = dlearn::relstore::DeltaTx::new().insert(
+        dlearn::relstore::RelId::intern("imdb_movies"),
+        dlearn::relstore::tuple(vec![
+            dlearn::relstore::Value::int(990_101),
+            dlearn::relstore::Value::str("Deadline Drill"),
+            dlearn::relstore::Value::int(2021),
+        ]),
+    );
+    let report = fx.engine.apply_delta(&tx).expect("apply_delta");
+    let learned = fx.engine.learn(Strategy::DLearn).expect("post-delta learn");
+    service.apply_delta(
+        fx.engine.predictor(&learned).expect("rebind predictor"),
+        &report,
+    );
+    let predictor = fx.engine.predictor(&learned).expect("bind predictor");
+    let post_delta: Vec<bool> = fx
+        .trace
+        .iter()
+        .map(|e| predictor.predict(e).expect("predict"))
+        .collect();
+    let victim = fx.trace[0].clone();
+    {
+        let _guard = fault::install(FaultPlan::new(17).on_key(
+            Site::Coverage,
+            &key_of(&victim),
+            Fault::Delay(Duration::from_millis(300)),
+        ));
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(50));
+        let results = service.predict_batch_with(&fx.trace, &budget);
+        for (i, r) in results.iter().enumerate() {
+            if fx.trace[i] == victim {
+                assert!(
+                    matches!(r, Err(DlearnError::DeadlineExceeded { budget_ms: 50 })),
+                    "victim did not time out post-delta: {r:?}"
+                );
+            } else {
+                assert_eq!(
+                    r.as_ref().expect("healthy post-delta serve").covered,
+                    post_delta[i],
+                    "post-delta neighbor verdict diverged at {i}"
+                );
+            }
+        }
+        assert!(service.metrics().deadline_exceeded >= 1);
+    }
+    // Fault cleared: the whole trace serves the post-delta truth.
+    let after: Vec<bool> = service
+        .predict_batch(&fx.trace)
+        .iter()
+        .map(|r| r.as_ref().expect("post-fault serve").covered)
+        .collect();
+    assert_eq!(after, post_delta);
+}
