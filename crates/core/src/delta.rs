@@ -57,6 +57,12 @@ pub struct DeltaReport {
     pub patched_entries: usize,
     /// How many ground bottom clauses were rebuilt versus reused unchanged.
     pub grounding: GroundPatchStats,
+    /// Position of this delta in the session's committed chain: the engine's
+    /// [`crate::Predictor::delta_seq`] after this transaction committed (the
+    /// first delta of a fresh session reports 1).
+    /// [`crate::PredictorService::apply_delta`] refuses reports that do not
+    /// chain from the model it serves.
+    pub sequence: u64,
     /// Per maintained MD: `(md_position, values whose match list changed on
     /// either side)`.
     changed_syms: Vec<(usize, HashSet<Sym>)>,
@@ -233,6 +239,7 @@ fn compute_delta(
         rescored_lefts,
         patched_entries,
         grounding: GroundPatchStats::default(),
+        sequence: old.delta_seq + 1,
         changed_syms,
     };
     let (coverage, grounding) = {
@@ -246,6 +253,7 @@ fn compute_delta(
         config: config.clone(),
         catalog,
         coverage,
+        delta_seq: old.delta_seq + 1,
     });
     (plan, maintenance, report)
 }

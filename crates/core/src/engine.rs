@@ -67,10 +67,19 @@ pub(crate) struct StrategyPlan {
     pub(crate) catalog: Arc<MdCatalog>,
     /// Ground bottom clauses of the training examples, built once.
     pub(crate) coverage: CoverageEngine,
+    /// Number of committed [`Engine::apply_delta`] transactions this plan's
+    /// database reflects (0 for a fresh prepare). Serving tiers use it to
+    /// reject delta reports that do not chain from the model they serve.
+    pub(crate) delta_seq: u64,
 }
 
 impl StrategyPlan {
-    fn build(task: LearningTask, config: LearnerConfig, catalog: Arc<MdCatalog>) -> StrategyPlan {
+    fn build(
+        task: LearningTask,
+        config: LearnerConfig,
+        catalog: Arc<MdCatalog>,
+        delta_seq: u64,
+    ) -> StrategyPlan {
         let coverage = {
             let builder = BottomClauseBuilder::new(&task, &catalog, &config);
             CoverageEngine::build(&task, &builder, &config)
@@ -80,6 +89,7 @@ impl StrategyPlan {
             config,
             catalog,
             coverage,
+            delta_seq,
         }
     }
 }
@@ -148,7 +158,7 @@ impl Engine {
     /// task and failed (or quietly learned nothing) later.
     pub(crate) fn prepare_unchecked(task: LearningTask, config: LearnerConfig) -> Engine {
         let catalog = Arc::new(build_catalog(&task, &config));
-        let base = Arc::new(StrategyPlan::build(task, config.clone(), catalog));
+        let base = Arc::new(StrategyPlan::build(task, config.clone(), catalog, 0));
         Engine {
             config,
             base,
@@ -330,7 +340,12 @@ impl Engine {
                 }
             }
         };
-        Ok(StrategyPlan::build(task, config, catalog))
+        Ok(StrategyPlan::build(
+            task,
+            config,
+            catalog,
+            self.base.delta_seq,
+        ))
     }
 
     /// The exact-join catalog for Castor-Exact. Stored match lists are
@@ -674,6 +689,14 @@ impl Predictor {
     /// The configuration of the strategy the definition was learned with.
     pub fn config(&self) -> &LearnerConfig {
         &self.plan.config
+    }
+
+    /// Number of committed [`Engine::apply_delta`] transactions the bound
+    /// plan's database reflects. [`crate::PredictorService::apply_delta`]
+    /// checks it against [`crate::DeltaReport::sequence`] so out-of-order or
+    /// cross-session delta reports are rejected typed.
+    pub fn delta_seq(&self) -> u64 {
+        self.plan.delta_seq
     }
 
     /// Predict whether an example tuple belongs to the target relation: the

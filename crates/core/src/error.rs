@@ -98,6 +98,27 @@ pub enum DlearnError {
     /// an earlier mid-delta panic; its incremental state can no longer be
     /// trusted and the session must be rebuilt with [`crate::Engine::prepare`].
     DeltaQuarantined,
+    /// [`crate::PredictorService::apply_delta`] was handed a delta report
+    /// whose sequence number does not chain from the model the service is
+    /// currently serving (or a predictor not rebound at that sequence):
+    /// deltas were applied out of order, skipped, or came from a different
+    /// engine session. The served model is untouched.
+    DeltaEpochMismatch {
+        /// Delta sequence of the model the service is serving.
+        served: u64,
+        /// Sequence number carried by the rejected report.
+        report: u64,
+    },
+    /// The service's swap path is quarantined after a panic mid-publication:
+    /// the previous epoch keeps serving reads, but selective
+    /// [`crate::PredictorService::apply_delta`] calls are refused until a
+    /// clean full [`crate::PredictorService::publish`] installs a fresh
+    /// epoch.
+    SwapQuarantined,
+    /// A request was submitted to a [`crate::Coalescer`] whose batcher has
+    /// shut down (the coalescer was dropped, or its queue was closed while
+    /// the request waited). The request was never served.
+    CoalescerClosed,
 }
 
 impl fmt::Display for DlearnError {
@@ -152,6 +173,20 @@ impl fmt::Display for DlearnError {
                 f,
                 "engine is quarantined after a failed delta; rebuild the session with Engine::prepare"
             ),
+            DlearnError::DeltaEpochMismatch { served, report } => write!(
+                f,
+                "delta report sequence {report} does not chain from the served model's sequence \
+                 {served}; apply engine deltas in order and re-bind the predictor before \
+                 PredictorService::apply_delta"
+            ),
+            DlearnError::SwapQuarantined => write!(
+                f,
+                "service swap path is quarantined after a mid-publication panic; recover with a \
+                 full PredictorService::publish"
+            ),
+            DlearnError::CoalescerClosed => {
+                write!(f, "coalescer is shut down; the request was not served")
+            }
         }
     }
 }

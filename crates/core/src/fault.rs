@@ -19,6 +19,7 @@ mod noop {
         Coverage,
         Alignment,
         Delta,
+        Swap,
     }
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

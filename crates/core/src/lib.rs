@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod bottom;
+pub mod coalesce;
 pub mod config;
 pub mod coverage;
 pub mod delta;
@@ -71,9 +72,11 @@ pub mod learner;
 pub mod model;
 mod par;
 pub mod service;
+pub mod swap;
 pub mod task;
 
 pub use bottom::{BottomClauseBuilder, ProbeLog};
+pub use coalesce::{CoalesceConfig, CoalesceMetrics, Coalescer};
 pub use config::LearnerConfig;
 pub use coverage::{
     CoverageCounts, CoverageEngine, CoverageOutcome, GroundExample, GroundPatchStats,
@@ -88,4 +91,5 @@ pub use model::{ClauseStats, LearnedModel};
 pub use service::{
     Budget, PredictorService, ServeResult, ServeVerdict, ServiceConfig, ServiceMetrics,
 };
+pub use swap::SwapCell;
 pub use task::{LearningTask, TargetSpec};

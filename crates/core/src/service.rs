@@ -25,6 +25,16 @@
 //!   longer masquerade as clean "no"s: every verdict carries its
 //!   [`ServeVerdict::exhausted_searches`] count and the service-wide
 //!   [`ServiceMetrics`] aggregate them.
+//! * **Hot model swap** — the service owns its model behind an
+//!   epoch-versioned [`crate::swap::SwapCell`]: every batch loads one
+//!   consistent `(epoch, predictor)` snapshot, and
+//!   [`PredictorService::publish`] /
+//!   [`PredictorService::apply_delta`] atomically install a re-learned
+//!   model while in-flight batches finish on their old epoch. Cache entries
+//!   are epoch-tagged, so groundings from a superseded model are lazily
+//!   dropped instead of served ([`ServiceMetrics::stale_reads_prevented`]).
+//!   Every [`ServeVerdict`] names the epoch that produced it. For queued
+//!   request coalescing in front of the service, see [`crate::coalesce`].
 //!
 //! ```
 //! use dlearn_core::{Engine, LearnerConfig, LearningTask, PredictorService,
@@ -47,12 +57,17 @@
 //! let results = service.predict_batch(&[tuple(vec![Value::int(1)])]);
 //! assert!(results[0].is_ok());
 //! assert!(service.metrics().served >= 1);
+//!
+//! // Hot swap: re-publish a (re-)learned model without stopping traffic.
+//! let next = service.publish(engine.predictor(&learned)?)?;
+//! assert_eq!(next, service.epoch());
+//! assert_eq!(service.metrics().swaps, 1);
 //! # Ok::<(), dlearn_core::DlearnError>(())
 //! ```
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -63,6 +78,7 @@ use crate::coverage::{CoverageOutcome, GroundExample};
 use crate::engine::Predictor;
 use crate::error::DlearnError;
 use crate::fault;
+use crate::swap::SwapCell;
 
 /// Per-call resource budget for one served example.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -134,6 +150,10 @@ pub struct ServeVerdict {
     /// Non-zero means the verdict may be degraded: an exhausted search acts
     /// as "not covered", exactly as in training, but here it is observable.
     pub exhausted_searches: u32,
+    /// Epoch of the model snapshot that produced this verdict (the first
+    /// published model is epoch 1). Under a hot swap, in-flight batches
+    /// finish on their old epoch — this field says which model answered.
+    pub epoch: u64,
 }
 
 impl ServeVerdict {
@@ -176,6 +196,17 @@ pub struct ServiceMetrics {
     /// Cache entries evicted by [`PredictorService::apply_delta`] because
     /// their grounding probed a changed value.
     pub delta_evictions: u64,
+    /// Successful model publications — [`PredictorService::publish`] plus
+    /// committed [`PredictorService::apply_delta`] calls.
+    pub swaps: u64,
+    /// Cache entries from a superseded epoch dropped: lazily at lookup, or
+    /// eagerly during a delta publication's cache walk.
+    pub epoch_evictions: u64,
+    /// Cache lookups that found an entry tagged with a *different* epoch
+    /// than the reader's snapshot and refused to serve it. Without epoch
+    /// tags each of these would have served a grounding from the wrong
+    /// model.
+    pub stale_reads_prevented: u64,
 }
 
 #[derive(Default)]
@@ -191,6 +222,9 @@ struct Counters {
     degraded_verdicts: AtomicU64,
     rejected_inputs: AtomicU64,
     delta_evictions: AtomicU64,
+    swaps: AtomicU64,
+    epoch_evictions: AtomicU64,
+    stale_reads_prevented: AtomicU64,
 }
 
 impl Counters {
@@ -207,15 +241,34 @@ impl Counters {
             degraded_verdicts: self.degraded_verdicts.load(Ordering::Relaxed),
             rejected_inputs: self.rejected_inputs.load(Ordering::Relaxed),
             delta_evictions: self.delta_evictions.load(Ordering::Relaxed),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            epoch_evictions: self.epoch_evictions.load(Ordering::Relaxed),
+            stale_reads_prevented: self.stale_reads_prevented.load(Ordering::Relaxed),
         }
     }
 }
 
-/// One clock-cache entry.
+/// One clock-cache entry: a grounding plus the epoch of the model it was
+/// grounded under.
 struct CacheEntry {
     key: Tuple,
     value: Arc<GroundExample>,
+    epoch: u64,
     referenced: bool,
+}
+
+/// What an epoch-aware shard lookup found.
+enum Lookup {
+    /// A current-epoch grounding.
+    Hit(Arc<GroundExample>),
+    /// An entry from a *superseded* epoch: dropped on the spot.
+    Stale,
+    /// An entry from a *newer* epoch than the reader's snapshot (the reader
+    /// is an in-flight batch on a pre-swap model): left in place, not
+    /// served.
+    Behind,
+    /// Nothing cached for the tuple.
+    Miss,
 }
 
 /// A fixed-capacity clock (second-chance) cache shard. The hand sweeps the
@@ -229,19 +282,45 @@ struct Shard {
 }
 
 impl Shard {
-    fn get(&mut self, key: &Tuple) -> Option<Arc<GroundExample>> {
-        let i = *self.index.get(key)?;
-        self.entries[i].referenced = true;
-        Some(self.entries[i].value.clone())
+    /// Epoch-aware lookup: only an entry tagged with the reader's exact
+    /// epoch is a hit. Older entries are stale groundings of a superseded
+    /// model and are dropped; newer entries belong to a model the reader
+    /// has not swapped to yet and are left alone.
+    fn get(&mut self, key: &Tuple, epoch: u64) -> Lookup {
+        let Some(&i) = self.index.get(key) else {
+            return Lookup::Miss;
+        };
+        let entry_epoch = self.entries[i].epoch;
+        if entry_epoch == epoch {
+            self.entries[i].referenced = true;
+            Lookup::Hit(self.entries[i].value.clone())
+        } else if entry_epoch < epoch {
+            self.remove_at(i);
+            Lookup::Stale
+        } else {
+            Lookup::Behind
+        }
     }
 
-    /// Insert, returning the number of evictions (0 or 1).
-    fn insert(&mut self, key: Tuple, value: Arc<GroundExample>, capacity: usize) -> u64 {
+    /// Insert, returning the number of clock evictions (0 or 1). An
+    /// existing entry from a newer epoch is never clobbered by a lagging
+    /// reader's insert.
+    fn insert(
+        &mut self,
+        key: Tuple,
+        value: Arc<GroundExample>,
+        epoch: u64,
+        capacity: usize,
+    ) -> u64 {
         if capacity == 0 {
             return 0;
         }
         if let Some(&i) = self.index.get(&key) {
+            if self.entries[i].epoch > epoch {
+                return 0;
+            }
             self.entries[i].value = value;
+            self.entries[i].epoch = epoch;
             self.entries[i].referenced = true;
             return 0;
         }
@@ -250,6 +329,7 @@ impl Shard {
             self.entries.push(CacheEntry {
                 key,
                 value,
+                epoch,
                 referenced: false,
             });
             return 0;
@@ -265,6 +345,7 @@ impl Shard {
                 self.entries[i] = CacheEntry {
                     key,
                     value,
+                    epoch,
                     referenced: false,
                 };
                 return 1;
@@ -278,21 +359,52 @@ impl Shard {
         self.hand = 0;
     }
 
-    /// Evict every entry the predicate selects, returning how many went.
-    /// Survivors keep their reference bits; the hand restarts at the ring's
-    /// head (the ring was re-packed, so any old position is meaningless).
-    fn evict_where(&mut self, mut pred: impl FnMut(&GroundExample) -> bool) -> u64 {
+    /// Remove one entry by ring position, keeping the index consistent.
+    fn remove_at(&mut self, i: usize) {
+        let entry = self.entries.swap_remove(i);
+        self.index.remove(&entry.key);
+        if i < self.entries.len() {
+            self.index.insert(self.entries[i].key.clone(), i);
+        }
+        if self.hand >= self.entries.len() {
+            self.hand = 0;
+        }
+    }
+
+    /// The cache walk of a delta publication, migrating this shard from
+    /// `current` to `new`: entries whose grounding the delta `affected` are
+    /// evicted; unaffected current-epoch survivors are re-tagged to the new
+    /// epoch (provably bit-identical to a fresh grounding over the mutated
+    /// database); leftovers from even older epochs are dropped as stale.
+    /// Returns `(delta_evicted, stale_evicted)`.
+    fn retag_or_evict(
+        &mut self,
+        current: u64,
+        new: u64,
+        mut affected: impl FnMut(&GroundExample) -> bool,
+    ) -> (u64, u64) {
         let before = self.entries.len();
-        self.entries.retain(|entry| !pred(&entry.value));
-        let evicted = (before - self.entries.len()) as u64;
-        if evicted > 0 {
+        let mut delta_evicted = 0u64;
+        self.entries.retain_mut(|entry| {
+            if entry.epoch != current {
+                return false;
+            }
+            if affected(&entry.value) {
+                delta_evicted += 1;
+                return false;
+            }
+            entry.epoch = new;
+            true
+        });
+        let removed = (before - self.entries.len()) as u64;
+        if removed > 0 {
             self.index.clear();
             for (i, entry) in self.entries.iter().enumerate() {
                 self.index.insert(entry.key.clone(), i);
             }
             self.hand = 0;
         }
-        evicted
+        (delta_evicted, removed - delta_evicted)
     }
 }
 
@@ -324,20 +436,38 @@ impl Quarantine {
     }
 }
 
+/// One published model: the epoch number and the predictor state serving it.
+/// Readers clone the whole snapshot out of the service's [`SwapCell`], so a
+/// batch never observes half of one model and half of another.
+struct EpochModel {
+    epoch: u64,
+    predictor: Predictor,
+}
+
 /// A long-lived, `Send + Sync` serving front-end over a [`Predictor`]: see
 /// the [module docs](crate::service) for the resilience contract.
 pub struct PredictorService {
-    predictor: Predictor,
+    /// The epoch-versioned model handle. Batches load one snapshot;
+    /// publications atomically install a successor.
+    model: SwapCell<EpochModel>,
     config: ServiceConfig,
     shard_count: usize,
     per_shard_capacity: usize,
     shards: Vec<Mutex<Shard>>,
     quarantine: Mutex<Quarantine>,
     counters: Counters,
+    /// Serializes publications ([`PredictorService::publish`] /
+    /// [`PredictorService::apply_delta`]) and guards epoch numbering.
+    publish_lock: Mutex<()>,
+    next_epoch: AtomicU64,
+    /// Set by a panic mid-publication: the old epoch keeps serving, but
+    /// selective delta publications are refused until a clean full
+    /// [`PredictorService::publish`].
+    swap_quarantined: AtomicBool,
 }
 
 impl PredictorService {
-    /// Wrap a predictor for serving.
+    /// Wrap a predictor for serving; it becomes epoch 1.
     pub fn new(predictor: Predictor, config: ServiceConfig) -> PredictorService {
         let shard_count = config.cache_shards.max(1).next_power_of_two();
         let per_shard_capacity = if config.cache_capacity == 0 {
@@ -349,19 +479,39 @@ impl PredictorService {
             .map(|_| Mutex::new(Shard::default()))
             .collect();
         PredictorService {
-            predictor,
+            model: SwapCell::new(Arc::new(EpochModel {
+                epoch: 1,
+                predictor,
+            })),
             config,
             shard_count,
             per_shard_capacity,
             shards,
             quarantine: Mutex::new(Quarantine::default()),
             counters: Counters::default(),
+            publish_lock: Mutex::new(()),
+            next_epoch: AtomicU64::new(2),
+            swap_quarantined: AtomicBool::new(false),
         }
     }
 
-    /// The predictor being served.
-    pub fn predictor(&self) -> &Predictor {
-        &self.predictor
+    /// The epoch of the currently installed model (the model a batch
+    /// starting *now* would serve with). The first model is epoch 1.
+    pub fn epoch(&self) -> u64 {
+        self.model.load().epoch
+    }
+
+    /// Delta sequence of the currently installed model (see
+    /// [`Predictor::delta_seq`]).
+    pub fn delta_seq(&self) -> u64 {
+        self.model.load().predictor.delta_seq()
+    }
+
+    /// `true` after a panic mid-publication: the previous epoch keeps
+    /// serving, selective [`PredictorService::apply_delta`] calls are
+    /// refused, and a clean full [`PredictorService::publish`] recovers.
+    pub fn is_swap_quarantined(&self) -> bool {
+        self.swap_quarantined.load(Ordering::Acquire)
     }
 
     /// A snapshot of the service counters.
@@ -369,28 +519,119 @@ impl PredictorService {
         self.counters.snapshot()
     }
 
-    /// Re-bind the service to a post-delta predictor and evict exactly the
-    /// cached ground examples the delta could have changed: entries whose
-    /// recorded probes intersect the change set (see
-    /// [`crate::DeltaReport::affects`]). Every surviving entry is provably
-    /// bit-identical to a fresh grounding over the mutated database, so
-    /// cache-on and cache-off serving stay in parity across deltas. Returns
-    /// the number of evicted entries; quarantine and counters are kept.
-    pub fn apply_delta(&mut self, predictor: Predictor, report: &crate::DeltaReport) -> u64 {
-        self.predictor = predictor;
-        let mut evicted = 0u64;
-        for shard in &self.shards {
-            evicted += shard
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .evict_where(|g| report.affects(&g.probes));
+    /// Atomically publish a (re-)learned model as a fresh epoch, returning
+    /// the new epoch number. In-flight batches finish on the epoch they
+    /// loaded; batches starting after the publish serve the new model. Old
+    /// cache entries are *not* walked — they are tagged with their dead
+    /// epoch and lazily dropped on first lookup
+    /// ([`ServiceMetrics::epoch_evictions`]).
+    ///
+    /// This is also the recovery path after a swap quarantine: a clean
+    /// publish installs a fresh epoch and lifts the quarantine. A panic
+    /// inside the publication (only reachable via the fault-injection
+    /// harness) leaves the old epoch serving and quarantines the swap path.
+    pub fn publish(&self, predictor: Predictor) -> Result<u64, DlearnError> {
+        let _publishing = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.next_epoch.load(Ordering::Relaxed);
+        let key = format!("publish@{epoch}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = fault::checkpoint(fault::Site::Swap, &key);
+        }));
+        if let Err(payload) = outcome {
+            self.swap_quarantined.store(true, Ordering::Release);
+            self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+            return Err(DlearnError::WorkerPanicked {
+                site: "swap",
+                message: crate::par::panic_message(&*payload),
+            });
         }
-        if evicted > 0 {
-            self.counters
-                .delta_evictions
-                .fetch_add(evicted, Ordering::Relaxed);
+        self.next_epoch.store(epoch + 1, Ordering::Relaxed);
+        self.model.store(Arc::new(EpochModel { epoch, predictor }));
+        self.counters.swaps.fetch_add(1, Ordering::Relaxed);
+        self.swap_quarantined.store(false, Ordering::Release);
+        Ok(epoch)
+    }
+
+    /// Publish a post-delta predictor and migrate the cache across the
+    /// epoch boundary: entries whose recorded probes intersect the delta's
+    /// change set (see [`crate::DeltaReport::affects`]) are evicted, every
+    /// surviving entry — provably bit-identical to a fresh grounding over
+    /// the mutated database — is re-tagged to the new epoch, so cache-on
+    /// and cache-off serving stay in parity across deltas. Returns the
+    /// number of delta-evicted entries.
+    ///
+    /// The report must chain directly from the served model: its
+    /// [`crate::DeltaReport::sequence`] has to be the served
+    /// [`Predictor::delta_seq`] plus one, and `predictor` must be re-bound
+    /// at that sequence — anything else (out-of-order reports, a predictor
+    /// from a different engine session) is refused with
+    /// [`DlearnError::DeltaEpochMismatch`] and the served model stays
+    /// untouched. While the swap path is quarantined the call is refused
+    /// with [`DlearnError::SwapQuarantined`];
+    /// [`PredictorService::publish`] recovers.
+    pub fn apply_delta(
+        &self,
+        predictor: Predictor,
+        report: &crate::DeltaReport,
+    ) -> Result<u64, DlearnError> {
+        let _publishing = self.publish_lock.lock().unwrap_or_else(|e| e.into_inner());
+        if self.swap_quarantined.load(Ordering::Acquire) {
+            return Err(DlearnError::SwapQuarantined);
         }
-        evicted
+        let current = self.model.load();
+        let served = current.predictor.delta_seq();
+        if report.sequence != served + 1 || predictor.delta_seq() != report.sequence {
+            return Err(DlearnError::DeltaEpochMismatch {
+                served,
+                report: report.sequence,
+            });
+        }
+        let epoch = self.next_epoch.load(Ordering::Relaxed);
+        let key = format!("delta@{epoch}");
+        let walk = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = fault::checkpoint(fault::Site::Swap, &key);
+            let mut delta_evicted = 0u64;
+            let mut stale_evicted = 0u64;
+            for shard in &self.shards {
+                let (delta, stale) = shard
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .retag_or_evict(current.epoch, epoch, |g| report.affects(&g.probes));
+                delta_evicted += delta;
+                stale_evicted += stale;
+            }
+            (delta_evicted, stale_evicted)
+        }));
+        match walk {
+            Ok((delta_evicted, stale_evicted)) => {
+                if delta_evicted > 0 {
+                    self.counters
+                        .delta_evictions
+                        .fetch_add(delta_evicted, Ordering::Relaxed);
+                }
+                if stale_evicted > 0 {
+                    self.counters
+                        .epoch_evictions
+                        .fetch_add(stale_evicted, Ordering::Relaxed);
+                }
+                self.next_epoch.store(epoch + 1, Ordering::Relaxed);
+                self.model.store(Arc::new(EpochModel { epoch, predictor }));
+                self.counters.swaps.fetch_add(1, Ordering::Relaxed);
+                Ok(delta_evicted)
+            }
+            Err(payload) => {
+                // The walk may have re-tagged some entries to an epoch that
+                // was never installed; dropping everything is always sound
+                // and keeps the old epoch serving correct verdicts.
+                self.clear_cache();
+                self.swap_quarantined.store(true, Ordering::Release);
+                self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                Err(DlearnError::WorkerPanicked {
+                    site: "swap",
+                    message: crate::par::panic_message(&*payload),
+                })
+            }
+        }
     }
 
     /// Drop every cached ground example (counters are kept). Used by the
@@ -409,13 +650,18 @@ impl PredictorService {
         self.predict_batch_with(examples, &self.config.budget)
     }
 
-    /// Serve a batch under an explicit per-call budget.
+    /// Serve a batch under an explicit per-call budget. The whole batch
+    /// runs against one model snapshot: a concurrent
+    /// [`PredictorService::publish`] never splits a batch across epochs.
     pub fn predict_batch_with(&self, examples: &[Tuple], budget: &Budget) -> Vec<ServeResult> {
+        // One consistent snapshot per batch; a concurrent publish retires
+        // the epoch, not this batch.
+        let model = self.model.load();
         // Reject malformed inputs per position, keeping the valid ones.
         let mut results: Vec<Option<ServeResult>> = examples
             .iter()
             .enumerate()
-            .map(|(index, e)| match self.predictor.check_arity(e, index) {
+            .map(|(index, e)| match model.predictor.check_arity(e, index) {
                 Ok(()) => None,
                 Err(err) => {
                     self.counters
@@ -428,7 +674,8 @@ impl PredictorService {
 
         // Dedup the valid tuples in first-occurrence order, exactly like
         // `Predictor::predict_batch`: serving is a pure function of the
-        // tuple, so each distinct tuple is served once per batch.
+        // tuple (given the snapshot), so each distinct tuple is served once
+        // per batch.
         let mut slot_of: HashMap<&Tuple, usize> = HashMap::with_capacity(examples.len());
         let mut unique: Vec<&Tuple> = Vec::new();
         let mut slots: Vec<Option<usize>> = Vec::with_capacity(examples.len());
@@ -448,11 +695,11 @@ impl PredictorService {
         let threads = if self.config.worker_threads > 0 {
             self.config.worker_threads
         } else {
-            self.predictor.config().effective_threads()
+            model.predictor.config().effective_threads()
         };
-        let builder = self.predictor.builder();
+        let builder = model.predictor.builder();
         let served = crate::par::chunked_map_catching(&unique, threads, 2, |_, e| {
-            self.serve_one(&builder, e, budget)
+            self.serve_one(&model, &builder, e, budget)
         });
 
         // Isolated panics become typed per-example errors, and the tuple is
@@ -487,21 +734,24 @@ impl PredictorService {
             .collect()
     }
 
-    /// Serve one (pre-validated) example end to end: deadline setup, cache
-    /// lookup or grounding, coverage under the effective step budget.
+    /// Serve one (pre-validated) example end to end against one model
+    /// snapshot: deadline setup, epoch-checked cache lookup or grounding,
+    /// coverage under the effective step budget.
     fn serve_one(
         &self,
+        model: &EpochModel,
         builder: &crate::bottom::BottomClauseBuilder<'_>,
         example: &Tuple,
         budget: &Budget,
     ) -> ServeResult {
         // Parity with `Predictor::predict`: an empty definition covers
         // nothing and never grounds.
-        if self.predictor.definition().is_empty() {
+        if model.predictor.definition().is_empty() {
             self.counters.served.fetch_add(1, Ordering::Relaxed);
             return Ok(ServeVerdict {
                 covered: false,
                 exhausted_searches: 0,
+                epoch: model.epoch,
             });
         }
         let budget_ms = budget.deadline.map(|d| d.as_millis() as u64).unwrap_or(0);
@@ -518,7 +768,7 @@ impl PredictorService {
         }
         let key = example.to_string();
 
-        let cached = self.cache_get(example);
+        let cached = self.cache_get(example, model.epoch);
         let (ground, fresh) = match cached {
             Some(g) => {
                 self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -529,7 +779,7 @@ impl PredictorService {
                 // Budget exhaustion is a coverage-site fault; at grounding
                 // only panics and delays apply, both executed inside.
                 let _ = fault::checkpoint(fault::Site::Grounding, &key);
-                let g = Arc::new(self.predictor.ground_for_serving(builder, example));
+                let g = Arc::new(model.predictor.ground_for_serving(builder, example));
                 (g, true)
             }
         };
@@ -551,7 +801,7 @@ impl PredictorService {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(DlearnError::DeadlineExceeded { budget_ms });
         }
-        let mut sub = self.predictor.config().subsumption;
+        let mut sub = model.predictor.config().subsumption;
         if let Some(cap) = budget.max_subsumption_steps {
             sub.max_steps = sub.max_steps.min(cap);
         }
@@ -561,7 +811,7 @@ impl PredictorService {
 
         let mut covered = false;
         let mut exhausted: u32 = 0;
-        for prepared in &self.predictor.prepared {
+        for prepared in &model.predictor.prepared {
             match prepared.covers_ground_controlled(&ground, &sub, cancel.as_ref()) {
                 CoverageOutcome::Cancelled => {
                     self.counters
@@ -593,7 +843,7 @@ impl PredictorService {
                     .quarantine_hits
                     .fetch_add(1, Ordering::Relaxed);
             } else {
-                self.cache_insert(example.clone(), ground);
+                self.cache_insert(example.clone(), ground, model.epoch);
             }
         }
 
@@ -609,6 +859,7 @@ impl PredictorService {
         Ok(ServeVerdict {
             covered,
             exhausted_searches: exhausted,
+            epoch: model.epoch,
         })
     }
 
@@ -618,22 +869,42 @@ impl PredictorService {
         &self.shards[(h.finish() as usize) & (self.shard_count - 1)]
     }
 
-    fn cache_get(&self, tuple: &Tuple) -> Option<Arc<GroundExample>> {
+    fn cache_get(&self, tuple: &Tuple, epoch: u64) -> Option<Arc<GroundExample>> {
         if self.per_shard_capacity == 0 {
             return None;
         }
-        self.shard_for(tuple)
+        let lookup = self
+            .shard_for(tuple)
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .get(tuple)
+            .get(tuple, epoch);
+        match lookup {
+            Lookup::Hit(g) => Some(g),
+            Lookup::Stale => {
+                self.counters
+                    .epoch_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .stale_reads_prevented
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Lookup::Behind => {
+                self.counters
+                    .stale_reads_prevented
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Lookup::Miss => None,
+        }
     }
 
-    fn cache_insert(&self, tuple: Tuple, ground: Arc<GroundExample>) {
+    fn cache_insert(&self, tuple: Tuple, ground: Arc<GroundExample>, epoch: u64) {
         let evictions = self
             .shard_for(&tuple)
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(tuple, ground, self.per_shard_capacity);
+            .insert(tuple, ground, epoch, self.per_shard_capacity);
         if evictions > 0 {
             self.counters
                 .cache_evictions
@@ -644,8 +915,10 @@ impl PredictorService {
 
 impl std::fmt::Debug for PredictorService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let model = self.model.load();
         f.debug_struct("PredictorService")
-            .field("predictor", &self.predictor)
+            .field("epoch", &model.epoch)
+            .field("predictor", &model.predictor)
             .field("cache_capacity", &self.config.cache_capacity)
             .field("cache_shards", &self.shard_count)
             .finish()
@@ -670,24 +943,66 @@ mod tests {
         dlearn_relstore::tuple(vec![dlearn_relstore::Value::int(tag)])
     }
 
+    fn hit(shard: &mut Shard, key: &Tuple, epoch: u64) -> bool {
+        matches!(shard.get(key, epoch), Lookup::Hit(_))
+    }
+
     #[test]
     fn clock_shard_evicts_unreferenced_entries_first() {
         let mut shard = Shard::default();
-        assert_eq!(shard.insert(key(1), ground_stub(1), 2), 0);
-        assert_eq!(shard.insert(key(2), ground_stub(2), 2), 0);
+        assert_eq!(shard.insert(key(1), ground_stub(1), 1, 2), 0);
+        assert_eq!(shard.insert(key(2), ground_stub(2), 1, 2), 0);
         // Touch key 1 so its reference bit protects it for one sweep.
-        assert!(shard.get(&key(1)).is_some());
-        assert_eq!(shard.insert(key(3), ground_stub(3), 2), 1);
-        assert!(shard.get(&key(1)).is_some(), "referenced entry survived");
-        assert!(shard.get(&key(2)).is_none(), "unreferenced entry evicted");
-        assert!(shard.get(&key(3)).is_some());
+        assert!(hit(&mut shard, &key(1), 1));
+        assert_eq!(shard.insert(key(3), ground_stub(3), 1, 2), 1);
+        assert!(hit(&mut shard, &key(1), 1), "referenced entry survived");
+        assert!(!hit(&mut shard, &key(2), 1), "unreferenced entry evicted");
+        assert!(hit(&mut shard, &key(3), 1));
     }
 
     #[test]
     fn zero_capacity_disables_the_shard() {
         let mut shard = Shard::default();
-        assert_eq!(shard.insert(key(1), ground_stub(1), 0), 0);
-        assert!(shard.get(&key(1)).is_none());
+        assert_eq!(shard.insert(key(1), ground_stub(1), 1, 0), 0);
+        assert!(!hit(&mut shard, &key(1), 1));
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_dropped_on_lookup_and_never_served() {
+        let mut shard = Shard::default();
+        assert_eq!(shard.insert(key(1), ground_stub(1), 1, 4), 0);
+        // A reader on epoch 2 must not see the epoch-1 grounding...
+        assert!(matches!(shard.get(&key(1), 2), Lookup::Stale));
+        // ...and the stale entry is gone afterwards.
+        assert!(matches!(shard.get(&key(1), 2), Lookup::Miss));
+        assert!(shard.index.is_empty() && shard.entries.is_empty());
+    }
+
+    #[test]
+    fn lagging_readers_neither_see_nor_clobber_newer_epochs() {
+        let mut shard = Shard::default();
+        assert_eq!(shard.insert(key(1), ground_stub(1), 3, 4), 0);
+        // An in-flight batch still on epoch 2 gets a miss, not the newer
+        // grounding — and the newer entry survives.
+        assert!(matches!(shard.get(&key(1), 2), Lookup::Behind));
+        assert!(matches!(shard.get(&key(1), 3), Lookup::Hit(_)));
+        // Its lagging insert is refused.
+        assert_eq!(shard.insert(key(1), ground_stub(9), 2, 4), 0);
+        assert!(matches!(shard.get(&key(1), 3), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn retag_or_evict_migrates_survivors_and_drops_the_rest() {
+        let mut shard = Shard::default();
+        shard.insert(key(1), ground_stub(1), 2, 8); // survivor
+        shard.insert(key(2), ground_stub(2), 2, 8); // delta-affected
+        shard.insert(key(3), ground_stub(3), 1, 8); // stale leftover
+        let affected = key(2);
+        let (delta, stale) = shard.retag_or_evict(2, 3, |g| g.example == affected);
+        assert_eq!((delta, stale), (1, 1));
+        assert!(hit(&mut shard, &key(1), 3), "survivor re-tagged to epoch 3");
+        assert!(matches!(shard.get(&key(2), 3), Lookup::Miss));
+        assert!(matches!(shard.get(&key(3), 3), Lookup::Miss));
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! An epoch-publication cell: the small lock-free swap primitive behind hot
+//! model swap.
+//!
+//! [`PredictorService`](crate::PredictorService) needs exactly one thing from
+//! its model pointer: readers must be able to grab a consistent
+//! `Arc<snapshot>` on every batch without taking a lock, while a (rare)
+//! writer atomically installs a replacement and the displaced snapshot stays
+//! alive until its last in-flight reader drops it. `arc-swap` solves this on
+//! crates.io; this repo vendors no registry crates, so [`SwapCell`] is the
+//! ~100-line in-repo equivalent.
+//!
+//! The design is a two-slot hazard counter scheme:
+//!
+//! * Each slot holds a raw `Arc` pointer plus a **reader pin count**. A
+//!   reader picks the active slot, pins it (`fetch_add`), re-checks that the
+//!   slot is still active, clones the `Arc` out, and unpins. The pin spans
+//!   only those few instructions — never user code.
+//! * A writer serializes with other writers on a mutex, prepares the
+//!   *inactive* slot: waits out any transient reader pins left from the
+//!   previous flip, drops the `Arc` retired two publishes ago, parks the new
+//!   one, and flips the active index. Readers that pinned the old slot
+//!   before the flip already hold their clone; readers that lose the
+//!   pin/re-check race simply retry against the new active slot.
+//!
+//! Reads are wait-free in the absence of a concurrent flip and lock-free
+//! under one (a reader retries at most once per flip); writers never block
+//! readers. All cross-thread edges use `SeqCst` — publication is rare and
+//! correctness is worth more than a fence here.
+
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+struct Slot<T> {
+    /// `Arc::into_raw` of the parked value; null only for the initially
+    /// inactive slot (before the first store).
+    ptr: AtomicPtr<T>,
+    /// Readers currently between pin and unpin on this slot.
+    readers: AtomicUsize,
+}
+
+impl<T> Slot<T> {
+    fn empty() -> Slot<T> {
+        Slot {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+            readers: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// A lock-free-read cell holding an `Arc<T>`: [`SwapCell::load`] clones the
+/// current snapshot without locking, [`SwapCell::store`] atomically installs
+/// a replacement while in-flight readers keep their old snapshot alive.
+pub struct SwapCell<T> {
+    slots: [Slot<T>; 2],
+    active: AtomicUsize,
+    writer: Mutex<()>,
+}
+
+// The cell hands `Arc<T>` clones across threads and lets many threads read
+// concurrently, so it needs exactly the bounds `Arc<T>` itself would.
+unsafe impl<T: Send + Sync> Send for SwapCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SwapCell<T> {}
+
+impl<T> SwapCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: Arc<T>) -> SwapCell<T> {
+        let cell = SwapCell {
+            slots: [Slot::empty(), Slot::empty()],
+            active: AtomicUsize::new(0),
+            writer: Mutex::new(()),
+        };
+        cell.slots[0]
+            .ptr
+            .store(Arc::into_raw(value) as *mut T, SeqCst);
+        cell
+    }
+
+    /// Clone the current snapshot out of the cell without locking.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let i = self.active.load(SeqCst);
+            let slot = &self.slots[i];
+            // Pin, then re-check: if the slot is still active after the pin
+            // is globally visible, any writer reusing this slot must first
+            // observe the pin and wait for the unpin below — by which time
+            // the strong count is already incremented.
+            slot.readers.fetch_add(1, SeqCst);
+            if self.active.load(SeqCst) == i {
+                let ptr = slot.ptr.load(SeqCst);
+                debug_assert!(!ptr.is_null(), "active slot is never empty");
+                // SAFETY: the pin guarantees the writer has not dropped this
+                // Arc; incrementing the strong count before unpinning keeps
+                // it alive for the returned clone.
+                let value = unsafe {
+                    Arc::increment_strong_count(ptr);
+                    Arc::from_raw(ptr)
+                };
+                slot.readers.fetch_sub(1, SeqCst);
+                return value;
+            }
+            // Lost the race against a flip: unpin and retry on the new slot.
+            slot.readers.fetch_sub(1, SeqCst);
+        }
+    }
+
+    /// Atomically install `value` as the new snapshot. In-flight [`load`]s
+    /// that already pinned the old snapshot finish on it; subsequent loads
+    /// see `value`. Writers serialize against each other.
+    ///
+    /// [`load`]: SwapCell::load
+    pub fn store(&self, value: Arc<T>) {
+        let _writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let standby = 1 - self.active.load(SeqCst);
+        let slot = &self.slots[standby];
+        // Wait out readers still pinning the standby slot: they raced the
+        // *previous* flip and unpin within a few instructions.
+        while slot.readers.load(SeqCst) != 0 {
+            std::hint::spin_loop();
+        }
+        let old = slot.ptr.swap(Arc::into_raw(value) as *mut T, SeqCst);
+        if !old.is_null() {
+            // SAFETY: `old` came from `Arc::into_raw` and, with the slot
+            // inactive and reader-free, nothing else references it.
+            unsafe { drop(Arc::from_raw(old)) };
+        }
+        self.active.store(standby, SeqCst);
+    }
+}
+
+impl<T> Drop for SwapCell<T> {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            let ptr = *slot.ptr.get_mut();
+            if !ptr.is_null() {
+                // SAFETY: exclusive access; each non-null slot owns one
+                // strong count from `Arc::into_raw`.
+                unsafe { drop(Arc::from_raw(ptr)) };
+            }
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SwapCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SwapCell").field(&self.load()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn load_returns_the_stored_value_and_store_replaces_it() {
+        let cell = SwapCell::new(Arc::new(1u64));
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        cell.store(Arc::new(3));
+        cell.store(Arc::new(4));
+        assert_eq!(*cell.load(), 4);
+    }
+
+    #[test]
+    fn old_snapshots_survive_until_their_last_reader_drops() {
+        let cell = SwapCell::new(Arc::new(String::from("epoch-0")));
+        let held = cell.load();
+        cell.store(Arc::new(String::from("epoch-1")));
+        // The displaced snapshot is still alive through `held`.
+        assert_eq!(held.as_str(), "epoch-0");
+        assert_eq!(cell.load().as_str(), "epoch-1");
+        drop(held);
+    }
+
+    #[test]
+    fn every_value_is_dropped_exactly_once() {
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = SwapCell::new(Arc::new(Tracked(drops.clone())));
+            for _ in 0..5 {
+                let held = cell.load();
+                cell.store(Arc::new(Tracked(drops.clone())));
+                drop(held);
+            }
+        }
+        // 1 initial + 5 stored values, all dropped by the end of the block.
+        assert_eq!(drops.load(SeqCst), 6);
+    }
+
+    #[test]
+    fn concurrent_loads_never_observe_a_torn_snapshot() {
+        // Writers publish (a, a) pairs; any reader seeing a != b caught a
+        // torn snapshot, any crash caught a use-after-free.
+        let cell = Arc::new(SwapCell::new(Arc::new((0u64, 0u64))));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let cell = cell.clone();
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        let v = w * 1_000_000 + i;
+                        cell.store(Arc::new((v, v)));
+                    }
+                })
+            })
+            .collect();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = cell.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..20_000 {
+                        let snap = cell.load();
+                        assert_eq!(snap.0, snap.1, "torn snapshot observed");
+                    }
+                })
+            })
+            .collect();
+        for h in writers.into_iter().chain(readers) {
+            h.join().expect("no panics");
+        }
+    }
+}

@@ -41,6 +41,10 @@ pub enum Site {
     /// Incremental delta application — index maintenance and grounding
     /// patching (key: the target relation's name).
     Delta,
+    /// Model publication on the serving tier — the epoch swap in
+    /// `PredictorService::publish` / `PredictorService::apply_delta` (key:
+    /// `"publish@<epoch>"` / `"delta@<epoch>"`).
+    Swap,
 }
 
 impl Site {
@@ -50,6 +54,7 @@ impl Site {
             Site::Coverage => 1,
             Site::Alignment => 2,
             Site::Delta => 3,
+            Site::Swap => 4,
         }
     }
 
@@ -60,6 +65,7 @@ impl Site {
             Site::Coverage => "coverage",
             Site::Alignment => "alignment",
             Site::Delta => "delta",
+            Site::Swap => "swap",
         }
     }
 }
@@ -178,7 +184,7 @@ fn hash01(seed: u64, rule_idx: usize, site: Site, key: &str) -> f64 {
 struct Registry {
     plan: RwLock<Option<FaultPlan>>,
     install_lock: Mutex<()>,
-    injected: [AtomicU64; 4],
+    injected: [AtomicU64; 5],
 }
 
 fn registry() -> &'static Registry {
@@ -187,6 +193,7 @@ fn registry() -> &'static Registry {
         plan: RwLock::new(None),
         install_lock: Mutex::new(()),
         injected: [
+            AtomicU64::new(0),
             AtomicU64::new(0),
             AtomicU64::new(0),
             AtomicU64::new(0),

@@ -41,6 +41,7 @@ pub mod gen;
 pub mod index_oracle;
 pub mod oracle;
 pub mod string_reference;
+pub mod swap;
 pub mod vocab;
 
 pub use delta::{
@@ -53,4 +54,5 @@ pub use gen::{
 pub use index_oracle::ReferenceIndex;
 pub use oracle::OracleGround;
 pub use string_reference::StringGround;
+pub use swap::{coalesce_script, swap_script, SwapScriptConfig, SwapStep};
 pub use vocab::{dirty_vocabulary, DirtyVocabulary, VocabConfig};

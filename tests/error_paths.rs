@@ -303,3 +303,113 @@ fn delta_error_variants_render_actionable_messages() {
         }
     );
 }
+
+#[test]
+fn out_of_order_delta_reports_are_rejected_typed_and_leave_the_service_untouched() {
+    // `PredictorService::apply_delta` only accepts a report that chains
+    // directly from the served model's delta sequence, with a predictor
+    // re-bound at that sequence. A stale predictor, a replayed report, or a
+    // skipped delta all surface as `DeltaEpochMismatch` — and the served
+    // model keeps answering exactly as before.
+    let dataset = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let mut engine = Engine::prepare(dataset.task.clone(), fast()).expect("valid task");
+    let learned = engine.learn(Strategy::DLearn).expect("learn");
+    let stale_predictor = engine.predictor(&learned).expect("bind predictor");
+    let service = PredictorService::new(
+        engine.predictor(&learned).expect("bind predictor"),
+        ServiceConfig::default(),
+    );
+    let trace: Vec<dlearn::relstore::Tuple> = dataset
+        .task
+        .positives
+        .iter()
+        .chain(dataset.task.negatives.iter())
+        .cloned()
+        .collect();
+    let epoch_before = service.epoch();
+
+    let tx = dlearn::relstore::DeltaTx::new().insert(
+        dlearn::relstore::RelId::intern("imdb_movies"),
+        tuple(vec![
+            Value::int(990_303),
+            Value::str("Sequence Drill"),
+            Value::int(2023),
+        ]),
+    );
+    let report = engine.apply_delta(&tx).expect("engine delta");
+    assert_eq!(report.sequence, 1, "first delta of a fresh session");
+    let relearned = engine.learn(Strategy::DLearn).expect("post-delta learn");
+
+    // A predictor still bound at the pre-delta state cannot carry the
+    // post-delta report.
+    let err = service
+        .apply_delta(stale_predictor, &report)
+        .expect_err("stale predictor must be rejected");
+    assert_eq!(
+        err,
+        DlearnError::DeltaEpochMismatch {
+            served: 0,
+            report: 1
+        },
+        "{err:?}"
+    );
+
+    // A correctly chained publication lands...
+    service
+        .apply_delta(engine.predictor(&relearned).expect("rebind"), &report)
+        .expect("chained delta publication");
+    // ...and replaying the very same report is now out of order.
+    let err = service
+        .apply_delta(engine.predictor(&relearned).expect("rebind"), &report)
+        .expect_err("replayed report must be rejected");
+    assert_eq!(
+        err,
+        DlearnError::DeltaEpochMismatch {
+            served: 1,
+            report: 1
+        },
+        "{err:?}"
+    );
+
+    // The rejections never installed anything: one successful publication,
+    // and the service answers match the rebound engine exactly.
+    assert_eq!(service.epoch(), epoch_before + 1);
+    assert_eq!(service.metrics().swaps, 1);
+    let rebound = engine.predictor(&relearned).expect("bind predictor");
+    let after: Vec<bool> = service
+        .predict_batch(&trace)
+        .iter()
+        .map(|r| r.as_ref().expect("serve").covered)
+        .collect();
+    let direct = rebound.predict_batch(&trace).expect("predict");
+    assert_eq!(after, direct);
+}
+
+#[test]
+fn swap_error_variants_render_actionable_messages() {
+    let mismatch = DlearnError::DeltaEpochMismatch {
+        served: 4,
+        report: 2,
+    };
+    let msg = mismatch.to_string();
+    assert!(
+        msg.contains("sequence 2") && msg.contains("sequence 4") && msg.contains("apply_delta"),
+        "{msg}"
+    );
+    assert_eq!(mismatch.clone(), mismatch);
+
+    let quarantined = DlearnError::SwapQuarantined;
+    let msg = quarantined.to_string();
+    assert!(
+        msg.contains("quarantined") && msg.contains("publish"),
+        "{msg}"
+    );
+    assert_ne!(quarantined, DlearnError::DeltaQuarantined);
+
+    let closed = DlearnError::CoalescerClosed;
+    let msg = closed.to_string();
+    assert!(
+        msg.contains("coalescer") && msg.contains("not served"),
+        "{msg}"
+    );
+}

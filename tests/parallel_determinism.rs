@@ -275,14 +275,14 @@ fn deltas_interleaved_with_serving_keep_cache_on_off_parity() {
         let mut engine =
             Engine::prepare(dataset.task.clone(), config(7, 1, workers)).expect("valid task");
         let learned = engine.learn(Strategy::DLearn).expect("learn");
-        let mut cached = PredictorService::new(
+        let cached = PredictorService::new(
             engine.predictor(&learned).expect("bind predictor"),
             ServiceConfig {
                 worker_threads: workers,
                 ..ServiceConfig::default()
             },
         );
-        let mut uncached = PredictorService::new(
+        let uncached = PredictorService::new(
             engine.predictor(&learned).expect("bind predictor"),
             ServiceConfig {
                 worker_threads: workers,
@@ -296,14 +296,18 @@ fn deltas_interleaved_with_serving_keep_cache_on_off_parity() {
             cached.predict_batch(&trace);
             let report = engine.apply_delta(tx).expect("apply_delta");
             let learned = engine.learn(Strategy::DLearn).expect("post-delta learn");
-            let evicted = cached.apply_delta(
-                engine.predictor(&learned).expect("rebind predictor"),
-                &report,
-            );
-            uncached.apply_delta(
-                engine.predictor(&learned).expect("rebind predictor"),
-                &report,
-            );
+            let evicted = cached
+                .apply_delta(
+                    engine.predictor(&learned).expect("rebind predictor"),
+                    &report,
+                )
+                .expect("cached service delta");
+            uncached
+                .apply_delta(
+                    engine.predictor(&learned).expect("rebind predictor"),
+                    &report,
+                )
+                .expect("uncached service delta");
             service_evictions += evicted;
             total_evictions += evicted;
             let with_cache: Vec<bool> = cached

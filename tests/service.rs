@@ -265,3 +265,127 @@ fn service_is_send_and_sync_and_shareable_across_threads() {
         }
     });
 }
+
+#[test]
+fn coalesced_zero_deadline_and_zero_steps_degrade_only_their_own_requests() {
+    // Budget edge cases through the coalescing front-end: requests with a
+    // zero deadline fail typed, requests with a zeroed subsumption budget
+    // degrade observably, and unlimited requests riding the *same* drained
+    // queue are completely unaffected.
+    use dlearn::core::{CoalesceConfig, Coalescer};
+    use std::sync::Arc;
+
+    let (engine, learned, trace) = serving_fixture();
+    let baseline: Vec<bool> = {
+        let p = predictor(&engine, &learned);
+        trace
+            .iter()
+            .map(|e| p.predict(e).expect("predict"))
+            .collect()
+    };
+    let service = Arc::new(PredictorService::new(
+        predictor(&engine, &learned),
+        ServiceConfig::default(),
+    ));
+    let coalescer = Coalescer::new(service.clone(), CoalesceConfig::default());
+
+    // One mixed submission: per-request budgets interleaved over the trace.
+    let budgets = [
+        Budget::unlimited().with_deadline(Duration::ZERO),
+        Budget::unlimited().with_max_subsumption_steps(0),
+        Budget::unlimited(),
+    ];
+    let items: Vec<(Tuple, Budget)> = trace
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.clone(), budgets[i % budgets.len()]))
+        .collect();
+    let results = coalescer.submit_many_with(&items);
+    assert_eq!(results.len(), items.len());
+    for (i, r) in results.iter().enumerate() {
+        match i % budgets.len() {
+            0 => assert!(
+                matches!(r, Err(DlearnError::DeadlineExceeded { budget_ms: 0 })),
+                "zero-deadline request {i} did not time out: {r:?}"
+            ),
+            1 => {
+                let v = r.as_ref().expect("zero-step serve");
+                assert!(!v.covered, "a zero-step search cannot prove coverage");
+            }
+            _ => {
+                let v = r.as_ref().expect("unlimited serve");
+                assert_eq!(
+                    v.covered, baseline[i],
+                    "unlimited request {i} was degraded by its batch neighbors"
+                );
+                assert!(!v.is_degraded());
+            }
+        }
+    }
+    // The zero-step third must have degraded at least one verdict, and the
+    // mixed budgets genuinely shared drained batches (the coalescer split
+    // them into per-budget service calls, not per-request ones).
+    assert!(
+        results
+            .iter()
+            .skip(1)
+            .step_by(budgets.len())
+            .any(|r| r.as_ref().expect("zero-step serve").is_degraded()),
+        "no zero-step request was flagged degraded"
+    );
+    let metrics = coalescer.metrics();
+    assert!(metrics.largest_batch >= 2, "{metrics:?}");
+    assert_eq!(metrics.submitted, items.len() as u64, "{metrics:?}");
+    let service_metrics = service.metrics();
+    assert!(service_metrics.deadline_exceeded > 0, "{service_metrics:?}");
+    assert!(
+        service_metrics.budget_exhausted_searches > 0,
+        "{service_metrics:?}"
+    );
+
+    // The edge-case batch never poisoned anything: a follow-up unlimited
+    // submission over the same tuples matches the sequential baseline.
+    let clean: Vec<(Tuple, Budget)> = trace
+        .iter()
+        .map(|t| (t.clone(), Budget::unlimited()))
+        .collect();
+    let verdicts: Vec<bool> = coalescer
+        .submit_many_with(&clean)
+        .iter()
+        .map(|r| r.as_ref().expect("clean serve").covered)
+        .collect();
+    assert_eq!(verdicts, baseline);
+}
+
+#[test]
+fn dropped_coalescer_serves_its_queue_and_then_refuses_typed() {
+    use dlearn::core::{CoalesceConfig, Coalescer, DlearnError as E};
+    use std::sync::Arc;
+
+    let (engine, learned, trace) = serving_fixture();
+    let service = Arc::new(PredictorService::new(
+        predictor(&engine, &learned),
+        ServiceConfig::default(),
+    ));
+    let coalescer = Coalescer::new(service.clone(), CoalesceConfig::default());
+    // In-flight work completes through the drop (the batcher drains the
+    // queue before exiting)...
+    let items: Vec<(Tuple, Budget)> = trace
+        .iter()
+        .take(4)
+        .map(|t| (t.clone(), Budget::unlimited()))
+        .collect();
+    let results = coalescer.submit_many_with(&items);
+    assert!(results.iter().all(|r| r.is_ok()));
+    drop(coalescer);
+    // ...and a fresh coalescer over the same service still works (the
+    // service outlives its front-ends).
+    let again = Coalescer::new(service.clone(), CoalesceConfig::default());
+    let r = again.submit(trace[0].clone());
+    assert!(r.is_ok(), "{r:?}");
+    // A closed queue refuses typed rather than hanging: close the inner
+    // queue by dropping while a submission from another thread may still be
+    // in flight — the error surface is `CoalescerClosed`.
+    let err = E::CoalescerClosed;
+    assert!(err.to_string().contains("coalescer"));
+}

@@ -307,7 +307,7 @@ fn deadline_during_post_delta_serving_degrades_only_the_victim() {
     // that tuple, while every neighbor serves the correct *post-delta*
     // verdict.
     let mut fx = fixture();
-    let mut service = service(&fx, 2);
+    let service = service(&fx, 2);
     let tx = dlearn::relstore::DeltaTx::new().insert(
         dlearn::relstore::RelId::intern("imdb_movies"),
         dlearn::relstore::tuple(vec![
@@ -318,10 +318,12 @@ fn deadline_during_post_delta_serving_degrades_only_the_victim() {
     );
     let report = fx.engine.apply_delta(&tx).expect("apply_delta");
     let learned = fx.engine.learn(Strategy::DLearn).expect("post-delta learn");
-    service.apply_delta(
-        fx.engine.predictor(&learned).expect("rebind predictor"),
-        &report,
-    );
+    service
+        .apply_delta(
+            fx.engine.predictor(&learned).expect("rebind predictor"),
+            &report,
+        )
+        .expect("service delta");
     let predictor = fx.engine.predictor(&learned).expect("bind predictor");
     let post_delta: Vec<bool> = fx
         .trace
@@ -360,4 +362,87 @@ fn deadline_during_post_delta_serving_degrades_only_the_victim() {
         .map(|r| r.as_ref().expect("post-fault serve").covered)
         .collect();
     assert_eq!(after, post_delta);
+}
+
+#[test]
+fn injected_swap_panic_leaves_the_old_epoch_serving_and_quarantines_the_swap_path() {
+    // A panic mid-publication must mirror the engine's delta quarantine: the
+    // previous epoch keeps serving the exact committed verdicts, selective
+    // delta publications are refused typed, and a clean full publish
+    // recovers the swap path.
+    let mut fx = fixture();
+    let service = service(&fx, 2);
+    let epoch_before = service.epoch();
+    {
+        let _guard =
+            fault::install(FaultPlan::new(5).with_probability(Site::Swap, 1.0, Fault::Panic));
+        let err = service
+            .publish(fx.engine.predictor(&fx.learned).expect("rebind predictor"))
+            .expect_err("publish must fail under an injected swap panic");
+        let DlearnError::WorkerPanicked { site, message } = err else {
+            panic!("swap panic was not typed as WorkerPanicked");
+        };
+        assert_eq!(site, "swap");
+        assert!(message.contains(fault::PANIC_MARKER), "{message}");
+        assert!(fault::injected(Site::Swap) >= 1);
+    }
+    // The failed publication installed nothing: same epoch, same verdicts.
+    assert_eq!(service.epoch(), epoch_before);
+    assert!(service.is_swap_quarantined());
+    let still_serving: Vec<bool> = service
+        .predict_batch(&fx.trace)
+        .iter()
+        .map(|r| r.as_ref().expect("post-panic serve").covered)
+        .collect();
+    assert_eq!(
+        still_serving, fx.baseline,
+        "old epoch no longer serves the committed verdicts after a swap panic"
+    );
+
+    // Selective delta publication is refused while quarantined — even a
+    // perfectly chained one — and leaves the epoch untouched.
+    let tx = dlearn::relstore::DeltaTx::new().insert(
+        dlearn::relstore::RelId::intern("imdb_movies"),
+        dlearn::relstore::tuple(vec![
+            dlearn::relstore::Value::int(990_202),
+            dlearn::relstore::Value::str("Quarantine Drill"),
+            dlearn::relstore::Value::int(2022),
+        ]),
+    );
+    let report = fx.engine.apply_delta(&tx).expect("engine delta");
+    let relearned = fx.engine.learn(Strategy::DLearn).expect("post-delta learn");
+    let err = service
+        .apply_delta(
+            fx.engine.predictor(&relearned).expect("rebind predictor"),
+            &report,
+        )
+        .expect_err("quarantined swap path accepted a delta publication");
+    assert!(
+        matches!(err, DlearnError::SwapQuarantined),
+        "wrong error for a quarantined delta publication: {err:?}"
+    );
+    assert_eq!(service.epoch(), epoch_before);
+
+    // Recovery: a clean full publish installs a fresh epoch, lifts the
+    // quarantine, and the service serves the post-delta truth.
+    let recovered = service
+        .publish(fx.engine.predictor(&relearned).expect("rebind predictor"))
+        .expect("recovery publish");
+    assert!(recovered > epoch_before);
+    assert!(!service.is_swap_quarantined());
+    let predictor = fx.engine.predictor(&relearned).expect("bind predictor");
+    let post_delta: Vec<bool> = fx
+        .trace
+        .iter()
+        .map(|e| predictor.predict(e).expect("predict"))
+        .collect();
+    let served: Vec<bool> = service
+        .predict_batch(&fx.trace)
+        .iter()
+        .map(|r| r.as_ref().expect("post-recovery serve").covered)
+        .collect();
+    assert_eq!(served, post_delta);
+    let metrics = service.metrics();
+    assert_eq!(metrics.swaps, 1, "{metrics:?}");
+    assert!(metrics.worker_panics >= 1, "{metrics:?}");
 }
