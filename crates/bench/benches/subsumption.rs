@@ -29,6 +29,13 @@
 //! the from-scratch `Engine::prepare` each transaction would otherwise
 //! cost.
 //!
+//! A fifth group, `learn`, prices the extension learners on the
+//! tree-shaped segments scenario: `foil_round` is one full FOIL covering
+//! run (greedy information-gain specialization, clause by clause) and
+//! `tilde_build` one TILDE tree build plus clause read-back, both over an
+//! already-prepared engine — so the numbers isolate refinement search, not
+//! preparation.
+//!
 //! Each JSON entry carries its own `tolerance` — the regression-gate slack
 //! the entry is held to (`gate_tolerance` below is the committed table).
 //! Later performance work diffs against this file to prove a trajectory; CI
@@ -374,8 +381,8 @@ fn bench_service(c: &mut Criterion) -> usize {
 /// `Engine::apply_delta`, `medium` round-trips a 3-op transaction touching
 /// both MD-indexed relations, and `rebuild` measures the from-scratch
 /// `Engine::prepare` an engine without incremental maintenance would pay per
-/// transaction. Committed as EXPECTED (ungated): the incremental/rebuild
-/// ratio is tracked through the committed trajectory.
+/// transaction. Gated since graduation (0.30); the incremental/rebuild
+/// ratio is additionally tracked through the committed trajectory.
 fn bench_delta(c: &mut Criterion) {
     use dlearn_relstore::{tuple, DeltaTx, RelId, Value};
 
@@ -461,9 +468,8 @@ fn bench_delta(c: &mut Criterion) {
 /// service's swap cell) — the pause-free alternative to tearing the service
 /// down; `coalesced/{1,8,32}_callers` measure N concurrent callers pushing
 /// 8 requests each through the queued `Coalescer` front-end (batcher drain,
-/// per-budget grouping, per-caller fan-back included). Committed as
-/// EXPECTED (ungated), the same graduation policy the service curves
-/// started under.
+/// per-budget grouping, per-caller fan-back included). Gated since
+/// graduation (0.30 / 0.35), completing the path the service curves walked.
 fn bench_swap(c: &mut Criterion) {
     use std::sync::Arc;
 
@@ -547,6 +553,46 @@ fn bench_swap(c: &mut Criterion) {
     group.finish();
 }
 
+/// Extension-learner refinement costs on the tree-shaped segments scenario
+/// (the workload `learner_diversity` evaluates): `learn/foil_round` prices
+/// one full FOIL covering run, `learn/tilde_build` one TILDE tree build
+/// plus clause read-back/refinement, both against a prepared engine.
+/// Committed EXPECTED (ungated) with their future tolerance in-JSON — the
+/// same graduation policy every serving-era entry started under.
+fn bench_learn(c: &mut Criterion) {
+    let dataset =
+        dlearn_datagen::generate_segment_dataset(&dlearn_datagen::SegmentConfig::tiny(), 91);
+    let config = LearnerConfig {
+        seed: 31,
+        ..LearnerConfig::fast().with_iterations(2)
+    };
+    let engine = dlearn_core::Engine::prepare(dataset.task, config).expect("valid task");
+
+    let mut group = c.benchmark_group("learn");
+    group
+        .sample_size(12)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("foil_round", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                engine
+                    .learn(dlearn_core::Strategy::Foil)
+                    .expect("foil learn"),
+            )
+        })
+    });
+    group.bench_function("tilde_build", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                engine
+                    .learn(dlearn_core::Strategy::Tilde)
+                    .expect("tilde learn"),
+            )
+        })
+    });
+    group.finish();
+}
+
 /// The committed per-entry regression tolerance written next to each median
 /// (`scripts/check_bench_json.py` reads it back in `--gate` mode). The
 /// serving pair and the generalization round carry wider slack than the
@@ -559,18 +605,23 @@ fn gate_tolerance(name: &str) -> f64 {
         return 0.35;
     }
     if name.starts_with("delta_apply/") {
-        // New and ungated; the tolerance rides along for when they graduate.
+        // Gated since graduation; maintenance cost tracks transaction shape.
         return 0.30;
     }
     if name.starts_with("swap/") {
-        // Ungated: a publish is dominated by predictor re-binding, which
-        // tracks learned-model shape more than code under test.
+        // Gated since graduation; a publish is dominated by predictor
+        // re-binding, hence the wider slack.
         return 0.30;
     }
     if name.starts_with("coalesced/") {
-        // Ungated: thread spawn/join and batcher timer behavior dominate on
-        // small machines; tracked through the committed trajectory.
+        // Gated since graduation, at the widest slack: thread spawn/join
+        // and batcher timer behavior dominate on small machines.
         return 0.35;
+    }
+    if name.starts_with("learn/") {
+        // New and ungated: refinement search cost tracks the learned tree/
+        // clause shapes; the tolerance rides along for graduation.
+        return 0.30;
     }
     match name {
         "subsumption/generalization_round" => 0.30,
@@ -586,6 +637,7 @@ fn main() {
     let service_trace_len = bench_service(&mut criterion);
     bench_delta(&mut criterion);
     bench_swap(&mut criterion);
+    bench_learn(&mut criterion);
 
     // Machine-readable baseline at the workspace root.
     let results = criterion.take_results();

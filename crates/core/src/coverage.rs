@@ -437,6 +437,20 @@ impl CoverageEngine {
         self.mask(prepared, false, self.config.effective_threads())
     }
 
+    /// [`CoverageEngine::positive_mask`] on one thread, for callers that are
+    /// themselves a parallel fan-out (the FOIL/TILDE candidate scorers, like
+    /// [`CoverageEngine::score_serial`] for generalization scoring) — the
+    /// per-mask threads must not multiply underneath the fan-out.
+    pub fn positive_mask_serial(&self, prepared: &PreparedClause) -> Vec<bool> {
+        self.mask(prepared, true, 1)
+    }
+
+    /// [`CoverageEngine::negative_mask`] on one thread; see
+    /// [`CoverageEngine::positive_mask_serial`].
+    pub fn negative_mask_serial(&self, prepared: &PreparedClause) -> Vec<bool> {
+        self.mask(prepared, false, 1)
+    }
+
     fn mask(&self, prepared: &PreparedClause, positive: bool, threads: usize) -> Vec<bool> {
         let examples = if positive {
             &self.positives

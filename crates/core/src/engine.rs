@@ -7,7 +7,9 @@
 //! [`Engine`] builds them once at [`Engine::prepare`] time and shares them —
 //! behind `Arc` — across every strategy run and every prediction:
 //!
-//! * [`Engine::learn`] runs any of the five paper strategies. Strategy
+//! * [`Engine::learn`] runs any [`Strategy`] — the five paper systems plus
+//!   the FOIL/TILDE extension learners of the `learn` subsystem, which
+//!   search the base plan directly. Strategy
 //!   preprocessing is an explicit, cached step (a strategy *plan*) that
 //!   reuses the prepared similarity index whenever the strategy's semantics
 //!   allow: Castor-Exact *filters* the prepared index down to exact matches
@@ -30,11 +32,10 @@ use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use dlearn_constraints::{enforce_md_best_match_with_index, minimal_cfd_repair, MdCatalog};
-use dlearn_logic::{Clause, Definition, NumberedClause};
+use dlearn_logic::{Clause, Definition};
 use dlearn_relstore::{Database, Tuple};
 use dlearn_similarity::{IndexConfig, SimilarityOperator};
 
@@ -42,7 +43,6 @@ use crate::bottom::BottomClauseBuilder;
 use crate::config::LearnerConfig;
 use crate::coverage::{CoverageEngine, GroundExample, PreparedClause};
 use crate::error::DlearnError;
-use crate::generalize::generalize_prepared;
 use crate::learner::{augment_with_target, Strategy};
 use crate::model::ClauseStats;
 use crate::task::LearningTask;
@@ -216,21 +216,30 @@ impl Engine {
     /// Learn a definition with the given strategy against the session's
     /// prepared artifacts. Strategy preprocessing runs at most once per
     /// strategy per engine; the similarity index is shared or derived
-    /// (never re-aligned) wherever the strategy's semantics allow.
+    /// (never re-aligned) wherever the strategy's semantics allow. The
+    /// refinement search itself — any of the `learn` subsystem's refiners —
+    /// is a quarantined site: a worker panic inside it surfaces as
+    /// [`DlearnError::WorkerPanicked`], not a process abort.
     pub fn learn(&self, strategy: Strategy) -> Result<Learned, DlearnError> {
         // Resolve (and lazily derive) the strategy plan *outside* the timed
-        // region: `Learned::seconds` reports the covering loop alone, so a
-        // baseline's first run is comparable to its later runs — and to
+        // region: `Learned::seconds` reports the refinement search alone, so
+        // a baseline's first run is comparable to its later runs — and to
         // strategies whose plan was built at prepare time.
         let plan = self.plan(strategy)?;
         let start = std::time::Instant::now();
-        let (definition, stats, bottom_clauses_built) = run_covering_loop(&plan);
+        let refined = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::learn::refine(strategy, &plan)
+        }))
+        .map_err(|payload| DlearnError::WorkerPanicked {
+            site: "learn",
+            message: crate::par::panic_message(&*payload),
+        })?;
         Ok(Learned {
             strategy,
-            definition,
-            stats,
+            definition: refined.definition,
+            stats: refined.stats,
             seconds: start.elapsed().as_secs_f64(),
-            bottom_clauses_built,
+            bottom_clauses_built: refined.bottom_clauses_built,
         })
     }
 
@@ -249,7 +258,11 @@ impl Engine {
 
     pub(crate) fn plan(&self, strategy: Strategy) -> Result<Arc<StrategyPlan>, DlearnError> {
         let slot = match strategy {
-            Strategy::DLearn => return Ok(self.base.clone()),
+            // Foil and Tilde search the same hypothesis space over the same
+            // prepared semantics as DLearn: they share the base plan, so
+            // delta invalidation and the one-alignment-per-session
+            // invariant cover them automatically.
+            Strategy::DLearn | Strategy::Foil | Strategy::Tilde => return Ok(self.base.clone()),
             Strategy::CastorNoMd => 0,
             Strategy::CastorExact => 1,
             Strategy::CastorClean => 2,
@@ -272,7 +285,9 @@ impl Engine {
         let mut config = self.config.clone();
         let mut task = self.base.task.clone();
         let catalog: Arc<MdCatalog> = match strategy {
-            Strategy::DLearn => unreachable!("the DLearn plan is the base plan"),
+            Strategy::DLearn | Strategy::Foil | Strategy::Tilde => {
+                unreachable!("these strategies run over the base plan")
+            }
             Strategy::CastorNoMd => {
                 config.use_mds = false;
                 config.use_cfd_repairs = false;
@@ -441,139 +456,6 @@ fn copy_without(db: &Database, skip: &str) -> Result<Database, DlearnError> {
         }
     }
     Ok(out)
-}
-
-/// The covering loop (Algorithm 1) over a strategy's prepared artifacts.
-fn run_covering_loop(plan: &StrategyPlan) -> (Definition, Vec<ClauseStats>, usize) {
-    let task = &plan.task;
-    let config = &plan.config;
-    let engine = &plan.coverage;
-    let builder = BottomClauseBuilder::new(task, &plan.catalog, config);
-    let mut bottom_clauses_built = task.positives.len() + task.negatives.len();
-
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut uncovered: Vec<usize> = (0..task.positives.len()).collect();
-    let mut definition = Definition::new();
-    let mut stats: Vec<ClauseStats> = Vec::new();
-
-    while !uncovered.is_empty() && definition.len() < config.max_clauses {
-        let seed_example = uncovered[0];
-        let bottom = builder.build(&task.positives[seed_example], &mut rng);
-        bottom_clauses_built += 1;
-        if bottom.body.is_empty() {
-            uncovered.remove(0);
-            continue;
-        }
-
-        // LearnClause: generalize the bottom clause against sampled
-        // uncovered positives, hill-climbing on the clause score.
-        let mut current = bottom;
-        let mut current_prepared = PreparedClause::prepare(current.clone(), config);
-        let mut current_score = engine.score(&current_prepared);
-        for _round in 0..config.max_generalization_rounds {
-            let mut sample: Vec<usize> = uncovered
-                .iter()
-                .copied()
-                .filter(|&i| i != seed_example)
-                .collect();
-            sample.shuffle(&mut rng);
-            sample.truncate(config.sample_positives);
-            if sample.is_empty() {
-                break;
-            }
-            let best = best_generalization(
-                engine,
-                &current,
-                current_prepared.numbered(),
-                &sample,
-                config,
-            );
-            match best {
-                Some((score, prepared)) if score > current_score => {
-                    current = prepared.clause.clone();
-                    current_prepared = prepared;
-                    current_score = score;
-                }
-                _ => break,
-            }
-        }
-
-        // Minimum criterion: the clause must cover enough positives and
-        // more positives than negatives.
-        let positive_mask = engine.positive_mask(&current_prepared);
-        let positives_covered = positive_mask.iter().filter(|&&b| b).count();
-        let negatives_covered = engine
-            .negative_mask(&current_prepared)
-            .iter()
-            .filter(|&&b| b)
-            .count();
-        let accept = positives_covered >= config.min_positive_coverage.min(uncovered.len())
-            && positives_covered > negatives_covered;
-        if accept {
-            definition.push(current);
-            stats.push(ClauseStats {
-                positives_covered,
-                negatives_covered,
-            });
-            uncovered.retain(|&i| !positive_mask[i]);
-            if uncovered.first() == Some(&seed_example) {
-                // Defensive: never loop forever on an uncoverable seed.
-                uncovered.remove(0);
-            }
-        } else {
-            uncovered.remove(0);
-        }
-    }
-
-    (definition, stats, bottom_clauses_built)
-}
-
-/// Score every sampled generalization candidate and return the best one.
-///
-/// The per-candidate work — generalize `current` toward the sampled
-/// positive's ground bottom clause, expand/renumber the result, score it
-/// against the full training set — is independent across samples, so it fans
-/// out across `std::thread::scope` workers in contiguous chunks (the same
-/// order-preserving [`crate::par::chunked_map`] the coverage masks use).
-/// Workers score with [`CoverageEngine::score_serial`] so the per-mask
-/// coverage threads do not multiply underneath the fan-out (cores², with
-/// both knobs defaulting to available cores). The reduction is deterministic
-/// and matches the serial loop exactly: highest score wins, ties broken by
-/// the earliest sample position, so learned definitions are bit-identical at
-/// any thread count.
-fn best_generalization(
-    engine: &CoverageEngine,
-    current: &Clause,
-    current_numbered: &NumberedClause,
-    sample: &[usize],
-    config: &LearnerConfig,
-) -> Option<(i64, PreparedClause)> {
-    let threads = config.effective_generalization_threads();
-    let fanned_out = threads > 1 && sample.len() >= 2;
-    let scored = crate::par::chunked_map(sample, threads, 2, |_, &ei| {
-        let target_ground = &engine.positive(ei).ground;
-        let candidate =
-            generalize_prepared(current, current_numbered, target_ground, config.binding_cap)?;
-        if candidate.body.is_empty() {
-            return None;
-        }
-        let prepared = PreparedClause::prepare(candidate, config);
-        let score = if fanned_out {
-            engine.score_serial(&prepared)
-        } else {
-            engine.score(&prepared)
-        };
-        Some((score, prepared))
-    });
-
-    // First strict maximum in sample order — identical to the serial loop.
-    let mut best: Option<(i64, PreparedClause)> = None;
-    for entry in scored.into_iter().flatten() {
-        if best.as_ref().map(|(s, _)| entry.0 > *s).unwrap_or(true) {
-            best = Some(entry);
-        }
-    }
-    best
 }
 
 /// The outcome of one [`Engine::learn`] run: the learned Horn definition,
@@ -860,6 +742,37 @@ mod tests {
                 again.definition(),
                 "{} diverged between runs over one session",
                 strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn extension_learners_separate_the_two_source_task() {
+        let task = two_source_task();
+        let engine = Engine::prepare(task.clone(), config()).expect("valid task");
+        for strategy in [Strategy::Foil, Strategy::Tilde] {
+            let learned = engine.learn(strategy).expect("learn");
+            assert!(
+                !learned.clauses().is_empty(),
+                "{} learned nothing",
+                strategy.name()
+            );
+            let predictor = engine.predictor(&learned).expect("bind predictor");
+            let pos = task
+                .positives
+                .iter()
+                .filter(|e| predictor.predict(e).unwrap())
+                .count();
+            let neg = task
+                .negatives
+                .iter()
+                .filter(|e| predictor.predict(e).unwrap())
+                .count();
+            assert!(
+                pos >= 2 && neg <= 2,
+                "{}: positives={pos} negatives={neg}\n{}",
+                strategy.name(),
+                learned.render()
             );
         }
     }

@@ -20,6 +20,7 @@ mod noop {
         Alignment,
         Delta,
         Swap,
+        Learn,
     }
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]

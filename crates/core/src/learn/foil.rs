@@ -1,0 +1,214 @@
+//! FOIL-style top-down refinement over the shared prepared state
+//! ([`crate::Strategy::Foil`]).
+//!
+//! Where the covering loop searches bottom-up (start maximally specific,
+//! *drop* literals), FOIL searches top-down: start from the bare head —
+//! which covers everything — and repeatedly *add* the body literal of the
+//! seed's bottom clause with the highest information gain
+//!
+//! ```text
+//! gain(L) = p1 · ( log2(p1 / (p1 + n1)) − log2(p0 / (p0 + n0)) )
+//! ```
+//!
+//! where `p0`/`n0` are the uncovered-positive and negative coverage counts
+//! of the current clause and `p1`/`n1` those of the clause extended with
+//! `L`, both computed against the plan's [`CoverageEngine`] — so FOIL is
+//! scored under exactly the repair-aware coverage semantics (Definitions
+//! 3.4/3.6) as every other strategy, and dirty-data handling composes with
+//! it for free. Candidate literals come from the seed example's bottom
+//! clause, which bounds the search to literals that can actually reach the
+//! example (the classic FOIL-over-bottom-clause restriction).
+//!
+//! Determinism: candidates are scored through the order-preserving
+//! [`crate::par::chunked_map`] fan-out (masks computed serially inside the
+//! fan-out so thread counts do not multiply), gain is a pure function of
+//! coverage counts, and ties break on the earliest bottom-clause body
+//! position — bit-identical definitions at any thread count.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dlearn_logic::{Clause, Definition};
+
+use crate::bottom::BottomClauseBuilder;
+use crate::config::LearnerConfig;
+use crate::coverage::{CoverageEngine, PreparedClause};
+use crate::engine::StrategyPlan;
+use crate::model::ClauseStats;
+
+use super::{accept_clause, subclause, Refined, Refiner};
+
+/// Minimum gain a literal must contribute to be added: guards against
+/// floating-point noise keeping the loop alive on literals that change
+/// nothing.
+const GAIN_EPSILON: f64 = 1e-9;
+
+/// Cap on the number of specialization steps per clause, over and above the
+/// natural bound of the bottom clause's body length. Keeps pathological
+/// bottom clauses from building very long (and very slow to test) clauses.
+const MAX_LITERALS: usize = 12;
+
+/// Top-down gain-driven clause search (outer loop: classic covering).
+pub(crate) struct FoilRefiner;
+
+impl Refiner for FoilRefiner {
+    fn refine(&self, plan: &StrategyPlan) -> Refined {
+        let task = &plan.task;
+        let config = &plan.config;
+        let engine = &plan.coverage;
+        let builder = BottomClauseBuilder::new(task, &plan.catalog, config);
+        let mut bottom_clauses_built = task.positives.len() + task.negatives.len();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut uncovered: Vec<usize> = (0..task.positives.len()).collect();
+        let mut definition = Definition::new();
+        let mut stats: Vec<ClauseStats> = Vec::new();
+
+        while !uncovered.is_empty() && definition.len() < config.max_clauses {
+            let seed_example = uncovered[0];
+            let bottom = builder.build(&task.positives[seed_example], &mut rng);
+            bottom_clauses_built += 1;
+            if bottom.body.is_empty() {
+                uncovered.remove(0);
+                continue;
+            }
+
+            let grown = specialize(&bottom, engine, config, &uncovered);
+            if accept_clause(
+                &grown.clause,
+                grown.positives_covered,
+                grown.negatives_covered,
+                config.min_positive_coverage,
+                uncovered.len(),
+            ) {
+                uncovered.retain(|&i| !grown.positive_mask[i]);
+                if uncovered.first() == Some(&seed_example) {
+                    // Defensive: never loop forever on an uncoverable seed.
+                    uncovered.remove(0);
+                }
+                definition.push(grown.clause);
+                stats.push(ClauseStats {
+                    positives_covered: grown.positives_covered,
+                    negatives_covered: grown.negatives_covered,
+                });
+            } else {
+                uncovered.remove(0);
+            }
+        }
+
+        Refined {
+            definition,
+            stats,
+            bottom_clauses_built,
+        }
+    }
+}
+
+/// One scored extension candidate: `(gain, bottom-body index, clause,
+/// positive mask, negative mask)`.
+type Scored = (f64, usize, Clause, Vec<bool>, Vec<bool>);
+
+/// A specialized clause with its final training coverage.
+struct Specialized {
+    clause: Clause,
+    positive_mask: Vec<bool>,
+    positives_covered: usize,
+    negatives_covered: usize,
+}
+
+/// Grow one clause: start from the bare head and add the highest-gain
+/// bottom-clause literal until the clause is consistent (covers no
+/// negatives), no literal has positive gain, or the length cap binds.
+fn specialize(
+    bottom: &Clause,
+    engine: &CoverageEngine,
+    config: &LearnerConfig,
+    uncovered: &[usize],
+) -> Specialized {
+    let body_len = bottom.body.len();
+    let mut selected = vec![false; body_len];
+    let mut current = subclause(bottom, &selected);
+    let initial = PreparedClause::prepare(current.clone(), config);
+    let mut positive_mask = engine.positive_mask(&initial);
+    let mut negative_mask = engine.negative_mask(&initial);
+
+    for _step in 0..body_len.min(MAX_LITERALS) {
+        let p0 = uncovered.iter().filter(|&&i| positive_mask[i]).count();
+        let n0 = negative_mask.iter().filter(|&&b| b).count();
+        if p0 == 0 || (n0 == 0 && !current.body.is_empty()) {
+            // Nothing left to gain from, or already consistent.
+            break;
+        }
+        let candidates: Vec<usize> = (0..body_len).filter(|&i| !selected[i]).collect();
+        if candidates.is_empty() {
+            break;
+        }
+
+        // Score every candidate literal: the same parallel fan-out (and the
+        // same serial-inside-fan-out masking) as generalization scoring.
+        let threads = config.effective_generalization_threads();
+        let fanned_out = threads > 1 && candidates.len() >= 2;
+        let current_len = current.body.len();
+        let scored = crate::par::chunked_map(&candidates, threads, 2, |_, &index| {
+            let mut keep = selected.clone();
+            keep[index] = true;
+            let candidate = subclause(bottom, &keep);
+            if candidate.body.len() <= current_len {
+                // The literal was dropped again by head-connectedness
+                // cleanup: it cannot attach to the clause yet.
+                return None;
+            }
+            let prepared = PreparedClause::prepare(candidate.clone(), config);
+            let (pos, neg) = if fanned_out {
+                (
+                    engine.positive_mask_serial(&prepared),
+                    engine.negative_mask_serial(&prepared),
+                )
+            } else {
+                (
+                    engine.positive_mask(&prepared),
+                    engine.negative_mask(&prepared),
+                )
+            };
+            let p1 = uncovered.iter().filter(|&&i| pos[i]).count();
+            if p1 == 0 {
+                return None;
+            }
+            let n1 = neg.iter().filter(|&&b| b).count();
+            let gain = p1 as f64 * (info(p1, n1) - info(p0, n0));
+            Some((gain, index, candidate, pos, neg))
+        });
+
+        // First strict maximum in candidate (= bottom-clause body) order.
+        let mut best: Option<Scored> = None;
+        for entry in scored.into_iter().flatten() {
+            if best.as_ref().map(|b| entry.0 > b.0).unwrap_or(true) {
+                best = Some(entry);
+            }
+        }
+        match best {
+            Some((gain, index, candidate, pos, neg)) if gain > GAIN_EPSILON => {
+                selected[index] = true;
+                current = candidate;
+                positive_mask = pos;
+                negative_mask = neg;
+            }
+            _ => break,
+        }
+    }
+
+    Specialized {
+        clause: current,
+        positives_covered: positive_mask.iter().filter(|&&b| b).count(),
+        negatives_covered: negative_mask.iter().filter(|&&b| b).count(),
+        positive_mask,
+    }
+}
+
+/// `log2(p / (p + n))` — the information carried by a positive verdict at a
+/// node with `p` covered positives and `n` covered negatives. Callers
+/// guarantee `p >= 1`.
+fn info(p: usize, n: usize) -> f64 {
+    debug_assert!(p >= 1);
+    (p as f64 / (p + n) as f64).log2()
+}

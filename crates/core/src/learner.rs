@@ -32,21 +32,41 @@ pub enum Strategy {
     /// DLearn with MDs only, run over the minimal repair of the CFD
     /// violations (the baseline of Table 5).
     DLearnRepaired,
+    /// FOIL-style top-down refinement over the DLearn-prepared state:
+    /// specialize from the bare head by adding bottom-clause literals chosen
+    /// by information gain over coverage counts (not in the paper; see
+    /// `learn/foil.rs`).
+    Foil,
+    /// TILDE-style first-order decision tree over the DLearn-prepared state:
+    /// internal nodes are conjunctive tests from the bottom clauses, split by
+    /// gain ratio; positive leaves become the definition's clauses (not in
+    /// the paper; see `learn/tilde.rs`).
+    Tilde,
 }
 
 impl Strategy {
-    /// All strategies, in the order the paper's tables list them.
-    pub fn all() -> [Strategy; 5] {
-        [
-            Strategy::CastorNoMd,
-            Strategy::CastorExact,
-            Strategy::CastorClean,
-            Strategy::DLearn,
-            Strategy::DLearnRepaired,
-        ]
+    /// Every strategy, in presentation order: the five paper systems first
+    /// (in the order the paper's tables list them), then the extension
+    /// learners. The single source of truth for strategy enumeration — eval
+    /// tables, examples, and tests iterate this rather than hand-listed
+    /// arrays.
+    pub const ALL: [Strategy; 7] = [
+        Strategy::CastorNoMd,
+        Strategy::CastorExact,
+        Strategy::CastorClean,
+        Strategy::DLearn,
+        Strategy::DLearnRepaired,
+        Strategy::Foil,
+        Strategy::Tilde,
+    ];
+
+    /// All strategies, in presentation order (see [`Strategy::ALL`]).
+    pub fn all() -> [Strategy; 7] {
+        Strategy::ALL
     }
 
-    /// Display name matching the paper.
+    /// Display name matching the paper (extension learners use their
+    /// literature names).
     pub fn name(&self) -> &'static str {
         match self {
             Strategy::DLearn => "DLearn",
@@ -54,7 +74,44 @@ impl Strategy {
             Strategy::CastorExact => "Castor-Exact",
             Strategy::CastorClean => "Castor-Clean",
             Strategy::DLearnRepaired => "DLearn-Repaired",
+            Strategy::Foil => "FOIL",
+            Strategy::Tilde => "TILDE",
         }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parse a strategy from its display name; matching is case-insensitive
+    /// and ignores `-`/`_` separators, so `dlearn-repaired`, `DLearnRepaired`
+    /// and `DLearn_Repaired` all parse.
+    fn from_str(s: &str) -> Result<Strategy, String> {
+        let normalized: String = s
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        Strategy::ALL
+            .into_iter()
+            .find(|strategy| {
+                strategy
+                    .name()
+                    .chars()
+                    .filter(|c| *c != '-' && *c != '_')
+                    .map(|c| c.to_ascii_lowercase())
+                    .eq(normalized.chars())
+            })
+            .ok_or_else(|| {
+                let known: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+                format!("unknown strategy `{s}` (known: {})", known.join(", "))
+            })
     }
 }
 
@@ -388,7 +445,29 @@ mod tests {
     fn strategies_expose_paper_names() {
         assert_eq!(Strategy::DLearn.name(), "DLearn");
         assert_eq!(Strategy::CastorNoMd.name(), "Castor-NoMD");
-        assert_eq!(Strategy::all().len(), 5);
+        assert_eq!(Strategy::Foil.name(), "FOIL");
+        assert_eq!(Strategy::Tilde.name(), "TILDE");
+        assert_eq!(Strategy::all().len(), 7);
+        assert_eq!(Strategy::all(), Strategy::ALL);
+    }
+
+    #[test]
+    fn strategy_display_and_from_str_round_trip() {
+        for strategy in Strategy::ALL {
+            assert_eq!(strategy.to_string(), strategy.name());
+            assert_eq!(strategy.name().parse::<Strategy>(), Ok(strategy));
+            // Parsing is case-insensitive and separator-insensitive.
+            assert_eq!(
+                strategy.name().to_lowercase().replace('-', "_").parse(),
+                Ok(strategy)
+            );
+        }
+        let err = "no-such-learner".parse::<Strategy>().unwrap_err();
+        assert!(err.contains("no-such-learner"), "{err}");
+        assert!(
+            err.contains("TILDE"),
+            "error should list known names: {err}"
+        );
     }
 
     #[test]

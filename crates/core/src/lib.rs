@@ -19,9 +19,12 @@
 //!    Definitions 3.4 / 3.6 (Section 4.3).
 //! 4. [`engine::Engine`] prepares the expensive per-database artifacts (the
 //!    MD similarity index, the ground bottom clauses of the training
-//!    examples) **once**, runs any of the paper's five strategies against
-//!    them, and binds learned definitions to [`engine::Predictor`]s for
-//!    batched serving.
+//!    examples) **once**, runs any [`Strategy`] against them — the paper's
+//!    five systems plus the extension learners [`Strategy::Foil`] (top-down
+//!    information-gain refinement) and [`Strategy::Tilde`] (first-order
+//!    decision trees), both implemented in the `learn` subsystem over the
+//!    same prepared state — and binds learned definitions to
+//!    [`engine::Predictor`]s for batched serving.
 //!
 //! The main entry point is [`Engine`]: prepare once, learn and serve many
 //! times.
@@ -45,9 +48,13 @@
 //! // `DlearnError`s here, not panics later.
 //! let engine = Engine::prepare(task, LearnerConfig::fast())?;
 //!
-//! // Learn with any strategy against the shared prepared state.
+//! // Learn with any strategy against the shared prepared state: the five
+//! // paper systems (`DLearn`, `CastorNoMd`, `CastorExact`, `CastorClean`,
+//! // `DLearnRepaired`) or the extension learners (`Foil`, `Tilde`) —
+//! // `Strategy::ALL` enumerates all seven.
 //! let learned = engine.learn(Strategy::DLearn)?;
 //! assert!(learned.clauses().len() <= 4);
+//! assert_eq!(Strategy::ALL.len(), 7);
 //!
 //! // Bind the definition for serving: `predict_batch` grounds and tests
 //! // examples in parallel, deterministically.
@@ -68,6 +75,7 @@ pub mod engine;
 pub mod error;
 mod fault;
 pub mod generalize;
+pub(crate) mod learn;
 pub mod learner;
 pub mod model;
 mod par;

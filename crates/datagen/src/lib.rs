@@ -13,6 +13,9 @@
 //! * [`movies`] — IMDB+OMDB, target `dramaRestrictedMovies(imdbId)`.
 //! * [`products`] — Walmart+Amazon, target `upcOfComputersAccessories(upc)`.
 //! * [`citations`] — DBLP+Google Scholar, target `gsPaperYear(gsId, year)`.
+//! * [`segments`] — a clean, tree-shaped segmentation target (six
+//!   region-specific disjuncts) built to differentiate decision-tree from
+//!   clausal-covering learners, target `premiumAccounts(accountId)`.
 //! * [`dataset::Dataset`] — k-fold cross-validation splitting.
 //! * [`violations::inject_cfd_violations`] — violation injection.
 
@@ -23,6 +26,7 @@ pub mod dataset;
 pub mod dirt;
 pub mod movies;
 pub mod products;
+pub mod segments;
 pub mod violations;
 pub mod vocab;
 
@@ -30,4 +34,5 @@ pub use citations::{generate_citation_dataset, CitationConfig};
 pub use dataset::{Dataset, Fold};
 pub use movies::{generate_movie_dataset, MovieConfig};
 pub use products::{generate_product_dataset, ProductConfig};
+pub use segments::{generate_segment_dataset, SegmentConfig};
 pub use violations::inject_cfd_violations;

@@ -34,4 +34,8 @@ fn main() {
             scale
         ))
     );
+    println!(
+        "{}",
+        dlearn_eval::report::render_diversity(&dlearn_eval::experiments::learner_diversity(scale))
+    );
 }

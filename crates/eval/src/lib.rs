@@ -11,10 +11,15 @@
 //!   the number of training examples.
 //! * [`experiments::table7`] — effect of the bottom-clause iteration depth.
 //! * [`experiments::figure1_sample_size`] — effect of the sample size.
+//! * [`experiments::learner_diversity`] — extension (not in the paper):
+//!   every strategy, including FOIL and TILDE, on the tree-shaped
+//!   segmentation dataset where decision-tree learning beats clausal
+//!   covering.
 //!
-//! The binaries `table4`, `table5`, `table6`, `table7`, `figure1` and
-//! `all_experiments` run these and print the paper-style tables; pass
-//! `--scale smoke|small|paper` to control the dataset sizes.
+//! The binaries `table4`, `table5`, `table6`, `table7`, `figure1`,
+//! `learner_diversity` and `all_experiments` run these and print the
+//! paper-style tables; pass `--scale smoke|small|paper` to control the
+//! dataset sizes.
 
 #![warn(missing_docs)]
 

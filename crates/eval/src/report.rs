@@ -1,6 +1,8 @@
 //! Plain-text rendering of experiment results, one renderer per table/figure.
 
-use crate::experiments::{SampleSizePoint, ScalingPoint, Table4Row, Table5Row, Table7Row};
+use crate::experiments::{
+    DiversityRow, SampleSizePoint, ScalingPoint, Table4Row, Table5Row, Table7Row,
+};
 
 fn header(title: &str) -> String {
     format!("{title}\n{}\n", "=".repeat(title.len()))
@@ -83,6 +85,22 @@ pub fn render_sample_size(rows: &[SampleSizePoint]) -> String {
     out
 }
 
+/// Render the learner-diversity table (extension, not in the paper).
+pub fn render_diversity(rows: &[DiversityRow]) -> String {
+    let mut out = header("Learner diversity: all strategies on the tree-shaped segments task");
+    out.push_str(&format!(
+        "{:<34} {:<16} {:>6} {:>6} {:>6} {:>8} {:>10}\n",
+        "Dataset", "System", "F1", "Prec", "Rec", "Clauses", "Time (m)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<34} {:<16} {:>6.2} {:>6.2} {:>6.2} {:>8.1} {:>10.3}\n",
+            r.dataset, r.system, r.f1, r.precision, r.recall, r.clauses, r.time_minutes
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +162,16 @@ mod tests {
             time_minutes: 5.92,
         }]);
         assert!(t5.contains("DLearn-CFD"));
+        let d = render_diversity(&[DiversityRow {
+            dataset: "Customer segments (tree-shaped)".into(),
+            system: "TILDE".into(),
+            f1: 0.95,
+            precision: 0.97,
+            recall: 0.93,
+            clauses: 6.0,
+            time_minutes: 0.02,
+        }]);
+        assert!(d.contains("TILDE"));
+        assert!(d.contains("0.95"));
     }
 }

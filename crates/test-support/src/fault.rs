@@ -45,6 +45,9 @@ pub enum Site {
     /// `PredictorService::publish` / `PredictorService::apply_delta` (key:
     /// `"publish@<epoch>"` / `"delta@<epoch>"`).
     Swap,
+    /// Refinement search in `Engine::learn` — any strategy's refiner over
+    /// the prepared plan (key: the strategy's display name).
+    Learn,
 }
 
 impl Site {
@@ -55,6 +58,7 @@ impl Site {
             Site::Alignment => 2,
             Site::Delta => 3,
             Site::Swap => 4,
+            Site::Learn => 5,
         }
     }
 
@@ -66,6 +70,7 @@ impl Site {
             Site::Alignment => "alignment",
             Site::Delta => "delta",
             Site::Swap => "swap",
+            Site::Learn => "learn",
         }
     }
 }
@@ -184,7 +189,7 @@ fn hash01(seed: u64, rule_idx: usize, site: Site, key: &str) -> f64 {
 struct Registry {
     plan: RwLock<Option<FaultPlan>>,
     install_lock: Mutex<()>,
-    injected: [AtomicU64; 5],
+    injected: [AtomicU64; 6],
 }
 
 fn registry() -> &'static Registry {
@@ -193,6 +198,7 @@ fn registry() -> &'static Registry {
         plan: RwLock::new(None),
         install_lock: Mutex::new(()),
         injected: [
+            AtomicU64::new(0),
             AtomicU64::new(0),
             AtomicU64::new(0),
             AtomicU64::new(0),

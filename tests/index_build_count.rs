@@ -36,8 +36,10 @@ fn similarity_index_is_built_exactly_once_per_engine() {
         "prepare must build exactly one index per MD"
     );
 
-    // All five strategies — including repeated runs — plus serving on each
-    // learned definition: zero further alignment builds.
+    // All seven strategies — the five paper systems plus FOIL and TILDE,
+    // including repeated runs — plus serving on each learned definition:
+    // zero further alignment builds. The extension learners run over the
+    // shared base plan, so they inherit the prepare-once contract outright.
     for strategy in Strategy::all() {
         for _ in 0..2 {
             let learned = engine.learn(strategy).expect("learn");

@@ -20,6 +20,10 @@
 //! out through the order-preserving chunked map, so batch results are
 //! bit-identical across 1/2/8 coverage threads and equal to a sequential
 //! `predict` loop.
+//!
+//! The FOIL and TILDE extension learners make the same promise over their
+//! own candidate-scoring fan-outs (see
+//! `extension_learners_are_bit_identical_across_thread_counts`).
 
 use dlearn::core::{Engine, LearnerConfig, Predictor, Strategy};
 use dlearn::datagen::movies::{generate_movie_dataset, MovieConfig};
@@ -37,13 +41,17 @@ fn config(seed: u64, generalization_threads: usize, coverage_threads: usize) -> 
     }
 }
 
-fn learn(task: &dlearn::core::LearningTask, config: LearnerConfig) -> Definition {
+fn learn_with(
+    task: &dlearn::core::LearningTask,
+    config: LearnerConfig,
+    strategy: Strategy,
+) -> Definition {
     let engine = Engine::prepare(task.clone(), config).expect("valid task");
-    engine
-        .learn(Strategy::DLearn)
-        .expect("learn")
-        .definition()
-        .clone()
+    engine.learn(strategy).expect("learn").definition().clone()
+}
+
+fn learn(task: &dlearn::core::LearningTask, config: LearnerConfig) -> Definition {
+    learn_with(task, config, Strategy::DLearn)
 }
 
 #[test]
@@ -123,6 +131,40 @@ fn index_build_threads_do_not_change_the_learned_model() {
                 baseline, definition,
                 "seed {seed}, index_threads={threads}: learned definition diverged"
             );
+        }
+    }
+}
+
+#[test]
+fn extension_learners_are_bit_identical_across_thread_counts() {
+    // The FOIL and TILDE refiners fan candidate scoring out through the same
+    // order-preserving chunked map as generalization scoring (serial masks
+    // inside the fan-out, first-strict-maximum tie-breaking), so their
+    // learned definitions carry the full determinism contract: bit-identical
+    // at 1/2/8 threads × 2 seeds, on both a dirty integration task and the
+    // tree-shaped segmentation task.
+    let movie = generate_movie_dataset(&MovieConfig::tiny(), 42);
+    let segments =
+        dlearn::datagen::generate_segment_dataset(&dlearn::datagen::SegmentConfig::tiny(), 91);
+    for task in [&movie.task, &segments.task] {
+        for strategy in [Strategy::Foil, Strategy::Tilde] {
+            for seed in [7u64, 21] {
+                let baseline = learn_with(task, config(seed, 1, 1), strategy);
+                assert!(
+                    !baseline.is_empty(),
+                    "{} seed {seed}: learned nothing; the determinism check is vacuous",
+                    strategy.name()
+                );
+                for threads in [2usize, 8] {
+                    let definition = learn_with(task, config(seed, threads, threads), strategy);
+                    assert_eq!(
+                        baseline,
+                        definition,
+                        "{} seed {seed}: definition diverged at {threads} threads",
+                        strategy.name()
+                    );
+                }
+            }
         }
     }
 }

@@ -246,6 +246,52 @@ fn post_episode_parity_cache_on_vs_off_across_threads() {
 }
 
 #[test]
+fn injected_learn_panic_is_typed_per_strategy_and_leaves_the_session_healthy() {
+    // A crash inside any strategy's refinement search must surface as a
+    // typed WorkerPanicked{site:"learn"} — keyed by the strategy's display
+    // name, so one poisoned learner never blocks the others — and the
+    // prepared session must stay fully usable afterwards.
+    let fx = fixture();
+    {
+        let _guard = fault::install(FaultPlan::new(29).on_key(
+            Site::Learn,
+            Strategy::Tilde.name(),
+            Fault::Panic,
+        ));
+        let err = fx.engine.learn(Strategy::Tilde).unwrap_err();
+        let DlearnError::WorkerPanicked { site, message } = &err else {
+            panic!("expected WorkerPanicked, got {err:?}");
+        };
+        assert_eq!(*site, "learn");
+        assert!(message.contains(fault::PANIC_MARKER), "{message}");
+        assert!(fault::injected(Site::Learn) >= 1);
+        // Other strategies are untouched while the plan is still installed:
+        // the checkpoint keys on the strategy name.
+        let healthy = fx.engine.learn(Strategy::DLearn).expect("unkeyed learn");
+        assert_eq!(healthy.definition(), fx.learned.definition());
+    }
+    // Plan cleared: the poisoned strategy learns normally — the panic never
+    // quarantined the session or corrupted shared prepared state.
+    let recovered = fx.engine.learn(Strategy::Tilde).expect("recovered learn");
+    assert!(!recovered.definition().is_empty());
+    let verdicts: Vec<bool> = fx
+        .trace
+        .iter()
+        .map(|e| {
+            fx.engine
+                .predictor(&fx.learned)
+                .expect("bind predictor")
+                .predict(e)
+                .expect("predict")
+        })
+        .collect();
+    assert_eq!(
+        verdicts, fx.baseline,
+        "serving state changed after a learn panic"
+    );
+}
+
+#[test]
 fn injected_delta_panic_quarantines_the_session_but_keeps_serving_reads() {
     // A crash mid-delta-maintenance must be transactional: the engine keeps
     // the last committed state (reads — learn, predict — still serve it
